@@ -1,0 +1,42 @@
+"""Engine micro-benchmarks: event throughput and end-to-end run cost.
+
+Not a paper figure — these track the cost of the substrate itself so
+regressions in the hot path (heap operations, uplink accounting, message
+dispatch) are caught by comparing benchmark runs.
+"""
+
+from repro.experiments.scales import QUICK, scenario_at
+from repro.experiments.runner import run_scenario
+from repro.sim.engine import Simulator
+from repro.workloads.distributions import REF_691
+
+
+def bench_engine_event_throughput(benchmark):
+    """Schedule/execute cost of the bare event loop."""
+
+    def run_events():
+        sim = Simulator()
+
+        def chain(remaining):
+            if remaining > 0:
+                sim.schedule(0.001, lambda: chain(remaining - 1))
+
+        for _ in range(100):
+            chain(100)
+        sim.run()
+        return sim.events_executed
+
+    executed = benchmark(run_events)
+    assert executed == 100 * 100
+
+
+def bench_small_heap_scenario(benchmark):
+    """End-to-end cost of a small HEAP run (fixed tiny scale)."""
+
+    def run():
+        config = scenario_at(QUICK, protocol="heap", distribution=REF_691,
+                             n_nodes=30, duration=5.0, drain=10.0)
+        return run_scenario(config)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.sim.events_executed > 1000

@@ -1,0 +1,19 @@
+"""Table 1: the reference capability distributions and their CSR.
+
+Static (no simulation): verifies our distributions render the paper's
+exact class mix, averages and capability supply ratios.
+"""
+
+from _harness import emit, measure
+
+from repro.experiments.tables import table1_distributions
+
+
+def bench_table1_distributions(benchmark):
+    table = measure(benchmark, table1_distributions)
+    emit(table)
+    by_name = {row[0]: row for row in table.rows}
+    assert by_name["ref-691"][1] == "1.15"
+    assert by_name["ms-691"][1] == "1.15"
+    assert by_name["ref-724"][1] in ("1.20", "1.21")
+    assert by_name["ref-691"][2].startswith("691.2")

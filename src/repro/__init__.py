@@ -1,0 +1,41 @@
+"""repro — a reproduction of "Heterogeneous Gossip" (HEAP, Middleware 2009).
+
+A production-quality discrete-event implementation of HEAP, the
+heterogeneity-aware gossip streaming protocol of Frey et al., together
+with every substrate its evaluation needs: the event-driven network
+simulator with throttled uplinks, membership with delayed failure
+detection, the FEC-windowed stream model, the homogeneous-gossip and
+static-tree baselines, the paper's workloads, and a benchmark harness
+regenerating every figure and table of the paper's evaluation section.
+
+Quickstart::
+
+    from repro import ScenarioConfig, run_scenario
+    from repro.workloads import MS_691
+
+    result = run_scenario(ScenarioConfig(
+        protocol="heap", n_nodes=80, duration=20.0, distribution=MS_691))
+    print(result.analyzer().jitter_free_fraction(
+        result.log_of(1), result.windows(), lag=10.0))
+
+See README.md for the architecture overview and DESIGN.md for the
+paper-to-module map.
+"""
+
+from repro.core import GossipConfig, HeapGossipNode, StandardGossipNode
+from repro.experiments import ExperimentResult, run_scenario
+from repro.streaming import StreamConfig
+from repro.workloads import ScenarioConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ExperimentResult",
+    "GossipConfig",
+    "HeapGossipNode",
+    "ScenarioConfig",
+    "StandardGossipNode",
+    "StreamConfig",
+    "__version__",
+    "run_scenario",
+]

@@ -1,0 +1,7 @@
+"""Analysis helpers: empirical CDFs, summary statistics, class grouping."""
+
+from repro.analysis.cdf import Cdf
+from repro.analysis.stats import mean, median, percentile, stdev
+from repro.analysis.grouping import group_by
+
+__all__ = ["Cdf", "group_by", "mean", "median", "percentile", "stdev"]

@@ -1,0 +1,73 @@
+"""Empirical cumulative distribution functions.
+
+The paper presents most results as CDFs over nodes ("percentage of nodes
+(cumulative distribution)" vs stream lag or jitter).  :class:`Cdf` holds
+the sample and answers both directions: the fraction of samples at or
+below a value, and the value at a given fraction (percentile).
+Infinite samples (nodes that never reach the target, e.g. lag = OFFLINE)
+are kept: they weigh the denominator but never satisfy a threshold,
+exactly like the paper's curves that saturate below 100%.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Sequence, Tuple
+
+
+class Cdf:
+    """An empirical CDF over a finite sample (may include +inf)."""
+
+    def __init__(self, values: Iterable[float]):
+        self._values: List[float] = sorted(values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    @property
+    def values(self) -> Sequence[float]:
+        return tuple(self._values)
+
+    def fraction_at(self, x: float) -> float:
+        """P(X <= x): fraction of samples at or below ``x``."""
+        if not self._values:
+            return 0.0
+        # Binary search for the rightmost value <= x.
+        lo, hi = 0, len(self._values)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._values[mid] <= x:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo / len(self._values)
+
+    def percentile(self, fraction: float) -> float:
+        """Smallest x with P(X <= x) >= ``fraction``."""
+        if not self._values:
+            raise ValueError("percentile of an empty CDF")
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"fraction must be in (0, 1], got {fraction!r}")
+        index = math.ceil(fraction * len(self._values)) - 1
+        return self._values[index]
+
+    def finite_fraction(self) -> float:
+        """Fraction of samples that are finite (nodes that ever succeed)."""
+        if not self._values:
+            return 0.0
+        finite = sum(1 for v in self._values if math.isfinite(v))
+        return finite / len(self._values)
+
+    def points(self, max_points: int = 200) -> List[Tuple[float, float]]:
+        """(value, cumulative fraction) pairs for plotting, thinned to at
+        most ``max_points`` and excluding infinities."""
+        finite = [v for v in self._values if math.isfinite(v)]
+        if not finite:
+            return []
+        n = len(self._values)
+        step = max(1, len(finite) // max_points)
+        pts = [(finite[i], (i + 1) / n) for i in range(0, len(finite), step)]
+        last = (finite[-1], len(finite) / n)
+        if pts[-1] != last:
+            pts.append(last)
+        return pts

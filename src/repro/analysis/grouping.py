@@ -1,0 +1,16 @@
+"""Grouping helpers for per-class breakdowns."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, TypeVar
+
+T = TypeVar("T")
+K = TypeVar("K")
+
+
+def group_by(items: Iterable[T], key: Callable[[T], K]) -> Dict[K, List[T]]:
+    """Group ``items`` into lists by ``key`` (insertion-ordered)."""
+    groups: Dict[K, List[T]] = {}
+    for item in items:
+        groups.setdefault(key(item), []).append(item)
+    return groups

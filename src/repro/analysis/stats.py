@@ -1,0 +1,50 @@
+"""Small summary-statistics helpers (dependency-free, inf-aware)."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List
+
+
+def _finite(values: Iterable[float]) -> List[float]:
+    return [v for v in values if math.isfinite(v)]
+
+
+def mean(values: Iterable[float]) -> float:
+    """Arithmetic mean of the finite values; nan when none are finite."""
+    finite = _finite(values)
+    if not finite:
+        return math.nan
+    return sum(finite) / len(finite)
+
+
+def median(values: Iterable[float]) -> float:
+    """Median *including* infinities (an inf-heavy sample has inf median)."""
+    ordered = sorted(values)
+    if not ordered:
+        return math.nan
+    n = len(ordered)
+    mid = n // 2
+    if n % 2 == 1:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2
+
+
+def percentile(values: Iterable[float], fraction: float) -> float:
+    """Smallest x such that at least ``fraction`` of the values are <= x."""
+    ordered = sorted(values)
+    if not ordered:
+        return math.nan
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError(f"fraction must be in (0, 1], got {fraction!r}")
+    index = math.ceil(fraction * len(ordered)) - 1
+    return ordered[index]
+
+
+def stdev(values: Iterable[float]) -> float:
+    """Population standard deviation of the finite values."""
+    finite = _finite(values)
+    if len(finite) < 2:
+        return 0.0
+    m = sum(finite) / len(finite)
+    return math.sqrt(sum((v - m) ** 2 for v in finite) / len(finite))

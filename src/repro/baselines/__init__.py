@@ -1,0 +1,12 @@
+"""Baselines beyond standard gossip.
+
+The paper's introduction motivates gossip by the fragility of a *static
+tree* ("our preliminary experiments revealed the difficulty of
+disseminating through a static tree without any reconstruction even
+among 30 nodes").  :mod:`repro.baselines.tree` implements that
+comparator: a fixed k-ary push tree with no repair.
+"""
+
+from repro.baselines.tree import StaticTreeNode, TreePush, build_kary_tree
+
+__all__ = ["StaticTreeNode", "TreePush", "build_kary_tree"]

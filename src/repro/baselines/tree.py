@@ -1,0 +1,93 @@
+"""Static k-ary push-tree dissemination (the introduction's strawman).
+
+The source is the root; every node forwards each packet to its fixed
+children the moment it first receives it.  There is no repair protocol:
+a lost datagram or a crashed interior node silently starves the whole
+subtree — the brittleness the paper's introduction uses to motivate
+proactive gossip.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.net.message import Envelope
+from repro.net.network import Network
+from repro.sim.engine import Simulator
+from repro.streaming.packets import StreamPacket
+from repro.streaming.receiver import ReceiverLog
+
+#: Fixed header bytes inside a tree-push datagram payload.
+_HEADER_BYTES = 8
+#: Per-packet framing bytes.
+_PACKET_OVERHEAD = 12
+
+
+class TreePush:
+    """Payload carrying stream packets down the tree."""
+
+    kind = "tree-push"
+    __slots__ = ("packets",)
+
+    def __init__(self, packets: List[StreamPacket]):
+        self.packets = packets
+
+    def wire_size(self) -> int:
+        return _HEADER_BYTES + sum(p.size_bytes + _PACKET_OVERHEAD
+                                   for p in self.packets)
+
+
+def build_kary_tree(node_ids: Sequence[int], arity: int) -> Dict[int, List[int]]:
+    """Arrange ``node_ids`` (root first) into a complete k-ary tree.
+
+    Returns a children map: ``children[node] == [child, ...]``.
+    """
+    if arity < 1:
+        raise ValueError(f"arity must be >= 1, got {arity!r}")
+    ids = list(node_ids)
+    children: Dict[int, List[int]] = {node_id: [] for node_id in ids}
+    for position, node_id in enumerate(ids):
+        for k in range(arity):
+            child_position = position * arity + 1 + k
+            if child_position < len(ids):
+                children[node_id].append(ids[child_position])
+    return children
+
+
+class StaticTreeNode:
+    """One node of the static push tree."""
+
+    def __init__(self, sim: Simulator, net: Network, node_id: int,
+                 children: List[int], capability_bps: float):
+        self._sim = sim
+        self._net = net
+        self.node_id = node_id
+        self.children = list(children)
+        self.capability_bps = capability_bps
+        self.log = ReceiverLog(node_id)
+        self.packets_forwarded = 0
+
+    def publish(self, packet: StreamPacket) -> None:
+        """Source entry point: deliver locally and push down the tree."""
+        self._deliver(packet)
+
+    def on_message(self, envelope: Envelope) -> None:
+        if envelope.payload.kind != TreePush.kind:
+            return
+        for packet in envelope.payload.packets:
+            if not self.log.has(packet.packet_id):
+                self._deliver(packet)
+
+    def _deliver(self, packet: StreamPacket) -> None:
+        self.log.record(packet.packet_id, self._sim.now)
+        for child in self.children:
+            self._net.send(self.node_id, child, TreePush([packet]))
+            self.packets_forwarded += 1
+
+    # The gossip runner calls these on every protocol node; the static
+    # tree has no timers, so they are no-ops.
+    def start(self, phase=None) -> None:
+        return None
+
+    def stop(self) -> None:
+        return None

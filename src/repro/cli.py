@@ -1,0 +1,202 @@
+"""Command-line interface.
+
+    python -m repro run --protocol heap --distribution ms-691 --nodes 120
+    python -m repro figure fig5 --scale quick
+    python -m repro table table3
+    python -m repro ablation retransmission
+    python -m repro extension freeriders
+    python -m repro list
+
+``run`` executes one scenario and prints the headline metrics; the other
+subcommands regenerate a specific figure/table/ablation/extension and
+print the same rows the benches archive.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+from repro.analysis.stats import mean
+from repro.experiments import run_scenario
+from repro.experiments import ablations as _ablations
+from repro.experiments import extensions as _extensions
+from repro.experiments import figures as _figures
+from repro.experiments import tables as _tables
+from repro.experiments.scales import Scale, _SCALES, current_scale
+from repro.metrics import (
+    jitter_free_fraction_by_class,
+    mean_lag_by_class,
+    utilization_by_class,
+)
+from repro.metrics.lag import lag_cdf_jitter_free
+from repro.workloads import CatastrophicFailure, ScenarioConfig, distribution_by_name
+
+FIGURES: Dict[str, Callable] = {
+    "fig1": _figures.fig1_unconstrained,
+    "fig2": _figures.fig2_fanout_sweep,
+    "fig3": _figures.fig3_heap_dist1,
+    "fig4": _figures.fig4_bandwidth_usage,
+    "fig5": _figures.fig5_quality_ref691,
+    "fig6": _figures.fig6_quality_classes,
+    "fig7": _figures.fig7_jitter_cdf,
+    "fig8": _figures.fig8_lag_by_class,
+    "fig9": _figures.fig9_lag_cdf,
+    "fig10a": lambda scale=None: _figures.fig10_churn(scale, fraction=0.2),
+    "fig10b": lambda scale=None: _figures.fig10_churn(scale, fraction=0.5),
+}
+
+TABLES: Dict[str, Callable] = {
+    "table1": lambda scale=None: _tables.table1_distributions(),
+    "table2": _tables.table2_jittered_delivery,
+    "table3": _tables.table3_jitter_free_nodes,
+}
+
+ABLATIONS: Dict[str, Callable] = {
+    "aggregation": _ablations.ablation_aggregation,
+    "retransmission": _ablations.ablation_retransmission,
+    "source-bias": _ablations.ablation_source_bias,
+    "fanout-cap": _ablations.ablation_fanout_cap,
+}
+
+EXTENSIONS: Dict[str, Callable] = {
+    "freeriders": _extensions.ext_freeriders,
+    "membership": _extensions.ext_membership,
+    "discovery": _extensions.ext_capability_discovery,
+    "size-estimation": lambda scale=None: _extensions.ext_size_estimation(),
+}
+
+
+def _scale_from_args(args) -> Optional[Scale]:
+    if args.scale is None:
+        return current_scale()
+    return _SCALES[args.scale]
+
+
+def _cmd_run(args) -> int:
+    churn = None
+    if args.churn_fraction > 0:
+        churn = CatastrophicFailure(fraction=args.churn_fraction,
+                                    at_time=args.churn_time)
+    config = ScenarioConfig(
+        protocol=args.protocol,
+        n_nodes=args.nodes,
+        duration=args.seconds,
+        drain=args.drain,
+        seed=args.seed,
+        distribution=distribution_by_name(args.distribution),
+        loss_rate=args.loss,
+        membership=args.membership,
+        audit=args.audit,
+        capability_discovery=args.discovery,
+        freerider_fraction=args.freerider_fraction,
+        freerider_mode=args.freerider_mode,
+        churn=churn,
+    )
+    result = run_scenario(config)
+    print(f"{args.protocol} | {args.nodes} nodes | {args.seconds:g}s stream | "
+          f"{args.distribution} | seed {args.seed}")
+    print(f"events: {result.sim.events_executed:,}")
+    print("\njitter-free windows at 10s lag, by class:")
+    for label, value in jitter_free_fraction_by_class(result, 10.0).items():
+        print(f"  {label:>10}: {value:6.1f}%")
+    print("\nmean jitter-free lag, by class:")
+    for label, value in mean_lag_by_class(result).items():
+        print(f"  {label:>10}: {value:6.2f}s")
+    print("\nuplink utilization, by class:")
+    for label, value in utilization_by_class(result).items():
+        print(f"  {label:>10}: {value:6.1f}%")
+    cdf = lag_cdf_jitter_free(result)
+    if cdf.finite_fraction() > 0.5:
+        print("\nlag percentiles (jitter-free): "
+              + ", ".join(f"p{int(q * 100)}={cdf.percentile(q):.2f}s"
+                          for q in (0.5, 0.75, 0.9)))
+    if result.freerider_ids:
+        from repro.freeriders.analysis import convictions, detection_accuracy
+        convicted = convictions(result)
+        accuracy = detection_accuracy(result, convicted)
+        print(f"\nfreeriders: {len(result.freerider_ids)} planted, "
+              f"{len(convicted)} convicted "
+              f"(precision {accuracy.precision:.2f}, "
+              f"recall {accuracy.recall:.2f})")
+    return 0
+
+
+def _cmd_render(registry: Dict[str, Callable], name: str, args) -> int:
+    try:
+        fn = registry[name]
+    except KeyError:
+        print(f"unknown id {name!r}; known: {', '.join(sorted(registry))}",
+              file=sys.stderr)
+        return 2
+    result = fn(_scale_from_args(args))
+    print(result.render())
+    return 0
+
+
+def _cmd_list(args) -> int:
+    print("figures:    " + " ".join(sorted(FIGURES)))
+    print("tables:     " + " ".join(sorted(TABLES)))
+    print("ablations:  " + " ".join(sorted(ABLATIONS)))
+    print("extensions: " + " ".join(sorted(EXTENSIONS)))
+    print("scales:     " + " ".join(sorted(_SCALES)))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="HEAP (Heterogeneous Gossip) reproduction")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = sub.add_parser("run", help="run one scenario")
+    run_parser.add_argument("--protocol", choices=("heap", "standard", "tree"),
+                            default="heap")
+    run_parser.add_argument("--nodes", type=int, default=100)
+    run_parser.add_argument("--seconds", type=float, default=20.0)
+    run_parser.add_argument("--drain", type=float, default=40.0)
+    run_parser.add_argument("--seed", type=int, default=1)
+    run_parser.add_argument("--distribution", default="ref-691")
+    run_parser.add_argument("--loss", type=float, default=0.0)
+    run_parser.add_argument("--membership", choices=("directory", "cyclon"),
+                            default="directory")
+    run_parser.add_argument("--audit", action="store_true")
+    run_parser.add_argument("--discovery", action="store_true",
+                            help="slow-start capability discovery")
+    run_parser.add_argument("--freerider-fraction", type=float, default=0.0)
+    run_parser.add_argument("--freerider-mode",
+                            choices=("underclaim", "nonserve"),
+                            default="underclaim")
+    run_parser.add_argument("--churn-fraction", type=float, default=0.0)
+    run_parser.add_argument("--churn-time", type=float, default=60.0)
+
+    for command, registry in (("figure", FIGURES), ("table", TABLES),
+                              ("ablation", ABLATIONS),
+                              ("extension", EXTENSIONS)):
+        p = sub.add_parser(command, help=f"regenerate a {command}")
+        p.add_argument("id", help=f"one of: {', '.join(sorted(registry))}")
+        p.add_argument("--scale", choices=sorted(_SCALES), default=None)
+
+    sub.add_parser("list", help="list available experiment ids")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "figure":
+        return _cmd_render(FIGURES, args.id, args)
+    if args.command == "table":
+        return _cmd_render(TABLES, args.id, args)
+    if args.command == "ablation":
+        return _cmd_render(ABLATIONS, args.id, args)
+    if args.command == "extension":
+        return _cmd_render(EXTENSIONS, args.id, args)
+    if args.command == "list":
+        return _cmd_list(args)
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,46 @@
+"""The paper's contribution: three-phase gossip dissemination, homogeneous
+(Algorithm 1) and heterogeneity-aware (HEAP, Algorithm 2).
+
+Public surface:
+
+* :class:`~repro.core.config.GossipConfig` — every protocol knob with the
+  paper's defaults (fanout 7, 200 ms period, 10 freshest samples, ...);
+* :class:`~repro.core.standard.StandardGossipNode` — the homogeneous
+  baseline of Algorithm 1 (with retransmission and throttling, as the
+  paper adds to it for a fair comparison);
+* :class:`~repro.core.heap.HeapGossipNode` — HEAP: capability aggregation
+  plus proportional fanout adaptation;
+* :class:`~repro.core.aggregation.CapabilityAggregator` — the gossip
+  aggregation protocol estimating the average upload capability;
+* :class:`~repro.core.fanout.FixedFanout` / :class:`~repro.core.fanout.AdaptiveFanout`
+  — fanout policies, separately testable.
+"""
+
+from repro.core.aggregation import AggregationMessage, CapabilityAggregator
+from repro.core.base import GossipNode
+from repro.core.config import GossipConfig
+from repro.core.discovery import CapabilityProber
+from repro.core.fanout import AdaptiveFanout, FixedFanout, ln_fanout
+from repro.core.heap import HeapGossipNode
+from repro.core.messages import Propose, Request, Serve
+from repro.core.retransmission import RetransmissionManager
+from repro.core.size_estimation import SizeEstimator
+from repro.core.standard import StandardGossipNode
+
+__all__ = [
+    "AdaptiveFanout",
+    "AggregationMessage",
+    "CapabilityAggregator",
+    "CapabilityProber",
+    "FixedFanout",
+    "GossipConfig",
+    "GossipNode",
+    "HeapGossipNode",
+    "Propose",
+    "Request",
+    "RetransmissionManager",
+    "Serve",
+    "SizeEstimator",
+    "StandardGossipNode",
+    "ln_fanout",
+]

@@ -1,0 +1,141 @@
+"""Gossip-based capability aggregation (Algorithm 2, right column).
+
+Every ``aggregation_period`` a node sends the 10 freshest
+(node, capability, timestamp) samples it knows — always including its own,
+refreshed — to ``aggregation_fanout`` random peers.  Receivers merge by
+keeping the freshest sample per node and estimate the system-wide average
+upload capability as the mean over their (TTL-bounded) sample table.
+
+The estimate feeds HEAP's fanout adaptation; its accuracy/latency
+trade-off is explored by ``benchmarks/bench_ablation_aggregation.py``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.membership.view import LocalView
+from repro.net.network import Network
+from repro.sim.engine import Simulator
+from repro.sim.timers import PeriodicTimer
+
+#: Fixed header bytes inside an aggregation datagram payload.
+_HEADER_BYTES = 8
+#: Bytes per serialized sample (node id, capability, age).
+_SAMPLE_BYTES = 12
+
+
+class AggregationMessage:
+    """[Aggregation, fresh] — a batch of capability samples."""
+
+    kind = "aggregation"
+    __slots__ = ("samples",)
+
+    def __init__(self, samples: List[Tuple[int, float, float]]):
+        #: list of (node_id, capability_bps, sample_timestamp)
+        self.samples = samples
+
+    def wire_size(self) -> int:
+        return _HEADER_BYTES + _SAMPLE_BYTES * len(self.samples)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"AggregationMessage({len(self.samples)} samples)"
+
+
+class CapabilityAggregator:
+    """One node's capability-aggregation agent."""
+
+    def __init__(self, sim: Simulator, net: Network, node_id: int,
+                 capability: Callable[[], float], view: LocalView,
+                 rng: random.Random, period: float = 0.2,
+                 fresh_count: int = 10, fanout: int = 7,
+                 sample_ttl: float = 10.0):
+        self._sim = sim
+        self._net = net
+        self.node_id = node_id
+        self._capability = capability
+        self._view = view
+        self._rng = rng
+        self.fresh_count = fresh_count
+        self.fanout = fanout
+        self.sample_ttl = sample_ttl
+        #: node_id -> (capability_bps, sample_timestamp)
+        self._samples: Dict[int, Tuple[float, float]] = {}
+        self.messages_sent = 0
+        self.messages_received = 0
+        self._timer = PeriodicTimer(sim, period, self._gossip)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self, phase: Optional[float] = None) -> None:
+        self._refresh_own_sample()
+        self._timer.start(phase if phase is not None
+                          else self._rng.uniform(0, self._timer.period))
+
+    def stop(self) -> None:
+        self._timer.stop()
+
+    # ------------------------------------------------------------------
+    # sample table
+    # ------------------------------------------------------------------
+    def _refresh_own_sample(self) -> None:
+        self._samples[self.node_id] = (self._capability(), self._sim.now)
+
+    def _evict_stale(self) -> None:
+        if self.sample_ttl <= 0:
+            return
+        cutoff = self._sim.now - self.sample_ttl
+        stale = [node for node, (_, ts) in self._samples.items()
+                 if ts < cutoff and node != self.node_id]
+        for node in stale:
+            del self._samples[node]
+
+    def freshest(self, count: int) -> List[Tuple[int, float, float]]:
+        """The ``count`` freshest samples as (node, capability, timestamp)."""
+        ordered = sorted(self._samples.items(), key=lambda item: -item[1][1])
+        return [(node, cap, ts) for node, (cap, ts) in ordered[:count]]
+
+    def sample_count(self) -> int:
+        return len(self._samples)
+
+    # ------------------------------------------------------------------
+    # the estimate
+    # ------------------------------------------------------------------
+    def average_estimate(self) -> float:
+        """Mean capability over the current sample table (always >= own)."""
+        if not self._samples:
+            return self._capability()
+        return sum(cap for cap, _ in self._samples.values()) / len(self._samples)
+
+    def relative_capability(self) -> float:
+        """This node's capability over the estimated average: HEAP's b_p/b."""
+        average = self.average_estimate()
+        if average <= 0:
+            return 1.0
+        return self._capability() / average
+
+    # ------------------------------------------------------------------
+    # gossip exchange
+    # ------------------------------------------------------------------
+    def _gossip(self) -> None:
+        self._refresh_own_sample()
+        self._evict_stale()
+        partners = self._view.sample(self.fanout, self._rng)
+        if not partners:
+            return
+        fresh = self.freshest(self.fresh_count)
+        for partner in partners:
+            self._net.send(self.node_id, partner, AggregationMessage(fresh))
+            self.messages_sent += 1
+
+    def on_message(self, src: int, message: AggregationMessage) -> None:
+        self.messages_received += 1
+        for node, capability, timestamp in message.samples:
+            if node == self.node_id:
+                continue  # nobody knows our capability better than we do
+            existing = self._samples.get(node)
+            if existing is None or timestamp > existing[1]:
+                self._samples[node] = (capability, timestamp)
+        self._evict_stale()

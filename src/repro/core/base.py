@@ -1,0 +1,244 @@
+"""The three-phase gossip dissemination node (Algorithm 1 skeleton).
+
+``GossipNode`` implements the full push-request-push state machine with
+infect-and-die proposal semantics; the fanout policy is pluggable, which
+is the *only* difference between standard gossip
+(:class:`~repro.core.standard.StandardGossipNode`) and HEAP
+(:class:`~repro.core.heap.HeapGossipNode`) — exactly the paper's framing
+of HEAP as "standard gossip plus fanout adaptation".
+
+Message handling mirrors the pseudo-code:
+
+* phase 1 — every ``gossip_period`` the node proposes the ids delivered
+  since the previous round to ``getFanout()`` uniformly random peers,
+  then forgets them (infect-and-die: each id is proposed exactly once);
+* phase 2 — a [Propose] receiver requests the ids it has neither
+  delivered nor already requested, and arms a retransmission timer;
+* phase 3 — a [Request] receiver serves the payloads it holds; a [Serve]
+  receiver delivers new packets, queueing their ids for its next round.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional, Set
+
+from repro.core.config import GossipConfig
+from repro.core.messages import Propose, Request, Serve
+from repro.core.retransmission import RetransmissionManager
+from repro.membership.selector import UniformSelector
+from repro.membership.view import LocalView
+from repro.net.message import Envelope
+from repro.net.network import Network
+from repro.sim.engine import Simulator
+from repro.sim.timers import PeriodicTimer
+from repro.streaming.packets import StreamPacket
+from repro.streaming.receiver import ReceiverLog
+
+
+class GossipNode:
+    """One participant of the gossip dissemination."""
+
+    def __init__(self, sim: Simulator, net: Network, node_id: int,
+                 view: LocalView, config: GossipConfig, rng: random.Random,
+                 capability_bps: float):
+        config.validate()
+        self._sim = sim
+        self._net = net
+        self.node_id = node_id
+        self.view = view
+        self.config = config
+        self._rng = rng
+        #: The node's advertised upload capability (HEAP's b_p); mutable so
+        #: experiments can model capability changes over time.
+        self.capability_bps = capability_bps
+        #: Gossip-target selector; uniform by default (Algorithm 1 line 23),
+        #: replaceable e.g. with a capability-biased selector at the source
+        #: (the paper's Section 5 extension).
+        self.selector = UniformSelector(rng)
+
+        self.log = ReceiverLog(node_id)
+        self._store: Dict[int, StreamPacket] = {}
+        self._to_propose: List[int] = []
+        self._requested: Set[int] = set()
+
+        self._gossip_timer = PeriodicTimer(sim, config.gossip_period, self._on_gossip_tick)
+        self._retransmission: Optional[RetransmissionManager] = None
+        if config.retransmission:
+            self._retransmission = RetransmissionManager(
+                sim,
+                period=config.retransmission_period,
+                max_retries=config.retransmission_retries,
+                is_delivered=self._store.__contains__,
+                resend=self._send_request,
+                release=self._requested.difference_update,
+            )
+
+        #: Observer called as on_deliver(packet, time) for every delivery.
+        self.on_deliver: Optional[Callable[[StreamPacket, float], None]] = None
+        #: Audit hooks (see repro.freeriders): number of ids requested
+        #: from a peer, and number of packets a peer served us.
+        self.on_request_sent: Optional[Callable[[int, int], None]] = None
+        self.on_serve_received: Optional[Callable[[int, int], None]] = None
+        #: Additional payload-kind handlers for co-hosted protocols
+        #: (peer sampling, auditing, size estimation, ...).
+        self.extra_handlers: Dict[str, Callable[[Envelope], None]] = {}
+
+        # Counters (diagnostics and tests).
+        self.proposes_sent = 0
+        self.requests_sent = 0
+        self.serves_sent = 0
+        self.packets_served = 0
+        self.rounds = 0
+        self.partners_per_round: List[int] = []
+
+    # ------------------------------------------------------------------
+    # fanout policy hook — subclasses must provide partners_this_round()
+    # ------------------------------------------------------------------
+    def get_fanout(self) -> int:
+        """Number of partners for the current round (Algorithm 1, line 27)."""
+        raise NotImplementedError
+
+    def current_fanout(self) -> float:
+        """The fractional fanout value before per-round quantization."""
+        raise NotImplementedError
+
+    def set_fanout_policy(self, policy) -> None:
+        """Replace the fanout policy (e.g. pin the source to a fixed one)."""
+        self._policy = policy
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self, phase: Optional[float] = None) -> None:
+        """Begin gossiping.  ``phase`` overrides the randomized first tick."""
+        if phase is None and self.config.randomize_phase:
+            phase = self._rng.uniform(0, self.config.gossip_period)
+        self._gossip_timer.start(phase)
+
+    def stop(self) -> None:
+        self._gossip_timer.stop()
+
+    @property
+    def running(self) -> bool:
+        return self._gossip_timer.running
+
+    # ------------------------------------------------------------------
+    # application-facing API
+    # ------------------------------------------------------------------
+    def publish(self, packet: StreamPacket) -> None:
+        """Source entry point (Algorithm 1, `publish`): deliver locally and
+        gossip the fresh id immediately."""
+        self._deliver(packet)
+        self._to_propose.remove(packet.packet_id)
+        self._gossip([packet.packet_id])
+
+    def has_packet(self, packet_id: int) -> bool:
+        return packet_id in self._store
+
+    def delivered_count(self) -> int:
+        return len(self.log)
+
+    # ------------------------------------------------------------------
+    # phase 1: propose
+    # ------------------------------------------------------------------
+    def _on_gossip_tick(self) -> None:
+        self.rounds += 1
+        if not self._to_propose:
+            return
+        ids = self._to_propose
+        self._to_propose = []  # infect and die
+        self._gossip(ids)
+
+    def _gossip(self, ids: List[int]) -> None:
+        fanout = self.get_fanout()
+        self.partners_per_round.append(fanout)
+        if fanout <= 0:
+            return
+        partners = self.selector.select(self.view, fanout)
+        if not partners:
+            return
+        proposal = Propose(ids)
+        for partner in partners:
+            self._net.send(self.node_id, partner, proposal)
+            self.proposes_sent += 1
+
+    # ------------------------------------------------------------------
+    # phase 2: request
+    # ------------------------------------------------------------------
+    def _on_propose(self, src: int, proposal: Propose) -> None:
+        wanted = [packet_id for packet_id in proposal.ids
+                  if packet_id not in self._requested]
+        if not wanted:
+            return
+        self._requested.update(wanted)
+        self._send_request(src, wanted)
+        if self._retransmission is not None:
+            self._retransmission.track(src, wanted)
+
+    def _send_request(self, peer: int, ids: List[int]) -> None:
+        self._net.send(self.node_id, peer, Request(ids))
+        self.requests_sent += 1
+        if self.on_request_sent is not None:
+            self.on_request_sent(peer, len(ids))
+
+    # ------------------------------------------------------------------
+    # phase 3: serve
+    # ------------------------------------------------------------------
+    def _on_request(self, src: int, request: Request) -> None:
+        packets = [self._store[packet_id] for packet_id in request.ids
+                   if packet_id in self._store]
+        if not packets:
+            return
+        self._net.send(self.node_id, src, Serve(packets))
+        self.serves_sent += 1
+        self.packets_served += len(packets)
+
+    def _on_serve(self, src: int, serve: Serve) -> None:
+        if self.on_serve_received is not None:
+            self.on_serve_received(src, len(serve.packets))
+        for packet in serve.packets:
+            if packet.packet_id not in self._store:
+                self._deliver(packet)
+
+    def _deliver(self, packet: StreamPacket) -> None:
+        self._store[packet.packet_id] = packet
+        self.log.record(packet.packet_id, self._sim.now)
+        self._to_propose.append(packet.packet_id)
+        # A delivered id must never be requested again.
+        self._requested.add(packet.packet_id)
+        if self.on_deliver is not None:
+            self.on_deliver(packet, self._sim.now)
+
+    # ------------------------------------------------------------------
+    # network plumbing
+    # ------------------------------------------------------------------
+    def on_message(self, envelope: Envelope) -> None:
+        payload = envelope.payload
+        kind = payload.kind
+        if kind == "propose":
+            self._on_propose(envelope.src, payload)
+        elif kind == "request":
+            self._on_request(envelope.src, payload)
+        elif kind == "serve":
+            self._on_serve(envelope.src, payload)
+        else:
+            self._on_other_message(envelope)
+
+    def _on_other_message(self, envelope: Envelope) -> None:
+        """Dispatch non-dissemination payloads to co-hosted protocols."""
+        handler = self.extra_handlers.get(envelope.payload.kind)
+        if handler is not None:
+            handler(envelope)
+
+    # ------------------------------------------------------------------
+    # diagnostics
+    # ------------------------------------------------------------------
+    @property
+    def retransmission_stats(self) -> Optional[RetransmissionManager]:
+        return self._retransmission
+
+    def mean_partners_per_round(self) -> float:
+        if not self.partners_per_round:
+            return 0.0
+        return sum(self.partners_per_round) / len(self.partners_per_round)

@@ -1,0 +1,99 @@
+"""Join-time upload-capability discovery (slow start).
+
+The paper's §2.2 offers two sources for a node's advertised capability:
+a user-configured maximum, or "computed, when joining, by a simple
+heuristic to discover the node's upload capability, e.g., starting with
+a very low capability while trying to upload as much as possible in
+order to reach its maximal capability" (citing Zhang et al.'s universal
+IP multicast work).  This module implements that heuristic:
+
+* the node *advertises* a low initial capability;
+* every probe period it compares its recent uplink throughput to the
+  advertised value: if it managed to fill a large fraction of what it
+  advertised, the advertisement grows multiplicatively (there may be
+  headroom); if actual usage sits far below, the advertisement decays
+  toward observed reality;
+* the advertisement never exceeds the physical ceiling (discovered by
+  the transport: in our simulator the uplink's configured capacity).
+
+The result feeds HEAP's fanout adaptation in place of a static value,
+so a node that joins conservatively ramps its contribution up within a
+few probe periods — and a node whose effective capacity degrades (the
+paper's overloaded PlanetLab hosts) ramps back down.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.net.bandwidth import UplinkQueue
+from repro.sim.engine import Simulator
+from repro.sim.timers import PeriodicTimer
+
+
+class CapabilityProber:
+    """Slow-start estimator of a node's usable upload capability."""
+
+    def __init__(self, sim: Simulator, uplink: UplinkQueue,
+                 initial_bps: float = 64_000.0,
+                 ceiling_bps: Optional[float] = None,
+                 probe_period: float = 1.0,
+                 growth: float = 1.5,
+                 decay: float = 0.8,
+                 high_watermark: float = 0.8,
+                 low_watermark: float = 0.3,
+                 on_change: Optional[Callable[[float], None]] = None):
+        if initial_bps <= 0:
+            raise ValueError("initial capability must be positive")
+        if not 0.0 < decay < 1.0 < growth:
+            raise ValueError("need decay in (0,1) and growth > 1")
+        if not 0.0 <= low_watermark < high_watermark <= 1.0:
+            raise ValueError("watermarks must satisfy 0 <= low < high <= 1")
+        self._sim = sim
+        self._uplink = uplink
+        self.advertised_bps = initial_bps
+        self.ceiling_bps = ceiling_bps
+        self.probe_period = probe_period
+        self.growth = growth
+        self.decay = decay
+        self.high_watermark = high_watermark
+        self.low_watermark = low_watermark
+        self._on_change = on_change
+        self._bytes_at_last_probe = uplink.bytes_sent
+        self.probes = 0
+        self._timer = PeriodicTimer(sim, probe_period, self._probe)
+
+    def start(self, phase: Optional[float] = None) -> None:
+        self._bytes_at_last_probe = self._uplink.bytes_sent
+        self._timer.start(phase)
+
+    def stop(self) -> None:
+        self._timer.stop()
+
+    # ------------------------------------------------------------------
+    def observed_rate_bps(self) -> float:
+        """Upload rate over the last probe period."""
+        sent = self._uplink.bytes_sent - self._bytes_at_last_probe
+        return sent * 8.0 / self.probe_period
+
+    def _probe(self) -> None:
+        self.probes += 1
+        observed = self.observed_rate_bps()
+        self._bytes_at_last_probe = self._uplink.bytes_sent
+        previous = self.advertised_bps
+        utilization = observed / self.advertised_bps
+        if utilization >= self.high_watermark:
+            # We filled what we advertised: there may be headroom above.
+            self.advertised_bps *= self.growth
+        elif 0 < utilization < self.low_watermark:
+            # Far under-used *while traffic flows*: decay toward what is
+            # actually moving (a degraded uplink, or inflated claims).
+            # A completely idle period is no evidence either way — the
+            # node may simply not have been asked — so we hold steady.
+            self.advertised_bps = max(observed,
+                                      self.advertised_bps * self.decay)
+        ceiling = self.ceiling_bps
+        if ceiling is not None and self.advertised_bps > ceiling:
+            self.advertised_bps = ceiling
+        if self.advertised_bps != previous and self._on_change is not None:
+            self._on_change(self.advertised_bps)

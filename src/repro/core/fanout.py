@@ -1,0 +1,109 @@
+"""Fanout policies.
+
+The fanout is the paper's "obvious knob to adapt the contribution of a
+node": every gossip round a node proposes to ``fanout`` partners.
+:class:`FixedFanout` is standard gossip; :class:`AdaptiveFanout` is
+HEAP's Equation (1): ``f_p = f * b_p / b_avg`` with the average estimated
+by the aggregation protocol.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Callable, Optional
+
+
+def ln_fanout(n: int, c: float = 1.4) -> float:
+    """The theoretical reliability threshold fanout ``ln(n) + c``.
+
+    For n=270 and the default headroom c this gives ~7, the paper's value.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n!r}")
+    return math.log(n) + c
+
+
+def quantize_fanout(value: float, mode: str, rng: Optional[random.Random]) -> int:
+    """Turn a fractional fanout into a per-round integer.
+
+    ``stochastic`` mode randomizes between floor and ceil with probability
+    equal to the fractional part, so the *average* number of partners per
+    round equals ``value`` exactly — important because HEAP's reliability
+    argument is about the average fanout across nodes.
+    """
+    if value <= 0:
+        return 0
+    if mode == "round":
+        return int(round(value))
+    if mode == "stochastic":
+        if rng is None:
+            raise ValueError("stochastic rounding needs an rng")
+        floor = math.floor(value)
+        fraction = value - floor
+        if fraction > 0 and rng.random() < fraction:
+            return floor + 1
+        return floor
+    raise ValueError(f"unknown rounding mode {mode!r}")
+
+
+class FixedFanout:
+    """Standard gossip: the same fanout every round at every node."""
+
+    def __init__(self, fanout: float, mode: str = "round",
+                 rng: Optional[random.Random] = None):
+        if fanout < 0:
+            raise ValueError(f"fanout must be >= 0, got {fanout!r}")
+        self.fanout = fanout
+        self.mode = mode
+        self._rng = rng
+
+    def current(self) -> float:
+        return self.fanout
+
+    def partners_this_round(self) -> int:
+        return quantize_fanout(self.fanout, self.mode, self._rng)
+
+
+class AdaptiveFanout:
+    """HEAP's Equation (1): fanout proportional to relative capability.
+
+    ``capability`` returns the node's own (current) upload capability;
+    ``average_estimate`` returns the aggregation protocol's estimate of
+    the system average.  Bounds implement the paper's reliability floor
+    (fanout >= min_fanout so the dissemination stays connected through
+    the source) and the optional superpeer cap ablation.
+    """
+
+    def __init__(self, base_fanout: float,
+                 capability: Callable[[], float],
+                 average_estimate: Callable[[], float],
+                 min_fanout: float = 1.0,
+                 max_fanout: float = 0.0,
+                 mode: str = "stochastic",
+                 rng: Optional[random.Random] = None):
+        if base_fanout < 1:
+            raise ValueError(f"base fanout must be >= 1, got {base_fanout!r}")
+        self.base_fanout = base_fanout
+        self._capability = capability
+        self._average_estimate = average_estimate
+        self.min_fanout = min_fanout
+        self.max_fanout = max_fanout
+        self.mode = mode
+        self._rng = rng
+
+    def current(self) -> float:
+        """The fractional adapted fanout ``f * b_p / b_avg`` (bounded)."""
+        average = self._average_estimate()
+        if average <= 0:
+            value = self.base_fanout
+        else:
+            value = self.base_fanout * self._capability() / average
+        if value < self.min_fanout:
+            value = self.min_fanout
+        if self.max_fanout and value > self.max_fanout:
+            value = self.max_fanout
+        return value
+
+    def partners_this_round(self) -> int:
+        return quantize_fanout(self.current(), self.mode, self._rng)

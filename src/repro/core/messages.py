@@ -1,0 +1,69 @@
+"""The three dissemination message types of the push-request-push scheme.
+
+Wire sizes drive uplink serialization delay: [Propose] and [Request] are
+small (a handful of 8-byte ids), [Serve] carries full 1316-byte payloads.
+That asymmetry — cheap control plane, expensive data plane — is what lets
+HEAP steer load by steering *proposals*.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.streaming.packets import StreamPacket
+
+#: Fixed protocol header bytes inside a datagram payload.
+HEADER_BYTES = 8
+#: Bytes per event id.
+ID_BYTES = 8
+#: Per-packet framing bytes in a serve message (id + length).
+SERVE_PACKET_OVERHEAD = 12
+
+
+class Propose:
+    """Phase 1: push event ids to gossip partners."""
+
+    kind = "propose"
+    __slots__ = ("ids",)
+
+    def __init__(self, ids: Sequence[int]):
+        self.ids = tuple(ids)
+
+    def wire_size(self) -> int:
+        return HEADER_BYTES + ID_BYTES * len(self.ids)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Propose({len(self.ids)} ids)"
+
+
+class Request:
+    """Phase 2: pull the event ids the receiver still misses."""
+
+    kind = "request"
+    __slots__ = ("ids",)
+
+    def __init__(self, ids: Sequence[int]):
+        self.ids = tuple(ids)
+
+    def wire_size(self) -> int:
+        return HEADER_BYTES + ID_BYTES * len(self.ids)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Request({len(self.ids)} ids)"
+
+
+class Serve:
+    """Phase 3: push the actual payloads for requested ids."""
+
+    kind = "serve"
+    __slots__ = ("packets",)
+
+    def __init__(self, packets: List[StreamPacket]):
+        self.packets = packets
+
+    def wire_size(self) -> int:
+        return HEADER_BYTES + sum(p.size_bytes + SERVE_PACKET_OVERHEAD
+                                  for p in self.packets)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Serve({len(self.packets)} packets)"

@@ -1,0 +1,70 @@
+"""Request retransmission (Algorithm 2, middle column).
+
+When a node requests ids from a proposer it arms a timer; if some ids are
+still undelivered when it fires, the node re-requests them from the same
+proposer (the paper's ``receive [Propose, eProposed]`` re-processing).
+After the retry budget is exhausted the ids are released from
+``eRequested`` so that a *different* proposer's next [Propose] can pick
+them up — without this, a single lost [Serve] would permanently hole the
+stream, which is why the paper pairs UDP with retransmission.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Sequence
+
+from repro.sim.engine import Simulator
+
+
+class RetransmissionManager:
+    """Tracks outstanding requests for one node."""
+
+    def __init__(self, sim: Simulator, period: float, max_retries: int,
+                 is_delivered: Callable[[int], bool],
+                 resend: Callable[[int, List[int]], None],
+                 release: Callable[[Iterable[int]], None]):
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period!r}")
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries!r}")
+        self._sim = sim
+        self.period = period
+        self.max_retries = max_retries
+        self._is_delivered = is_delivered
+        self._resend = resend
+        self._release = release
+        self.retransmissions = 0
+        self.abandoned = 0
+        self._outstanding = 0
+
+    # ------------------------------------------------------------------
+    def track(self, peer: int, ids: Sequence[int]) -> None:
+        """Arm a timer for a [Request] just sent to ``peer``."""
+        if not ids:
+            return
+        self._outstanding += 1
+        self._sim.schedule(
+            self.period, lambda: self._expire(peer, list(ids), retries_left=self.max_retries))
+
+    def outstanding(self) -> int:
+        """Number of armed timers (diagnostic)."""
+        return self._outstanding
+
+    # ------------------------------------------------------------------
+    def _expire(self, proposer: int, ids: List[int], retries_left: int) -> None:
+        self._outstanding -= 1
+        missing = [packet_id for packet_id in ids if not self._is_delivered(packet_id)]
+        if not missing:
+            return  # everything arrived; nothing to do
+        if retries_left > 0:
+            self.retransmissions += 1
+            self._resend(proposer, missing)
+            self._outstanding += 1
+            self._sim.schedule(
+                self.period,
+                lambda: self._expire(proposer, missing, retries_left - 1))
+        else:
+            # Give up on this proposer: free the ids so future proposals
+            # from other nodes can re-trigger a request.
+            self.abandoned += 1
+            self._release(missing)

@@ -1,0 +1,35 @@
+"""Standard homogeneous gossip (Algorithm 1).
+
+Every node uses the same constant fanout regardless of capability.  The
+paper's evaluation adds retransmission and bandwidth throttling to this
+baseline "to guarantee a fair comparison" — both live in the shared
+:class:`~repro.core.base.GossipNode` machinery, so the comparison here is
+equally fair: the only delta to HEAP is fanout adaptation.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.base import GossipNode
+from repro.core.config import GossipConfig
+from repro.core.fanout import FixedFanout
+from repro.membership.view import LocalView
+from repro.net.network import Network
+from repro.sim.engine import Simulator
+
+
+class StandardGossipNode(GossipNode):
+    """Homogeneous gossip: ``getFanout()`` returns the configured constant."""
+
+    def __init__(self, sim: Simulator, net: Network, node_id: int,
+                 view: LocalView, config: GossipConfig, rng: random.Random,
+                 capability_bps: float):
+        super().__init__(sim, net, node_id, view, config, rng, capability_bps)
+        self._policy = FixedFanout(config.fanout, mode="round", rng=rng)
+
+    def get_fanout(self) -> int:
+        return self._policy.partners_this_round()
+
+    def current_fanout(self) -> float:
+        return self._policy.current()

@@ -1,0 +1,13 @@
+"""Experiment harness: scenario execution and per-figure/table definitions.
+
+:mod:`repro.experiments.runner` turns a
+:class:`~repro.workloads.scenario.ScenarioConfig` into an
+:class:`~repro.experiments.runner.ExperimentResult`;
+:mod:`repro.experiments.figures` and :mod:`repro.experiments.tables`
+compute, for each figure and table of the paper's evaluation, the same
+rows/series the paper plots.
+"""
+
+from repro.experiments.runner import ExperimentResult, run_scenario
+
+__all__ = ["ExperimentResult", "run_scenario"]

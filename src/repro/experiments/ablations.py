@@ -1,0 +1,132 @@
+"""Ablation experiments for HEAP's design knobs.
+
+The paper's Section 5 names the levers this module explores:
+
+* the aggregation protocol's accuracy/overhead trade-off;
+* retransmission under datagram loss (UDP, "needs further research"
+  towards TCP-friendliness);
+* biasing neighbor selection towards rich nodes near the source
+  ("a natural way to further improve the quality of gossiping");
+* capping the adapted fanout (the superpeer concern: "elevate certain
+  wealthy nodes to the rank of temporary superpeers").
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Sequence
+
+from repro.analysis.stats import mean
+from repro.experiments.scales import Scale, cached_run, current_scale, scenario_at
+from repro.experiments.tables import TableResult
+from repro.metrics.lag import per_node_lag_jitter_free
+from repro.metrics.report import format_percent, format_seconds
+from repro.workloads.distributions import MS_691, REF_691
+
+
+def _mean_lag(result) -> float:
+    return mean(per_node_lag_jitter_free(result).values())
+
+
+def _offline_delivery(result) -> float:
+    total = result.total_packets
+    return mean(result.log_of(node_id).delivery_ratio(total)
+                for node_id in result.receiver_ids())
+
+
+def ablation_aggregation(scale: Scale = None,
+                         fanouts: Sequence[int] = (1, 3, 7),
+                         fresh_counts: Sequence[int] = (3, 10)) -> TableResult:
+    """Aggregation fanout / freshness vs estimate error and stream lag."""
+    scale = scale or current_scale()
+    rows = []
+    true_average = MS_691.average_bps()
+    for fanout in fanouts:
+        for fresh in fresh_counts:
+            config = scenario_at(scale, protocol="heap", distribution=MS_691)
+            config = config.with_(gossip=dataclasses.replace(
+                config.gossip, aggregation_fanout=fanout,
+                aggregation_fresh_count=fresh))
+            result = cached_run(config)
+            errors = [abs(node.average_capability_estimate() - true_average)
+                      / true_average
+                      for node in (result.nodes[node_id]
+                                   for node_id in result.receiver_ids())]
+            agg_bytes = result.net.stats.bytes_by_kind.get("aggregation", 0)
+            per_node_rate = agg_bytes / result.config.n_nodes / (
+                result.config.duration + result.config.drain)
+            rows.append([f"fanout={fanout}", f"fresh={fresh}",
+                         format_percent(100.0 * mean(errors)),
+                         f"{per_node_rate / 1024:.2f} KB/s",
+                         format_seconds(_mean_lag(result))])
+    return TableResult(
+        "Ablation: aggregation",
+        "capability-estimate error and overhead vs aggregation parameters "
+        "(HEAP, ms-691)",
+        rows, ["agg fanout", "fresh samples", "estimate error",
+               "agg traffic/node", "mean jitter-free lag"])
+
+
+def ablation_retransmission(scale: Scale = None,
+                            loss_rates: Sequence[float] = (0.0, 0.01, 0.03)) -> TableResult:
+    """Retransmission on/off across datagram loss rates."""
+    scale = scale or current_scale()
+    rows = []
+    for loss in loss_rates:
+        for retransmission in (True, False):
+            config = scenario_at(scale, protocol="heap", distribution=REF_691,
+                                 loss_rate=loss)
+            config = config.with_(gossip=dataclasses.replace(
+                config.gossip, retransmission=retransmission))
+            result = cached_run(config)
+            rows.append([f"loss={loss:.0%}",
+                         "on" if retransmission else "off",
+                         format_percent(100.0 * _offline_delivery(result)),
+                         format_seconds(_mean_lag(result))])
+    return TableResult(
+        "Ablation: retransmission",
+        "offline delivery and lag with/without request retransmission "
+        "(HEAP, ref-691)",
+        rows, ["loss rate", "retransmission", "offline delivery",
+               "mean jitter-free lag"])
+
+
+def ablation_source_bias(scale: Scale = None,
+                         biases: Sequence[float] = (0.0, 1.0, 2.0)) -> TableResult:
+    """Bias the source's first-hop selection towards rich nodes (§5)."""
+    scale = scale or current_scale()
+    rows = []
+    for bias in biases:
+        config = scenario_at(scale, protocol="heap", distribution=MS_691,
+                             source_bias=bias)
+        result = cached_run(config)
+        lags = sorted(per_node_lag_jitter_free(result).values())
+        median = lags[len(lags) // 2]
+        p90 = lags[int(0.9 * len(lags))]
+        rows.append([f"bias={bias:g}", format_seconds(median),
+                     format_seconds(p90), format_seconds(_mean_lag(result))])
+    return TableResult(
+        "Ablation: source bias",
+        "capability-biased first-hop selection at the source (HEAP, ms-691)",
+        rows, ["bias exponent", "median lag", "p90 lag", "mean lag"])
+
+
+def ablation_fanout_cap(scale: Scale = None,
+                        caps: Sequence[float] = (0.0, 10.0, 14.0, 21.0)) -> TableResult:
+    """Cap the adapted fanout (superpeer-risk knob; 0 = uncapped)."""
+    scale = scale or current_scale()
+    rows = []
+    for cap in caps:
+        config = scenario_at(scale, protocol="heap", distribution=MS_691)
+        config = config.with_(gossip=dataclasses.replace(
+            config.gossip, max_fanout=cap))
+        result = cached_run(config)
+        rich_fanouts = [result.nodes[node_id].current_fanout()
+                        for node_id in result.receivers_in_class("3Mbps")]
+        rows.append(["uncapped" if cap == 0 else f"cap={cap:g}",
+                     f"{mean(rich_fanouts):.1f}" if rich_fanouts else "n/a",
+                     format_seconds(_mean_lag(result))])
+    return TableResult(
+        "Ablation: fanout cap",
+        "bounding the adapted fanout of rich nodes (HEAP, ms-691)",
+        rows, ["cap", "mean rich-node fanout", "mean jitter-free lag"])

@@ -1,0 +1,173 @@
+"""Extension experiments beyond the paper's headline evaluation.
+
+These exercise the forward-looking pieces the paper sketches:
+
+* **freeriders** (§5): quality impact of freeriding and the accuracy of
+  the gossip audit, for both attack variants;
+* **decentralized membership**: HEAP on Cyclon partial views instead of
+  full membership — the paper's protocols only assume a uniform sampler;
+* **capability discovery** (§2.2): slow-start advertised capabilities
+  instead of configured ones;
+* **size estimation**: the ``ln(n)+c`` fanout rule fed by the push-pull
+  size estimator instead of a known n.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.analysis.stats import mean
+from repro.experiments.runner import run_scenario
+from repro.experiments.scales import Scale, cached_run, current_scale, scenario_at
+from repro.experiments.tables import TableResult
+from repro.freeriders.analysis import (
+    convictions,
+    detection_accuracy,
+    honest_vs_freerider_contribution,
+)
+from repro.metrics.jitter import jitter_free_fraction_by_class
+from repro.metrics.lag import per_node_lag_jitter_free
+from repro.metrics.report import format_percent, format_seconds
+from repro.workloads.distributions import MS_691, REF_691
+
+
+def _mean_lag(result) -> float:
+    return mean(per_node_lag_jitter_free(result).values())
+
+
+def ext_freeriders(scale: Scale = None,
+                   fractions: Sequence[float] = (0.0, 0.1, 0.3)) -> TableResult:
+    """Freerider impact and detection, by fraction and mode."""
+    scale = scale or current_scale()
+    rows = []
+    for mode, param in (("nonserve", 0.2), ("underclaim", 0.1)):
+        for fraction in fractions:
+            if fraction == 0.0 and mode == "underclaim":
+                continue  # identical to the nonserve fraction-0 row
+            config = scenario_at(scale, protocol="heap", distribution=REF_691,
+                                 freerider_fraction=fraction,
+                                 freerider_mode=mode,
+                                 freerider_param=param, audit=True)
+            result = cached_run(config) if fraction == 0 else run_scenario(config)
+            quality = jitter_free_fraction_by_class(result, 10.0)
+            honest_quality = mean(quality.values())
+            if fraction > 0:
+                convicted = convictions(result)
+                accuracy = detection_accuracy(result, convicted)
+                gap = honest_vs_freerider_contribution(result)
+                detection = (f"P={accuracy.precision:.2f} "
+                             f"R={accuracy.recall:.2f}")
+                contribution = f"{gap['freeriders']:.2f}/{gap['honest']:.2f}"
+            else:
+                detection = "-"
+                contribution = "-"
+            rows.append([mode, f"{fraction:.0%}",
+                         format_percent(honest_quality),
+                         format_seconds(_mean_lag(result)),
+                         detection, contribution])
+    return TableResult(
+        "Extension: freeriders",
+        "freeriding impact and gossip-audit accuracy (HEAP, ref-691; "
+        "contribution column: freerider/honest served-to-consumed index)",
+        rows, ["mode", "fraction", "jitter-free@10s", "mean lag",
+               "detection", "contribution"])
+
+
+def ext_membership(scale: Scale = None) -> TableResult:
+    """Full membership vs Cyclon partial views."""
+    scale = scale or current_scale()
+    rows = []
+    for membership in ("directory", "cyclon"):
+        for protocol in ("standard", "heap"):
+            result = cached_run(scenario_at(scale, protocol=protocol,
+                                            distribution=REF_691,
+                                            membership=membership))
+            lags = per_node_lag_jitter_free(result)
+            import math
+            reached = sum(1 for lag in lags.values() if math.isfinite(lag))
+            rows.append([membership, protocol,
+                         f"{reached}/{len(lags)}",
+                         format_seconds(_mean_lag(result))])
+    return TableResult(
+        "Extension: membership",
+        "full-membership directory vs Cyclon partial views (ref-691)",
+        rows, ["membership", "protocol", "nodes reached (jitter-free)",
+               "mean lag"])
+
+
+def ext_capability_discovery(scale: Scale = None) -> TableResult:
+    """Configured capabilities vs join-time slow-start discovery."""
+    scale = scale or current_scale()
+    rows = []
+    for discovery in (False, True):
+        result = cached_run(scenario_at(scale, protocol="heap",
+                                        distribution=MS_691,
+                                        capability_discovery=discovery))
+        quality = jitter_free_fraction_by_class(result, 10.0)
+        # How close did advertised capabilities get to the truth by the end?
+        gaps = []
+        for node_id in result.receiver_ids():
+            node = result.nodes[node_id]
+            gaps.append(node.capability_bps / result.capacity_of(node_id))
+        rows.append(["discovery" if discovery else "configured",
+                     format_percent(mean(quality.values())),
+                     format_seconds(_mean_lag(result)),
+                     f"{mean(gaps):.2f}"])
+    return TableResult(
+        "Extension: capability discovery",
+        "slow-start capability discovery vs configured capabilities "
+        "(HEAP, ms-691; last column: advertised/true capability at end)",
+        rows, ["capabilities", "jitter-free@10s", "mean lag",
+               "advertised/true"])
+
+
+def ext_size_estimation(populations: Sequence[int] = (30, 80, 200),
+                        seed: int = 17) -> TableResult:
+    """Accuracy of the push-pull size estimator across populations."""
+    from repro.core.size_estimation import SizeEstimator
+    from repro.membership.directory import MembershipDirectory
+    from repro.net.latency import ConstantLatency
+    from repro.net.network import Network
+    from repro.sim.engine import Simulator
+
+    class _Endpoint:
+        def __init__(self, estimator):
+            self.estimator = estimator
+
+        def on_message(self, envelope):
+            self.estimator.on_message(envelope)
+
+    rows = []
+    for n in populations:
+        sim = Simulator()
+        net = Network(sim, latency=ConstantLatency(0.02))
+        directory = MembershipDirectory(sim, random.Random(seed),
+                                        mean_detection_delay=0.0)
+        directory.register_all(range(n))
+        estimators = []
+        for node_id in range(n):
+            estimator = SizeEstimator(sim, net, node_id,
+                                      directory.view_of(node_id),
+                                      random.Random(seed * 271 + node_id),
+                                      is_leader=(node_id == 0),
+                                      rounds_per_epoch=40)
+            net.attach(node_id, _Endpoint(estimator), 10e6)
+            estimators.append(estimator)
+        for estimator in estimators:
+            estimator.start()
+        sim.run(until=30.0)
+        estimates = [e.estimate() for e in estimators
+                     if e.estimate() is not None]
+        fanouts = [e.fanout_for_estimate() for e in estimators]
+        rows.append([str(n),
+                     f"{mean(estimates):.1f}" if estimates else "n/a",
+                     format_percent(100.0 * mean(
+                         abs(est - n) / n for est in estimates))
+                     if estimates else "n/a",
+                     f"{mean(fanouts):.2f}"])
+    return TableResult(
+        "Extension: size estimation",
+        "push-pull averaging size estimator: mean estimate, error and the "
+        "ln(n)+c fanout it implies",
+        rows, ["true n", "mean estimate", "mean error", "implied fanout"])

@@ -1,0 +1,290 @@
+"""Per-figure experiment definitions.
+
+Each ``figN_*`` function runs the scenarios behind the corresponding
+figure of the paper's evaluation and returns a result object whose
+``render()`` produces the same rows/series the figure plots, as an ASCII
+table.  Benches call these; examples reuse the cheaper ones.
+
+Lag CDFs follow the paper's two criteria:
+
+* Figures 1-3: minimal lag to receive >= 99 % of all stream packets;
+* Figure 9: minimal lag for a jitter-free (or <= 1 % jittered) stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analysis.cdf import Cdf
+from repro.experiments.scales import Scale, cached_run, current_scale, scenario_at
+from repro.metrics.bandwidth import utilization_by_class
+from repro.metrics.jitter import jitter_cdf, jitter_free_fraction_by_class
+from repro.metrics.lag import (
+    lag_cdf_delivery_ratio,
+    lag_cdf_jitter_free,
+    lag_cdf_max_jitter,
+    mean_lag_by_class,
+)
+from repro.metrics.report import ascii_table, cdf_row, format_percent, format_seconds
+from repro.metrics.windows import window_delivery_over_time
+from repro.streaming.player import OFFLINE
+from repro.workloads.churn import CatastrophicFailure
+from repro.workloads.distributions import (
+    MS_691,
+    REF_691,
+    REF_724,
+    UNCONSTRAINED,
+    UNIFORM_691,
+)
+
+#: Lag values (seconds) at which CDF tables are sampled.
+LAG_GRID = (1.0, 2.0, 5.0, 10.0, 15.0, 20.0, 30.0, 45.0, 60.0)
+#: Jitter percentages at which Figure 7's CDF is sampled.
+JITTER_GRID = (0.0, 1.0, 5.0, 10.0, 20.0, 50.0, 90.0)
+
+
+@dataclass
+class FigureResult:
+    """A rendered figure: named CDF/series rows plus the ASCII table."""
+
+    figure: str
+    description: str
+    rows: List[Sequence[str]]
+    headers: Sequence[str]
+    extra: Dict[str, object] = field(default_factory=dict)
+
+    def render(self) -> str:
+        title = f"[{self.figure}] {self.description}"
+        return ascii_table(self.headers, self.rows, title=title)
+
+
+def _lag_headers() -> List[str]:
+    return ["series"] + [f"<={int(x)}s" for x in LAG_GRID]
+
+
+# ----------------------------------------------------------------------
+# Figure 1 — unconstrained uplinks, standard gossip, fanout 7
+# ----------------------------------------------------------------------
+def fig1_unconstrained(scale: Scale = None) -> FigureResult:
+    scale = scale or current_scale()
+    config = scenario_at(scale, protocol="standard", distribution=UNCONSTRAINED)
+    result = cached_run(config)
+    cdf = lag_cdf_delivery_ratio(result, ratio=0.99)
+    rows = [cdf_row("standard f=7, unconstrained, 99% delivery", cdf, LAG_GRID)]
+    percentiles = {q: cdf.percentile(q) for q in (0.5, 0.75, 0.9)}
+    return FigureResult(
+        "Fig 1", "percentage of nodes receiving >=99% of the stream vs lag "
+        "(unconstrained uplinks)", rows, _lag_headers(),
+        extra={"cdf": cdf, "percentiles": percentiles})
+
+
+# ----------------------------------------------------------------------
+# Figure 2 — fanout sweep on dist1 (ms-691) and dist2 (uniform-691)
+# ----------------------------------------------------------------------
+def fig2_fanout_sweep(scale: Scale = None,
+                      fanouts_dist1: Sequence[float] = (7, 15, 20, 25, 30),
+                      fanouts_dist2: Sequence[float] = (7, 15, 20)) -> FigureResult:
+    # Eight runs: default to the reduced sweep population unless the
+    # caller pins a scale explicitly.
+    if scale is None:
+        from repro.experiments.scales import SWEEP
+        scale = SWEEP if current_scale().name == "default" else current_scale()
+    rows = []
+    cdfs: Dict[str, Cdf] = {}
+    for dist, fanouts in ((MS_691, fanouts_dist1), (UNIFORM_691, fanouts_dist2)):
+        for fanout in fanouts:
+            config = scenario_at(scale, protocol="standard", distribution=dist)
+            config = config.with_(gossip=config.gossip.__class__(fanout=float(fanout)))
+            result = cached_run(config)
+            cdf = lag_cdf_delivery_ratio(result, ratio=0.99)
+            label = f"f={int(fanout)} {'dist1' if dist is MS_691 else 'dist2'}"
+            cdfs[label] = cdf
+            rows.append(cdf_row(label, cdf, LAG_GRID))
+    return FigureResult(
+        "Fig 2", "fanout sweep under constrained heterogeneous uplinks "
+        "(dist1 = ms-691, dist2 = uniform-691; same 691 kbps average)",
+        rows, _lag_headers(), extra={"cdfs": cdfs})
+
+
+# ----------------------------------------------------------------------
+# Figure 3 — HEAP on dist1
+# ----------------------------------------------------------------------
+def fig3_heap_dist1(scale: Scale = None) -> FigureResult:
+    scale = scale or current_scale()
+    config = scenario_at(scale, protocol="heap", distribution=MS_691)
+    result = cached_run(config)
+    cdf = lag_cdf_delivery_ratio(result, ratio=0.99)
+    std = cached_run(scenario_at(scale, protocol="standard", distribution=MS_691))
+    std_cdf = lag_cdf_delivery_ratio(std, ratio=0.99)
+    rows = [cdf_row("HEAP avg f=7, dist1, 99% delivery", cdf, LAG_GRID),
+            cdf_row("standard f=7, dist1 (Fig 2 reference)", std_cdf, LAG_GRID)]
+    percentiles = {q: cdf.percentile(q) for q in (0.5, 0.75, 0.9)}
+    return FigureResult(
+        "Fig 3", "HEAP on the skewed dist1: lag CDF at 99% delivery",
+        rows, _lag_headers(), extra={"cdf": cdf, "percentiles": percentiles})
+
+
+# ----------------------------------------------------------------------
+# Figure 4 — bandwidth usage by class
+# ----------------------------------------------------------------------
+def fig4_bandwidth_usage(scale: Scale = None) -> FigureResult:
+    scale = scale or current_scale()
+    rows = []
+    usage: Dict[Tuple[str, str], Dict[str, float]] = {}
+    for dist, sub in ((REF_691, "4a"), (MS_691, "4b")):
+        for protocol in ("standard", "heap"):
+            result = cached_run(scenario_at(scale, protocol=protocol,
+                                            distribution=dist))
+            util = utilization_by_class(result)
+            usage[(sub, protocol)] = util
+            for label, value in util.items():
+                rows.append([sub, dist.name, protocol, label,
+                             format_percent(value)])
+    return FigureResult(
+        "Fig 4", "average bandwidth usage by bandwidth class",
+        rows, ["panel", "distribution", "protocol", "class", "usage"],
+        extra={"usage": usage})
+
+
+# ----------------------------------------------------------------------
+# Figures 5 and 6 — jitter-free window percentage by class (10 s lag)
+# ----------------------------------------------------------------------
+def _quality_rows(dist, scale: Scale, lag: float):
+    rows = []
+    data = {}
+    for protocol in ("standard", "heap"):
+        result = cached_run(scenario_at(scale, protocol=protocol,
+                                        distribution=dist))
+        fractions = jitter_free_fraction_by_class(result, lag)
+        data[protocol] = fractions
+        for label, value in fractions.items():
+            rows.append([dist.name, protocol, label, format_percent(value)])
+    return rows, data
+
+
+def fig5_quality_ref691(scale: Scale = None, lag: float = 10.0) -> FigureResult:
+    scale = scale or current_scale()
+    rows, data = _quality_rows(REF_691, scale, lag)
+    return FigureResult(
+        "Fig 5", f"jitter-free percentage of the stream by class (ref-691, "
+        f"{lag:.0f}s lag)", rows,
+        ["distribution", "protocol", "class", "jitter-free windows"],
+        extra={"data": data})
+
+
+def fig6_quality_classes(scale: Scale = None, lag: float = 10.0) -> FigureResult:
+    scale = scale or current_scale()
+    rows_a, data_a = _quality_rows(MS_691, scale, lag)
+    rows_b, data_b = _quality_rows(REF_724, scale, lag)
+    return FigureResult(
+        "Fig 6", f"jitter-free percentage by class (6a: ms-691, 6b: ref-724; "
+        f"{lag:.0f}s lag)", rows_a + rows_b,
+        ["distribution", "protocol", "class", "jitter-free windows"],
+        extra={"ms-691": data_a, "ref-724": data_b})
+
+
+# ----------------------------------------------------------------------
+# Figure 7 — CDF of experienced jitter (ref-691)
+# ----------------------------------------------------------------------
+def fig7_jitter_cdf(scale: Scale = None, lag: float = 10.0) -> FigureResult:
+    scale = scale or current_scale()
+    rows = []
+    cdfs = {}
+    for protocol in ("standard", "heap"):
+        result = cached_run(scenario_at(scale, protocol=protocol,
+                                        distribution=REF_691))
+        for mode, mode_lag in ((f"{lag:.0f}s lag", lag), ("offline", OFFLINE)):
+            cdf = jitter_cdf(result, mode_lag)
+            label = f"{protocol} - {mode}"
+            cdfs[label] = cdf
+            rows.append(cdf_row(label, cdf, JITTER_GRID))
+    headers = ["series"] + [f"<={int(x)}% jitter" for x in JITTER_GRID]
+    return FigureResult(
+        "Fig 7", "cumulative distribution of nodes vs experienced jitter "
+        "(ref-691)", rows, headers, extra={"cdfs": cdfs})
+
+
+# ----------------------------------------------------------------------
+# Figure 8 — average lag for a jitter-free stream by class
+# ----------------------------------------------------------------------
+def fig8_lag_by_class(scale: Scale = None) -> FigureResult:
+    scale = scale or current_scale()
+    rows = []
+    data = {}
+    for dist, sub in ((REF_691, "8a"), (MS_691, "8b")):
+        for protocol in ("standard", "heap"):
+            result = cached_run(scenario_at(scale, protocol=protocol,
+                                            distribution=dist))
+            means = mean_lag_by_class(result)
+            data[(sub, protocol)] = means
+            for label, value in means.items():
+                rows.append([sub, dist.name, protocol, label,
+                             format_seconds(value)])
+    return FigureResult(
+        "Fig 8", "average stream lag to obtain a jitter-free stream, by class",
+        rows, ["panel", "distribution", "protocol", "class", "mean lag"],
+        extra={"data": data})
+
+
+# ----------------------------------------------------------------------
+# Figure 9 — lag CDFs, no-jitter and max-1%-jitter
+# ----------------------------------------------------------------------
+def fig9_lag_cdf(scale: Scale = None) -> FigureResult:
+    scale = scale or current_scale()
+    rows = []
+    cdfs = {}
+    for dist, sub in ((REF_691, "9a"), (MS_691, "9b")):
+        for protocol in ("standard", "heap"):
+            result = cached_run(scenario_at(scale, protocol=protocol,
+                                            distribution=dist))
+            for mode, cdf in (("no jitter", lag_cdf_jitter_free(result)),
+                              ("max 1% jitter", lag_cdf_max_jitter(result, 0.01))):
+                label = f"{sub} {protocol} - {mode}"
+                cdfs[label] = cdf
+                rows.append(cdf_row(label, cdf, LAG_GRID))
+    return FigureResult(
+        "Fig 9", "cumulative distribution of nodes vs stream lag "
+        "(9a: ref-691, 9b: ms-691)", rows, _lag_headers(), extra={"cdfs": cdfs})
+
+
+# ----------------------------------------------------------------------
+# Figure 10 — catastrophic failures
+# ----------------------------------------------------------------------
+def fig10_churn(scale: Scale = None, fraction: float = 0.2,
+                failure_time: float = None) -> FigureResult:
+    """One churn panel (10a: fraction=0.2, 10b: fraction=0.5).
+
+    The failure fires at 1/3 of the stream (t=60 s of 180 s in the paper),
+    scaled to the configured duration unless ``failure_time`` is given.
+    """
+    scale = scale or current_scale()
+    # Churn needs stream both well before and well after the failure
+    # (detection alone takes ~10 s), so enforce a minimum duration.
+    duration = max(scale.duration, 45.0)
+    rows = []
+    series_by_label = {}
+    base = scenario_at(scale, protocol="heap")
+    at_time = (failure_time if failure_time is not None
+               else base.stream_start + duration / 3.0)
+    for protocol, lag in (("heap", 12.0), ("standard", 20.0), ("standard", 30.0)):
+        config = scenario_at(
+            scale, protocol=protocol, distribution=REF_691, duration=duration,
+            churn=CatastrophicFailure(fraction=fraction, at_time=at_time))
+        result = cached_run(config)
+        series = window_delivery_over_time(result, lag=lag)
+        label = f"{protocol} - {lag:.0f}s lag"
+        series_by_label[label] = series
+        # Sample the series into before / around / after the failure.
+        before = [f for _, t, f in series if t < at_time - 5]
+        around = [f for _, t, f in series if at_time - 5 <= t <= at_time + 15]
+        after = [f for _, t, f in series if t > at_time + 15]
+        def _avg(vals):
+            return format_percent(sum(vals) / len(vals)) if vals else "n/a"
+        rows.append([label, _avg(before), _avg(around), _avg(after)])
+    return FigureResult(
+        f"Fig 10 ({fraction:.0%} crash)",
+        f"percentage of nodes decoding each window; {fraction:.0%} of nodes "
+        f"crash at t={at_time:.0f}s (ref-691)",
+        rows, ["series", "before failure", "during failure", "after failure"],
+        extra={"series": series_by_label, "failure_time": at_time})

@@ -1,0 +1,89 @@
+"""Multi-seed experiment aggregation.
+
+Single-run numbers from a randomized protocol carry run-to-run noise;
+a credible comparison reports mean and dispersion across seeds.  This
+module runs one scenario under several seeds and aggregates arbitrary
+scalar metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+from repro.analysis.stats import mean, stdev
+from repro.experiments.runner import ExperimentResult, run_scenario
+from repro.workloads.scenario import ScenarioConfig
+
+#: A metric maps a finished run to one scalar.
+Metric = Callable[[ExperimentResult], float]
+
+
+@dataclass
+class AggregatedMetric:
+    """Mean and dispersion of one metric across seeds."""
+
+    name: str
+    values: List[float]
+
+    @property
+    def mean(self) -> float:
+        return mean(self.values)
+
+    @property
+    def stdev(self) -> float:
+        return stdev(self.values)
+
+    @property
+    def min(self) -> float:
+        return min(self.values)
+
+    @property
+    def max(self) -> float:
+        return max(self.values)
+
+    def summary(self) -> str:
+        return (f"{self.name}: {self.mean:.3f} +- {self.stdev:.3f} "
+                f"[{self.min:.3f}, {self.max:.3f}] over {len(self.values)} seeds")
+
+
+def run_seeds(config: ScenarioConfig, metrics: Dict[str, Metric],
+              seeds: Sequence[int]) -> Dict[str, AggregatedMetric]:
+    """Run ``config`` once per seed and aggregate each metric.
+
+    The churn object (if any) carries per-run state, so scenarios with
+    churn are rejected here — copy the config per seed yourself if you
+    need multi-seed churn studies.
+    """
+    if not seeds:
+        raise ValueError("need at least one seed")
+    if config.churn is not None:
+        raise ValueError("multi-seed runs do not support shared churn state")
+    collected: Dict[str, List[float]] = {name: [] for name in metrics}
+    for seed in seeds:
+        result = run_scenario(config.with_(seed=seed))
+        for name, metric in metrics.items():
+            collected[name].append(metric(result))
+    return {name: AggregatedMetric(name, values)
+            for name, values in collected.items()}
+
+
+# ----------------------------------------------------------------------
+# ready-made metrics
+# ----------------------------------------------------------------------
+def metric_mean_jitter_free_lag(result: ExperimentResult) -> float:
+    from repro.metrics.lag import per_node_lag_jitter_free
+    return mean(per_node_lag_jitter_free(result).values())
+
+
+def metric_offline_delivery(result: ExperimentResult) -> float:
+    total = result.total_packets
+    return mean(result.log_of(node_id).delivery_ratio(total)
+                for node_id in result.receiver_ids())
+
+
+def metric_jitter_free_fraction(lag: float) -> Metric:
+    def metric(result: ExperimentResult) -> float:
+        from repro.metrics.jitter import jitter_free_fraction_by_class
+        return mean(jitter_free_fraction_by_class(result, lag).values())
+    return metric

@@ -1,0 +1,326 @@
+"""Scenario execution: build the system, run it, collect results.
+
+The runner wires together every substrate — simulator, network fabric,
+membership directory, stream source, protocol nodes — from one
+:class:`~repro.workloads.scenario.ScenarioConfig`, runs to the scenario's
+horizon and returns an :class:`ExperimentResult` holding the receiver
+logs and enough context to compute any of the paper's metrics offline.
+
+Node 0 is always the stream source; nodes 1..n-1 are receivers whose
+upload capacities come from the scenario's capability distribution.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.baselines.tree import StaticTreeNode, build_kary_tree
+from repro.core.discovery import CapabilityProber
+from repro.core.heap import HeapGossipNode
+from repro.core.standard import StandardGossipNode
+from repro.freeriders.detection import FreeriderDetector
+from repro.freeriders.nodes import NonServingNode, UnderclaimingNode
+from repro.membership.directory import MembershipDirectory
+from repro.membership.peer_sampling import PeerSamplingService
+from repro.membership.selector import CapabilityBiasedSelector
+from repro.net.latency import PairwiseLatency
+from repro.net.loss import BernoulliLoss
+from repro.net.network import Network
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngRegistry
+from repro.streaming.player import PlaybackAnalyzer
+from repro.streaming.receiver import ReceiverLog
+from repro.streaming.source import StreamSource
+from repro.workloads.scenario import ScenarioConfig
+
+#: The stream source is always node 0.
+SOURCE_ID = 0
+
+
+class ExperimentResult:
+    """Everything a metric needs about one finished run."""
+
+    def __init__(self, config: ScenarioConfig, sim: Simulator, net: Network,
+                 directory: MembershipDirectory, nodes: List,
+                 publish_times: List[float], capacities: List[float],
+                 labels: List[str], crash_times: Dict[int, float],
+                 freerider_ids: Optional[List[int]] = None,
+                 detectors: Optional[Dict[int, FreeriderDetector]] = None,
+                 samplers: Optional[Dict[int, PeerSamplingService]] = None):
+        self.config = config
+        self.sim = sim
+        self.net = net
+        self.directory = directory
+        self.nodes = nodes
+        self.publish_times = publish_times
+        self.capacities = capacities
+        self.labels = labels
+        self.crash_times = crash_times
+        self.freerider_ids = freerider_ids or []
+        self.detectors = detectors or {}
+        self.samplers = samplers or {}
+
+    # ------------------------------------------------------------------
+    # stream geometry
+    # ------------------------------------------------------------------
+    @property
+    def total_packets(self) -> int:
+        return len(self.publish_times)
+
+    def windows(self) -> range:
+        """Ids of the fully published windows."""
+        return range(self.total_packets // self.config.stream.packets_per_window)
+
+    def analyzer(self) -> PlaybackAnalyzer:
+        return PlaybackAnalyzer(self.config.stream, self.publish_times.__getitem__)
+
+    # ------------------------------------------------------------------
+    # population accessors
+    # ------------------------------------------------------------------
+    def receiver_ids(self, include_crashed: bool = False) -> List[int]:
+        """All nodes except the source, optionally excluding crash victims."""
+        ids = []
+        for node_id in range(1, self.config.n_nodes):
+            if not include_crashed and node_id in self.crash_times:
+                continue
+            ids.append(node_id)
+        return ids
+
+    def log_of(self, node_id: int) -> ReceiverLog:
+        return self.nodes[node_id].log
+
+    def label_of(self, node_id: int) -> str:
+        return self.labels[node_id]
+
+    def capacity_of(self, node_id: int) -> float:
+        return self.capacities[node_id]
+
+    def class_labels(self) -> List[str]:
+        """Distinct receiver class labels, poorest (slowest) first."""
+        by_capacity: Dict[str, float] = {}
+        for node_id in range(1, self.config.n_nodes):
+            by_capacity.setdefault(self.labels[node_id], self.capacities[node_id])
+        return sorted(by_capacity, key=by_capacity.get)
+
+    def receivers_in_class(self, label: str, include_crashed: bool = False) -> List[int]:
+        return [node_id for node_id in self.receiver_ids(include_crashed)
+                if self.labels[node_id] == label]
+
+    # ------------------------------------------------------------------
+    # bandwidth accounting
+    # ------------------------------------------------------------------
+    def uplink_utilization(self, node_id: int) -> float:
+        """Fraction of the node's upload capability actually used, over
+        its lifetime inside the measurement interval."""
+        start = self.config.stream_start
+        end = self.crash_times.get(node_id, self.config.stream_start + self.config.duration)
+        elapsed = max(1e-9, end - start)
+        return self.net.uplink(node_id).utilization(elapsed)
+
+
+def _pick_freeriders(config: ScenarioConfig, registry: RngRegistry) -> List[int]:
+    if config.freerider_fraction <= 0:
+        return []
+    receivers = list(range(1, config.n_nodes))
+    count = round(config.freerider_fraction * len(receivers))
+    return sorted(registry.stream("freeriders").sample(receivers, count))
+
+
+def _build_gossip_nodes(config: ScenarioConfig, sim: Simulator, net: Network,
+                        views, registry: RngRegistry,
+                        capacities: Sequence[float],
+                        freerider_ids: Sequence[int]) -> List:
+    node_class = HeapGossipNode if config.protocol == "heap" else StandardGossipNode
+    freeriders = set(freerider_ids)
+    nodes = []
+    for node_id in range(config.n_nodes):
+        rng = registry.fork(f"node-{node_id}").stream("protocol")
+        if node_id in freeriders:
+            if config.freerider_mode == "underclaim":
+                node = UnderclaimingNode(sim, net, node_id, views[node_id],
+                                         config.gossip, rng, capacities[node_id],
+                                         claim_factor=config.freerider_param)
+            else:
+                node = NonServingNode(sim, net, node_id, views[node_id],
+                                      config.gossip, rng, capacities[node_id],
+                                      serve_probability=config.freerider_param)
+        else:
+            node = node_class(sim, net, node_id, views[node_id],
+                              config.gossip, rng, capacities[node_id])
+        nodes.append(node)
+    if config.source_bias > 0:
+        capability_of = lambda node_id: capacities[node_id]  # noqa: E731
+        nodes[SOURCE_ID].selector = CapabilityBiasedSelector(
+            registry.stream("source-bias"), capability_of, bias=config.source_bias)
+    return nodes
+
+
+def _build_tree_nodes(config: ScenarioConfig, sim: Simulator, net: Network,
+                      capacities: Sequence[float]) -> List:
+    # Tree arity mirrors the gossip fanout so the comparison is
+    # like-for-like in out-degree.
+    children = build_kary_tree(range(config.n_nodes), arity=int(config.gossip.fanout))
+    return [StaticTreeNode(sim, net, node_id, children[node_id], capacities[node_id])
+            for node_id in range(config.n_nodes)]
+
+
+def run_scenario(config: ScenarioConfig,
+                 until: Optional[float] = None) -> ExperimentResult:
+    """Run one scenario to completion and collect its result.
+
+    ``until`` overrides the horizon (rarely needed; tests use it).
+    """
+    config.validate()
+    sim = Simulator()
+    registry = RngRegistry(config.seed)
+
+    latency = PairwiseLatency(registry.stream("latency"),
+                              median_base=config.latency_median,
+                              jitter=config.latency_jitter)
+    loss = (BernoulliLoss(registry.stream("loss"), config.loss_rate)
+            if config.loss_rate > 0 else None)
+    net = Network(sim, latency=latency, loss=loss)
+
+    directory = MembershipDirectory(sim, registry.stream("detection"),
+                                    mean_detection_delay=config.mean_detection_delay)
+    directory.register_all(range(config.n_nodes))
+
+    # Capacity assignment: node 0 (source) fixed, receivers from the
+    # distribution.
+    assignment = config.distribution.assign(config.n_nodes - 1,
+                                            registry.stream("workload"))
+    labels = ["source"] + [label for label, _ in assignment]
+    capacities = [config.source_capacity_bps] + [cap for _, cap in assignment]
+
+    # Membership views: the directory's (full membership) or the
+    # peer-sampling service's partial views.
+    samplers: Dict[int, PeerSamplingService] = {}
+    if config.membership == "cyclon" and config.protocol != "tree":
+        boot_rng = registry.stream("cyclon-bootstrap")
+        for node_id in range(config.n_nodes):
+            sampler = PeerSamplingService(
+                sim, net, node_id,
+                registry.fork(f"cyclon-{node_id}").stream("shuffle"),
+                view_size=config.cyclon_view_size,
+                shuffle_length=max(2, config.cyclon_view_size // 2))
+            others = [n for n in range(config.n_nodes) if n != node_id]
+            sampler.bootstrap(boot_rng.sample(
+                others, min(config.cyclon_view_size, len(others))))
+            samplers[node_id] = sampler
+        views = {node_id: samplers[node_id].view
+                 for node_id in range(config.n_nodes)}
+    else:
+        views = {node_id: directory.view_of(node_id)
+                 for node_id in range(config.n_nodes)}
+
+    freerider_ids = (_pick_freeriders(config, registry)
+                     if config.protocol == "heap" else [])
+
+    if config.protocol == "tree":
+        nodes = _build_tree_nodes(config, sim, net, capacities)
+    else:
+        nodes = _build_gossip_nodes(config, sim, net, views, registry,
+                                    capacities, freerider_ids)
+        # The source advertises an average capability (see ScenarioConfig)
+        # and gossips with the base fanout regardless of the aggregation
+        # estimate: adapting the broadcaster's fanout to its oversized
+        # uplink would make every node pull payloads straight from it and
+        # congest it (fanout >= 1 is all reliability needs of the source).
+        advertised = config.source_advertised_bps
+        if advertised is None:
+            advertised = config.distribution.average_bps()
+        nodes[SOURCE_ID].capability_bps = advertised
+        if config.protocol == "heap":
+            from repro.core.fanout import FixedFanout
+            nodes[SOURCE_ID].set_fanout_policy(
+                FixedFanout(config.gossip.fanout, mode="round"))
+
+    for node_id, node in enumerate(nodes):
+        net.attach(node_id, node, upload_capacity_bps=capacities[node_id])
+
+    # Co-hosted protocols: peer sampling and the freerider audit ride the
+    # same endpoint through the node's extra-handler dispatch.
+    detectors: Dict[int, FreeriderDetector] = {}
+    if samplers:
+        for node_id, node in enumerate(nodes):
+            sampler = samplers[node_id]
+            node.extra_handlers["shuffle-req"] = sampler.on_message
+            node.extra_handlers["shuffle-rep"] = sampler.on_message
+            sampler.start()
+    # Capability discovery: HEAP receivers start from a low advertised
+    # capability and slow-start toward their physical uplink (§2.2).
+    probers: Dict[int, CapabilityProber] = {}
+    if config.capability_discovery and config.protocol == "heap":
+        for node_id in range(1, config.n_nodes):
+            node = nodes[node_id]
+            node.capability_bps = config.discovery_initial_bps
+            prober = CapabilityProber(
+                sim, net.uplink(node_id),
+                initial_bps=config.discovery_initial_bps,
+                ceiling_bps=capacities[node_id],
+                on_change=lambda bps, n=node: setattr(n, "capability_bps", bps))
+            prober.start(phase=registry.stream("discovery").uniform(0.0, 1.0))
+            probers[node_id] = prober
+        # Discovery is a join-time mechanism: freeze advertisements when
+        # the stream ends so drain-phase silence does not erode them.
+        sim.schedule_at(config.stream_start + config.duration,
+                        lambda: [p.stop() for p in probers.values()])
+
+    if config.audit and config.protocol != "tree":
+        for node_id, node in enumerate(nodes):
+            detector = FreeriderDetector(
+                sim, net, node_id, views[node_id],
+                registry.fork(f"audit-{node_id}").stream("audit"))
+            node.extra_handlers["audit"] = detector.on_message
+            node.on_request_sent = detector.record_request
+            node.on_serve_received = detector.record_serve
+            detector.start()
+            detectors[node_id] = detector
+
+    # Degraded nodes: advertised capability unchanged, effective uplink cut.
+    if config.degraded_fraction > 0:
+        degraded_rng = registry.stream("degraded")
+        receivers = list(range(1, config.n_nodes))
+        count = round(config.degraded_fraction * len(receivers))
+        for node_id in degraded_rng.sample(receivers, count):
+            uplink = net.uplink(node_id)
+            uplink.set_capacity(uplink.capacity_bps * config.degraded_factor)
+
+    for node in nodes:
+        node.start()
+
+    # The stream.
+    publish_times: List[float] = []
+
+    def publish(packet):
+        publish_times.append(packet.publish_time)
+        nodes[SOURCE_ID].publish(packet)
+
+    source = StreamSource(sim, config.stream, publish,
+                          total_packets=config.total_packets)
+    source.start(delay=config.stream_start)
+
+    # Churn.
+    crash_times: Dict[int, float] = {}
+
+    if config.churn is not None:
+        def crash_node(victim: int) -> None:
+            crash_times[victim] = sim.now
+            net.crash(victim)
+            nodes[victim].stop()
+            if victim in samplers:
+                samplers[victim].stop()
+            if victim in detectors:
+                detectors[victim].stop()
+            if victim in probers:
+                probers[victim].stop()
+
+        config.churn.schedule(sim, directory, registry.stream("churn"),
+                              crash_node, protect=[SOURCE_ID])
+
+    sim.run(until=until if until is not None else config.end_time)
+
+    return ExperimentResult(config, sim, net, directory, nodes,
+                            publish_times, capacities, labels, crash_times,
+                            freerider_ids=freerider_ids, detectors=detectors,
+                            samplers=samplers)

@@ -1,0 +1,107 @@
+"""Experiment scales and the scenario cache.
+
+The paper runs ~270 PlanetLab nodes for minutes; pure-Python simulation
+of that takes minutes of wall clock per run, so the benches default to a
+reduced scale that preserves every qualitative behaviour (the CSR, class
+fractions, fanout and timing parameters are unchanged — only population
+and stream length shrink).  Set ``REPRO_SCALE=full`` (or ``REPRO_FULL=1``)
+to reproduce at paper scale, or ``REPRO_SCALE=quick`` for smoke runs.
+
+``cached_run`` memoizes scenario results within the process so figures
+sharing a run (e.g. Figure 4's two distributions) pay for it once.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.experiments.runner import ExperimentResult, run_scenario
+from repro.workloads.scenario import ScenarioConfig
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Population and stream length for one experiment tier."""
+
+    name: str
+    n_nodes: int
+    duration: float
+    drain: float
+
+
+#: Smoke scale: tiny population, everything delivers — tests use this to
+#: exercise the harness, not to reproduce numbers.
+QUICK = Scale("quick", 50, 10.0, 20.0)
+#: Default bench scale: the paper's full population (the congestion
+#: behaviour is population-driven) over a shortened stream — 45 s is the
+#: shortest stream at which standard gossip's congestion collapse on
+#: ms-691 (Table 3's 0% row) fully develops.
+DEFAULT = Scale("default", 270, 45.0, 60.0)
+#: Paper scale: 270 nodes, 3 minutes of stream.
+FULL = Scale("full", 270, 180.0, 90.0)
+#: Reduced population for wide parameter sweeps (Figure 2's 8 runs).
+SWEEP = Scale("sweep", 150, 25.0, 50.0)
+
+_SCALES = {s.name: s for s in (QUICK, DEFAULT, FULL, SWEEP)}
+
+
+def current_scale() -> Scale:
+    """The scale selected through the environment (default: ``default``)."""
+    if os.environ.get("REPRO_FULL") == "1":
+        return FULL
+    name = os.environ.get("REPRO_SCALE", "default").lower()
+    try:
+        return _SCALES[name]
+    except KeyError:
+        known = ", ".join(sorted(_SCALES))
+        raise ValueError(f"unknown REPRO_SCALE {name!r}; known: {known}") from None
+
+
+def scenario_at(scale: Scale, **overrides) -> ScenarioConfig:
+    """A ScenarioConfig at the given scale, with overrides applied."""
+    base = dict(n_nodes=scale.n_nodes, duration=scale.duration,
+                drain=scale.drain, seed=42)
+    base.update(overrides)
+    return ScenarioConfig(**base)
+
+
+_CACHE: Dict[str, ExperimentResult] = {}
+
+
+def _cache_key(config: ScenarioConfig) -> str:
+    # Derive the key from *every* field so newly added scenario options
+    # can never alias cached results; object-valued fields are reduced to
+    # stable identities.
+    import dataclasses
+
+    parts = []
+    for field in dataclasses.fields(config):
+        value = getattr(config, field.name)
+        if field.name == "distribution":
+            value = value.name
+        elif field.name == "churn":
+            value = (value.fraction, value.at_time) if value else None
+        parts.append((field.name, repr(value)))
+    return repr(parts)
+
+
+def cached_run(config: ScenarioConfig) -> ExperimentResult:
+    """Run (or reuse) the scenario.  Results are cached per process.
+
+    Churn objects carry per-run state (the victim list), so scenarios
+    with churn are never cached.
+    """
+    if config.churn is not None:
+        return run_scenario(config)
+    key = _cache_key(config)
+    result = _CACHE.get(key)
+    if result is None:
+        result = run_scenario(config)
+        _CACHE[key] = result
+    return result
+
+
+def clear_cache() -> None:
+    _CACHE.clear()

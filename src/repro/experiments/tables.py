@@ -1,0 +1,85 @@
+"""Per-table experiment definitions (Tables 1-3 of the paper)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.experiments.scales import Scale, cached_run, current_scale, scenario_at
+from repro.metrics.jitter import mean_jittered_delivery_by_class
+from repro.metrics.lag import jitter_free_node_percentage_by_class
+from repro.metrics.report import ascii_table, format_percent
+from repro.workloads.distributions import KBPS, MS_691, REF_691, REF_724
+
+
+@dataclass
+class TableResult:
+    table: str
+    description: str
+    rows: List[Sequence[str]]
+    headers: Sequence[str]
+    extra: Dict[str, object] = field(default_factory=dict)
+
+    def render(self) -> str:
+        title = f"[{self.table}] {self.description}"
+        return ascii_table(self.headers, self.rows, title=title)
+
+
+def table1_distributions(stream_rate_bps: float = 600 * KBPS) -> TableResult:
+    """Table 1: the three reference distributions and their CSR."""
+    rows = []
+    for dist in (REF_691, REF_724, MS_691):
+        fractions = " / ".join(
+            f"{cls.fraction:.2f}@{cls.label}" for cls in dist.classes)
+        rows.append([dist.name, f"{dist.csr(stream_rate_bps):.2f}",
+                     f"{dist.average_bps() / KBPS:.1f} kbps", fractions])
+    return TableResult(
+        "Table 1", "upload capability distributions",
+        rows, ["name", "CSR", "average", "class fractions"])
+
+
+#: Evaluation lag per distribution: the paper uses 10 s for the reference
+#: distributions and 20 s for the skewed ms-691 in Table 3.
+TABLE_LAGS = {"ref-691": 10.0, "ref-724": 10.0, "ms-691": 20.0}
+
+
+def table2_jittered_delivery(scale: Scale = None) -> TableResult:
+    """Table 2: average delivery rate inside windows that cannot be decoded."""
+    scale = scale or current_scale()
+    rows = []
+    data = {}
+    for dist in (REF_691, REF_724, MS_691):
+        lag = TABLE_LAGS[dist.name]
+        for protocol in ("standard", "heap"):
+            result = cached_run(scenario_at(scale, protocol=protocol,
+                                            distribution=dist))
+            ratios = mean_jittered_delivery_by_class(result, lag)
+            data[(dist.name, protocol)] = ratios
+            for label, value in ratios.items():
+                rows.append([dist.name, protocol, label, format_percent(value)])
+    return TableResult(
+        "Table 2", "average delivery rate in jittered windows "
+        "(100% = the class had no jittered windows)",
+        rows, ["distribution", "protocol", "class", "delivery in jittered"],
+        extra={"data": data})
+
+
+def table3_jitter_free_nodes(scale: Scale = None) -> TableResult:
+    """Table 3: % of nodes receiving a fully jitter-free stream, by class."""
+    scale = scale or current_scale()
+    rows = []
+    data = {}
+    for dist in (REF_691, REF_724, MS_691):
+        lag = TABLE_LAGS[dist.name]
+        for protocol in ("standard", "heap"):
+            result = cached_run(scenario_at(scale, protocol=protocol,
+                                            distribution=dist))
+            percentages = jitter_free_node_percentage_by_class(result, lag)
+            data[(dist.name, protocol)] = percentages
+            for label, value in percentages.items():
+                rows.append([f"{dist.name} ({lag:.0f}s lag)", protocol, label,
+                             format_percent(value)])
+    return TableResult(
+        "Table 3", "percentage of nodes receiving a jitter-free stream",
+        rows, ["distribution", "protocol", "class", "% jitter-free nodes"],
+        extra={"data": data})

@@ -1,0 +1,29 @@
+"""Freeriding and freerider tracking.
+
+The paper's §5 identifies HEAP's incentive weakness: "the very fact that
+nodes advertise their capabilities may trigger freeriding vocations,
+where nodes would pretend to be poor in order not to contribute", and
+announces "a freerider-tracking protocol for gossip in order to detect
+and punish freeriding behaviors" (their follow-up work, published as
+*On Tracking Freeriders in Gossip Protocols*).  This package builds
+both sides:
+
+* :mod:`repro.freeriders.nodes` — freeriding node variants: capability
+  *under-claimers* (lie to the aggregation protocol) and *non-servers*
+  (drop a fraction of the requests they receive);
+* :mod:`repro.freeriders.detection` — a gossip-based statistical audit:
+  nodes score the peers they pull from by answered/asked ratio, gossip
+  their local audit reports, and accumulate global suspicion scores that
+  separate freeriders from honest-but-poor nodes.
+"""
+
+from repro.freeriders.detection import AuditReport, FreeriderDetector, PeerScore
+from repro.freeriders.nodes import NonServingNode, UnderclaimingNode
+
+__all__ = [
+    "AuditReport",
+    "FreeriderDetector",
+    "NonServingNode",
+    "PeerScore",
+    "UnderclaimingNode",
+]

@@ -1,0 +1,101 @@
+"""Global membership directory with delayed failure notification.
+
+Holds ground truth about which nodes exist and are alive, and maintains a
+:class:`~repro.membership.view.LocalView` per node.  When a node crashes,
+every survivor learns about it after an individually sampled delay
+(uniform in ``[0, 2 * mean_detection_delay]``, so the *average* matches
+the paper's "surviving nodes learn about the failure an average of 10 s
+after it happened").
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Set
+
+from repro.membership.view import LocalView
+from repro.sim.engine import Simulator
+
+
+class MembershipDirectory:
+    """Ground-truth membership plus per-node delayed views."""
+
+    def __init__(self, sim: Simulator, rng: random.Random,
+                 mean_detection_delay: float = 10.0):
+        if mean_detection_delay < 0:
+            raise ValueError(f"negative detection delay {mean_detection_delay!r}")
+        self._sim = sim
+        self._rng = rng
+        self.mean_detection_delay = mean_detection_delay
+        self._alive: Set[int] = set()
+        self._views: Dict[int, LocalView] = {}
+
+    # ------------------------------------------------------------------
+    # population
+    # ------------------------------------------------------------------
+    def register(self, node_id: int) -> LocalView:
+        """Add a node; its view is initialized with all currently alive nodes
+        and every existing view learns about it immediately (joins are
+        cheap to advertise through the join protocol)."""
+        if node_id in self._views:
+            raise ValueError(f"node {node_id} already registered")
+        view = LocalView(node_id, self._alive)
+        self._views[node_id] = view
+        for other_view in self._views.values():
+            other_view.add(node_id)
+        self._alive.add(node_id)
+        return view
+
+    def register_all(self, node_ids: Iterable[int]) -> None:
+        for node_id in node_ids:
+            self.register(node_id)
+
+    def view_of(self, node_id: int) -> LocalView:
+        return self._views[node_id]
+
+    def is_alive(self, node_id: int) -> bool:
+        return node_id in self._alive
+
+    @property
+    def alive_nodes(self) -> Set[int]:
+        return set(self._alive)
+
+    def alive_count(self) -> int:
+        return len(self._alive)
+
+    # ------------------------------------------------------------------
+    # failures
+    # ------------------------------------------------------------------
+    def crash(self, node_id: int) -> None:
+        """Mark ``node_id`` dead; schedule delayed removal from survivors' views."""
+        if node_id not in self._alive:
+            return
+        self._alive.remove(node_id)
+        for other_id, view in self._views.items():
+            if other_id == node_id or other_id not in self._alive:
+                continue
+            if self.mean_detection_delay == 0:
+                view.remove(node_id)
+            else:
+                delay = self._rng.uniform(0.0, 2.0 * self.mean_detection_delay)
+                self._sim.schedule(delay, lambda v=view, n=node_id: v.remove(n))
+
+    def crash_many(self, node_ids: Iterable[int]) -> None:
+        for node_id in list(node_ids):
+            self.crash(node_id)
+
+    def pick_crash_victims(self, fraction: float, rng: random.Random,
+                           protect: Iterable[int] = ()) -> List[int]:
+        """Choose ``fraction`` of the alive nodes uniformly at random,
+        never choosing the protected ids (e.g. the stream source).
+
+        The paper takes victims "uniformly at random from the set of all
+        nodes, i.e., keeping the average capability supply ratio unchanged".
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction must be in [0, 1], got {fraction!r}")
+        protected = set(protect)
+        candidates = sorted(self._alive - protected)
+        count = round(fraction * len(self._alive))
+        count = min(count, len(candidates))
+        return rng.sample(candidates, count)

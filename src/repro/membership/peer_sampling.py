@@ -1,0 +1,193 @@
+"""Cyclon-style gossip peer-sampling service.
+
+The paper's protocols assume a uniform random peer sampler; on PlanetLab
+this came from full membership knowledge.  This module provides the
+decentralized alternative: nodes keep a small partial view of (peer, age)
+entries and periodically *shuffle* a slice of it with the oldest peer in
+the view, which is known to approximate uniform sampling and to flush
+dead entries quickly (Voulgaris, Gavidia, van Steen, JNSM 2005).
+
+It is wired into experiments through the same :class:`LocalView`
+interface as the directory, so the dissemination protocols do not care
+which membership substrate is underneath.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from repro.membership.view import LocalView
+from repro.net.network import Network
+from repro.sim.engine import Simulator
+from repro.sim.timers import PeriodicTimer
+
+#: Bytes per serialized view entry: node id (8) + age (4).
+_ENTRY_BYTES = 12
+#: Fixed protocol header bytes inside the datagram payload.
+_HEADER_BYTES = 8
+
+
+class ViewEntry:
+    """One (peer, age) slot in a partial view."""
+
+    __slots__ = ("node_id", "age")
+
+    def __init__(self, node_id: int, age: int = 0):
+        self.node_id = node_id
+        self.age = age
+
+    def copy(self) -> "ViewEntry":
+        return ViewEntry(self.node_id, self.age)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"ViewEntry({self.node_id}, age={self.age})"
+
+
+class ShuffleRequest:
+    kind = "shuffle-req"
+
+    def __init__(self, entries: List[Tuple[int, int]]):
+        self.entries = entries
+
+    def wire_size(self) -> int:
+        return _HEADER_BYTES + _ENTRY_BYTES * len(self.entries)
+
+
+class ShuffleReply:
+    kind = "shuffle-rep"
+
+    def __init__(self, entries: List[Tuple[int, int]]):
+        self.entries = entries
+
+    def wire_size(self) -> int:
+        return _HEADER_BYTES + _ENTRY_BYTES * len(self.entries)
+
+
+class PeerSamplingService:
+    """One node's Cyclon shuffling agent.
+
+    Exposes its current neighbor set as a :class:`LocalView` (the ``view``
+    attribute) that tracks the partial view's membership, so dissemination
+    protocols can sample from it exactly as they would from the directory.
+    """
+
+    def __init__(self, sim: Simulator, net: Network, node_id: int,
+                 rng: random.Random, view_size: int = 20, shuffle_length: int = 8,
+                 period: float = 1.0):
+        if shuffle_length > view_size:
+            raise ValueError("shuffle_length cannot exceed view_size")
+        self._sim = sim
+        self._net = net
+        self.node_id = node_id
+        self._rng = rng
+        self.view_size = view_size
+        self.shuffle_length = shuffle_length
+        self._entries: Dict[int, ViewEntry] = {}
+        self._pending_sent: Dict[int, List[int]] = {}
+        self.view = LocalView(node_id)
+        self.shuffles_started = 0
+        self._timer = PeriodicTimer(sim, period, self._shuffle)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def bootstrap(self, seeds: List[int]) -> None:
+        """Fill the initial view from a list of known peers."""
+        for seed in seeds:
+            if seed != self.node_id and len(self._entries) < self.view_size:
+                self._add_entry(ViewEntry(seed, 0))
+
+    def start(self, phase: Optional[float] = None) -> None:
+        self._timer.start(phase if phase is not None else self._rng.uniform(0, self._timer.period))
+
+    def stop(self) -> None:
+        self._timer.stop()
+
+    # ------------------------------------------------------------------
+    # view maintenance
+    # ------------------------------------------------------------------
+    def _add_entry(self, entry: ViewEntry) -> None:
+        if entry.node_id == self.node_id:
+            return
+        existing = self._entries.get(entry.node_id)
+        if existing is not None:
+            if entry.age < existing.age:
+                existing.age = entry.age
+            return
+        self._entries[entry.node_id] = entry
+        self.view.add(entry.node_id)
+
+    def _remove_peer(self, node_id: int) -> None:
+        if node_id in self._entries:
+            del self._entries[node_id]
+            self.view.remove(node_id)
+
+    def _oldest_peer(self) -> Optional[int]:
+        if not self._entries:
+            return None
+        return max(sorted(self._entries), key=lambda n: self._entries[n].age)
+
+    def neighbors(self) -> List[int]:
+        return sorted(self._entries)
+
+    # ------------------------------------------------------------------
+    # shuffling
+    # ------------------------------------------------------------------
+    def _shuffle(self) -> None:
+        for entry in self._entries.values():
+            entry.age += 1
+        target = self._oldest_peer()
+        if target is None:
+            return
+        self.shuffles_started += 1
+        # Select shuffle_length - 1 random other entries plus a fresh
+        # entry for ourselves.
+        others = [n for n in sorted(self._entries) if n != target]
+        count = min(self.shuffle_length - 1, len(others))
+        sample = self._rng.sample(others, count) if count > 0 else []
+        payload_entries = [(self.node_id, 0)]
+        payload_entries += [(n, self._entries[n].age) for n in sample]
+        # The target entry is consumed by the shuffle: remove it now; it
+        # may come back through future shuffles if still alive.
+        self._remove_peer(target)
+        self._pending_sent[target] = sample
+        self._net.send(self.node_id, target, ShuffleRequest(payload_entries))
+
+    def on_shuffle_request(self, src: int, request: ShuffleRequest) -> None:
+        others = sorted(self._entries)
+        count = min(self.shuffle_length, len(others))
+        sample = self._rng.sample(others, count) if count > 0 else []
+        reply_entries = [(n, self._entries[n].age) for n in sample]
+        self._net.send(self.node_id, src, ShuffleReply(reply_entries))
+        self._merge([ViewEntry(n, a) for n, a in request.entries], sent=sample)
+
+    def on_shuffle_reply(self, src: int, reply: ShuffleReply) -> None:
+        sent = self._pending_sent.pop(src, [])
+        self._merge([ViewEntry(n, a) for n, a in reply.entries], sent=sent)
+
+    def _merge(self, incoming: List[ViewEntry], sent: List[int]) -> None:
+        """Cyclon merge: fill empty slots first, then overwrite the slots of
+        entries we sent out, never duplicating and never pointing at self."""
+        replaceable = [n for n in sent if n in self._entries]
+        for entry in incoming:
+            if entry.node_id == self.node_id or entry.node_id in self._entries:
+                if entry.node_id in self._entries:
+                    self._add_entry(entry)  # keeps the fresher age
+                continue
+            if len(self._entries) < self.view_size:
+                self._add_entry(entry)
+            elif replaceable:
+                self._remove_peer(replaceable.pop())
+                self._add_entry(entry)
+            # else: view full and nothing replaceable -> drop the entry.
+
+    # ------------------------------------------------------------------
+    # network plumbing
+    # ------------------------------------------------------------------
+    def on_message(self, envelope) -> None:
+        payload = envelope.payload
+        if payload.kind == ShuffleRequest.kind:
+            self.on_shuffle_request(envelope.src, payload)
+        elif payload.kind == ShuffleReply.kind:
+            self.on_shuffle_reply(envelope.src, payload)

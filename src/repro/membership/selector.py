@@ -1,0 +1,67 @@
+"""Gossip-target selectors.
+
+:class:`UniformSelector` is the paper's ``selectNodes(f)`` — uniform
+without replacement over the local view.  :class:`CapabilityBiasedSelector`
+implements the §5 extension ("bias the neighbor selection towards rich
+nodes in the early steps of dissemination"): selection probability is
+proportional to a node's advertised capability raised to a bias exponent.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Optional, Set
+
+from repro.membership.view import LocalView
+
+
+class UniformSelector:
+    """Uniform random selection without replacement (Algorithm 1, line 23)."""
+
+    def __init__(self, rng: random.Random):
+        self._rng = rng
+
+    def select(self, view: LocalView, k: int,
+               exclude: Optional[Set[int]] = None) -> List[int]:
+        return view.sample(k, self._rng, exclude=exclude)
+
+
+class CapabilityBiasedSelector:
+    """Selection weighted by advertised capability.
+
+    ``capability_of`` maps a node id to its (believed) upload capability;
+    ``bias`` is the exponent applied to the weight: 0 degenerates to
+    uniform selection, 1 is proportional, larger values are greedier.
+    Sampling is without replacement via successive weighted draws.
+    """
+
+    def __init__(self, rng: random.Random, capability_of: Callable[[int], float],
+                 bias: float = 1.0):
+        if bias < 0:
+            raise ValueError(f"bias must be >= 0, got {bias!r}")
+        self._rng = rng
+        self._capability_of = capability_of
+        self.bias = bias
+
+    def select(self, view: LocalView, k: int,
+               exclude: Optional[Set[int]] = None) -> List[int]:
+        candidates = view.sample(len(view), self._rng, exclude=exclude)
+        if k >= len(candidates):
+            return candidates
+        if self.bias == 0:
+            return self._rng.sample(candidates, k)
+        weights = [max(1e-9, self._capability_of(c)) ** self.bias for c in candidates]
+        chosen: List[int] = []
+        for _ in range(k):
+            total = sum(weights)
+            pick = self._rng.random() * total
+            acc = 0.0
+            index = len(candidates) - 1
+            for i, w in enumerate(weights):
+                acc += w
+                if pick < acc:
+                    index = i
+                    break
+            chosen.append(candidates.pop(index))
+            weights.pop(index)
+        return chosen

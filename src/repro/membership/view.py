@@ -1,0 +1,67 @@
+"""A node's local membership view with uniform random sampling."""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, List, Optional, Set
+
+
+class LocalView:
+    """The set of peers one node currently believes to be alive.
+
+    Sampling is uniform without replacement and always excludes the
+    owner itself, matching ``selectNodes(f)`` in the paper's Algorithm 1
+    ("return f uniformly random nodes").
+    """
+
+    __slots__ = ("owner", "_members", "_members_list", "_dirty")
+
+    def __init__(self, owner: int, members: Optional[Iterable[int]] = None):
+        self.owner = owner
+        self._members: Set[int] = set(members) if members is not None else set()
+        self._members.discard(owner)
+        self._members_list: List[int] = []
+        self._dirty = True
+
+    def add(self, node_id: int) -> None:
+        if node_id != self.owner and node_id not in self._members:
+            self._members.add(node_id)
+            self._dirty = True
+
+    def remove(self, node_id: int) -> None:
+        if node_id in self._members:
+            self._members.remove(node_id)
+            self._dirty = True
+
+    def __contains__(self, node_id: int) -> bool:
+        return node_id in self._members
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def members(self) -> Set[int]:
+        """A copy of the current member set."""
+        return set(self._members)
+
+    def _as_list(self) -> List[int]:
+        if self._dirty:
+            # Sorted for determinism: iteration order of a set of ints is
+            # stable in CPython but not guaranteed by the language.
+            self._members_list = sorted(self._members)
+            self._dirty = False
+        return self._members_list
+
+    def sample(self, k: int, rng: random.Random,
+               exclude: Optional[Set[int]] = None) -> List[int]:
+        """Return up to ``k`` distinct members, uniformly at random.
+
+        Returns fewer than ``k`` when the (filtered) view is smaller.
+        """
+        if k <= 0:
+            return []
+        candidates = self._as_list()
+        if exclude:
+            candidates = [m for m in candidates if m not in exclude]
+        if k >= len(candidates):
+            return list(candidates)
+        return rng.sample(candidates, k)

@@ -1,0 +1,79 @@
+"""CSV export of figure/table data.
+
+A real deployment of this reproduction wants to plot with external
+tooling; these helpers turn the harness's result objects into plain CSV
+files: one for tabular rows (figures 4-6, 8, tables) and one for curve
+series (CDFs and the per-window churn series).
+"""
+
+from __future__ import annotations
+
+import csv
+import math
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.analysis.cdf import Cdf
+
+
+def write_rows_csv(path: str, headers: Sequence[str],
+                   rows: Iterable[Sequence[object]]) -> int:
+    """Write tabular rows; returns the number of data rows written."""
+    count = 0
+    with open(path, "w", newline="", encoding="utf-8") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(headers)
+        for row in rows:
+            writer.writerow(list(row))
+            count += 1
+    return count
+
+
+def write_result_csv(path: str, result) -> int:
+    """Write a FigureResult/TableResult's rows as CSV."""
+    return write_rows_csv(path, result.headers, result.rows)
+
+
+def write_cdf_csv(path: str, cdfs: Dict[str, Cdf], max_points: int = 500) -> int:
+    """Write named CDFs as long-format (series, x, cumulative_fraction).
+
+    Infinite samples are omitted from the points but still weigh the
+    fractions, matching how the paper's saturating curves read.
+    """
+    count = 0
+    with open(path, "w", newline="", encoding="utf-8") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["series", "x", "cumulative_fraction"])
+        for name, cdf in cdfs.items():
+            for x, fraction in cdf.points(max_points):
+                writer.writerow([name, f"{x:.6f}", f"{fraction:.6f}"])
+                count += 1
+    return count
+
+
+def write_series_csv(path: str,
+                     series: Dict[str, List[Tuple[int, float, float]]]) -> int:
+    """Write Figure-10-style window series:
+    (series, window_id, publish_time, percent_of_nodes)."""
+    count = 0
+    with open(path, "w", newline="", encoding="utf-8") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["series", "window_id", "publish_time", "percent_nodes"])
+        for name, points in series.items():
+            for window_id, publish_time, percent in points:
+                writer.writerow([name, window_id, f"{publish_time:.4f}",
+                                 f"{percent:.4f}"])
+                count += 1
+    return count
+
+
+def lag_grid_rows(cdfs: Dict[str, Cdf],
+                  grid: Sequence[float]) -> List[List[str]]:
+    """Sample named CDFs on a lag grid (wide format for spreadsheets)."""
+    rows = []
+    for name, cdf in cdfs.items():
+        row = [name]
+        for x in grid:
+            fraction = cdf.fraction_at(x)
+            row.append("" if math.isnan(fraction) else f"{fraction:.4f}")
+        rows.append(row)
+    return rows

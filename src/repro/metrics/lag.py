@@ -1,0 +1,83 @@
+"""Stream-lag metrics.
+
+Stream lag is "the difference between the time the stream is produced at
+the source and the time it is viewed" (Section 3.2).  For each node we
+compute the minimal lag that achieves a playback target (99 % delivery,
+jitter-free, or at most X % jittered windows); CDFs of those per-node
+lags are the paper's Figures 1, 2, 3 and 9, per-class means its Figure 8
+and per-class percentages its Table 3.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict
+
+from repro.analysis.cdf import Cdf
+from repro.analysis.stats import mean
+from repro.experiments.runner import ExperimentResult
+
+
+def per_node_lag_jitter_free(result: ExperimentResult) -> Dict[int, float]:
+    """node -> minimal lag for a fully jitter-free stream (inf if never)."""
+    analyzer = result.analyzer()
+    windows = result.windows()
+    return {node_id: analyzer.min_lag_jitter_free(result.log_of(node_id), windows)
+            for node_id in result.receiver_ids()}
+
+
+def per_node_lag_max_jitter(result: ExperimentResult,
+                            max_jitter: float) -> Dict[int, float]:
+    """node -> minimal lag at which at most ``max_jitter`` of windows jitter."""
+    analyzer = result.analyzer()
+    windows = result.windows()
+    return {node_id: analyzer.min_lag_max_jitter(result.log_of(node_id),
+                                                 windows, max_jitter)
+            for node_id in result.receiver_ids()}
+
+
+def per_node_lag_delivery_ratio(result: ExperimentResult,
+                                ratio: float = 0.99) -> Dict[int, float]:
+    """node -> minimal lag to receive ``ratio`` of all packets on time
+    (the '99% delivery' metric of Figures 1 and 2)."""
+    analyzer = result.analyzer()
+    total = result.total_packets
+    return {node_id: analyzer.min_lag_delivery_ratio(result.log_of(node_id),
+                                                     total, ratio)
+            for node_id in result.receiver_ids()}
+
+
+def lag_cdf_jitter_free(result: ExperimentResult) -> Cdf:
+    return Cdf(per_node_lag_jitter_free(result).values())
+
+
+def lag_cdf_max_jitter(result: ExperimentResult, max_jitter: float) -> Cdf:
+    return Cdf(per_node_lag_max_jitter(result, max_jitter).values())
+
+
+def lag_cdf_delivery_ratio(result: ExperimentResult, ratio: float = 0.99) -> Cdf:
+    return Cdf(per_node_lag_delivery_ratio(result, ratio).values())
+
+
+def mean_lag_by_class(result: ExperimentResult) -> Dict[str, float]:
+    """class label -> mean (finite) jitter-free lag (Figure 8)."""
+    lags = per_node_lag_jitter_free(result)
+    return {label: mean(lags[node_id]
+                        for node_id in result.receivers_in_class(label))
+            for label in result.class_labels()}
+
+
+def jitter_free_node_percentage_by_class(result: ExperimentResult,
+                                         lag: float) -> Dict[str, float]:
+    """class label -> % of the class's nodes with a fully jitter-free
+    stream at ``lag`` (Table 3)."""
+    lags = per_node_lag_jitter_free(result)
+    percentages = {}
+    for label in result.class_labels():
+        members = result.receivers_in_class(label)
+        if not members:
+            percentages[label] = math.nan
+            continue
+        ok = sum(1 for node_id in members if lags[node_id] <= lag)
+        percentages[label] = 100.0 * ok / len(members)
+    return percentages

@@ -1,0 +1,58 @@
+"""ASCII rendering of experiment results.
+
+The benchmark harnesses print the same rows/series the paper's figures
+plot; these helpers keep that output consistent and readable.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Sequence
+
+from repro.analysis.cdf import Cdf
+
+
+def format_percent(value: float, digits: int = 1) -> str:
+    if value is None or (isinstance(value, float) and math.isnan(value)):
+        return "n/a"
+    return f"{value:.{digits}f}%"
+
+
+def format_seconds(value: float, digits: int = 1) -> str:
+    if math.isinf(value):
+        return "never"
+    if math.isnan(value):
+        return "n/a"
+    return f"{value:.{digits}f}s"
+
+
+def ascii_table(headers: Sequence[str], rows: Iterable[Sequence[str]],
+                title: str = "") -> str:
+    """Render a fixed-width table."""
+    materialized = [list(map(str, row)) for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    parts: List[str] = []
+    if title:
+        parts.append(title)
+    parts.append(line(headers))
+    parts.append("-+-".join("-" * w for w in widths))
+    parts.extend(line(row) for row in materialized)
+    return "\n".join(parts)
+
+
+def cdf_row(label: str, cdf: Cdf, xs: Sequence[float],
+            as_percent: bool = True) -> List[str]:
+    """One table row sampling ``cdf`` at the given x values."""
+    cells = [label]
+    for x in xs:
+        fraction = cdf.fraction_at(x)
+        cells.append(format_percent(100.0 * fraction) if as_percent
+                     else f"{fraction:.3f}")
+    return cells

@@ -1,0 +1,47 @@
+"""Network substrate: a simulated best-effort datagram fabric.
+
+Models the parts of the paper's PlanetLab/UDP testbed that the evaluation
+depends on:
+
+* per-node **uplink serialization queues** — the application-level rate
+  limiter of the paper ("packets which are about to cross the bandwidth
+  limit are queued"), the mechanism behind congestion at poor nodes;
+* end-to-end **latency models** (constant, uniform, lognormal, per-pair);
+* **loss models** (none, Bernoulli, Gilbert-Elliott bursts) standing in
+  for UDP drops on the real Internet;
+* a :class:`~repro.net.network.Network` fabric that wires endpoints
+  together, applies the three models in order (queue -> loss -> latency)
+  and records traffic statistics per node and per message kind.
+"""
+
+from repro.net.bandwidth import UplinkQueue
+from repro.net.latency import (
+    ConstantLatency,
+    LatencyModel,
+    LogNormalLatency,
+    PairwiseLatency,
+    UniformLatency,
+)
+from repro.net.loss import BernoulliLoss, GilbertElliottLoss, LossModel, NoLoss
+from repro.net.message import Envelope, Payload
+from repro.net.network import Endpoint, Network
+from repro.net.stats import NetworkStats, NodeTrafficStats
+
+__all__ = [
+    "BernoulliLoss",
+    "ConstantLatency",
+    "Endpoint",
+    "Envelope",
+    "GilbertElliottLoss",
+    "LatencyModel",
+    "LogNormalLatency",
+    "LossModel",
+    "Network",
+    "NetworkStats",
+    "NoLoss",
+    "NodeTrafficStats",
+    "PairwiseLatency",
+    "Payload",
+    "UniformLatency",
+    "UplinkQueue",
+]

@@ -1,0 +1,33 @@
+"""Kind-based demultiplexing endpoint.
+
+A node usually runs several protocols over one datagram socket (stream
+gossip, capability aggregation, peer sampling).  :class:`Demux` routes a
+delivered envelope to the handler registered for its payload ``kind``,
+so each protocol stays an independent component.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.net.message import Envelope
+
+
+class Demux:
+    """Routes envelopes to per-kind handlers."""
+
+    def __init__(self) -> None:
+        self._handlers: Dict[str, Callable[[Envelope], None]] = {}
+        self.unrouted = 0
+
+    def register(self, kind: str, handler: Callable[[Envelope], None]) -> None:
+        if kind in self._handlers:
+            raise ValueError(f"handler for kind {kind!r} already registered")
+        self._handlers[kind] = handler
+
+    def on_message(self, envelope: Envelope) -> None:
+        handler = self._handlers.get(envelope.payload.kind)
+        if handler is None:
+            self.unrouted += 1
+            return
+        handler(envelope)

@@ -1,0 +1,56 @@
+"""Message envelopes and the payload protocol.
+
+A :class:`Payload` is any protocol-level message (propose, request, serve,
+aggregation, ...).  Payloads know their own wire size in bytes; the
+network adds a fixed per-datagram header (UDP/IP) on top.  Sizes drive the
+uplink serialization delay, so getting them right is what makes the
+congestion behaviour realistic.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+#: UDP (8) + IPv4 (20) header bytes added to every datagram.
+UDP_IP_HEADER_BYTES = 28
+
+
+class Payload(Protocol):
+    """Structural interface every protocol message implements."""
+
+    kind: str
+
+    def wire_size(self) -> int:
+        """Size of the serialized payload in bytes (headers excluded)."""
+        ...
+
+
+class Envelope:
+    """One datagram in flight from ``src`` to ``dst``."""
+
+    __slots__ = ("src", "dst", "payload", "size_bytes", "send_time", "arrival_time")
+
+    def __init__(self, src: int, dst: int, payload: Payload, size_bytes: int,
+                 send_time: float, arrival_time: float):
+        self.src = src
+        self.dst = dst
+        self.payload = payload
+        self.size_bytes = size_bytes
+        self.send_time = send_time
+        self.arrival_time = arrival_time
+
+    @property
+    def transit_time(self) -> float:
+        """Total time from send call to delivery (queueing + latency)."""
+        return self.arrival_time - self.send_time
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Envelope({self.payload.kind} {self.src}->{self.dst}, "
+            f"{self.size_bytes}B, t={self.send_time:.3f}->{self.arrival_time:.3f})"
+        )
+
+
+def datagram_size(payload: Payload) -> int:
+    """Wire size of ``payload`` including the UDP/IP header."""
+    return payload.wire_size() + UDP_IP_HEADER_BYTES

@@ -1,0 +1,121 @@
+"""The network fabric wiring endpoints together.
+
+Send pipeline, applied in order for every datagram:
+
+1. **uplink serialization** through the sender's :class:`UplinkQueue`
+   (this is where congestion delay builds up at overloaded nodes);
+2. **loss** sampling (models UDP drops);
+3. **propagation latency** sampling;
+4. scheduled **delivery** at arrival time, if both ends are still alive.
+
+Crash semantics: a node that crashes at time *t* stops receiving
+immediately and any datagram that had not finished serializing through
+its uplink by *t* is lost (it was still sitting in the application-level
+queue of the dead process).  Datagrams already on the wire are delivered.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Protocol
+
+from repro.net.bandwidth import UplinkQueue
+from repro.net.latency import ConstantLatency, LatencyModel
+from repro.net.loss import LossModel, NoLoss
+from repro.net.message import Envelope, Payload, datagram_size
+from repro.net.stats import NetworkStats
+from repro.sim.engine import Simulator
+
+
+class Endpoint(Protocol):
+    """Anything attachable to the network: must handle delivered envelopes."""
+
+    def on_message(self, envelope: Envelope) -> None:
+        ...
+
+
+class Network:
+    """Best-effort datagram fabric with throttled uplinks."""
+
+    def __init__(self, sim: Simulator, latency: Optional[LatencyModel] = None,
+                 loss: Optional[LossModel] = None):
+        self._sim = sim
+        self.latency = latency if latency is not None else ConstantLatency(0.05)
+        self.loss = loss if loss is not None else NoLoss()
+        self.stats = NetworkStats()
+        self._endpoints: Dict[int, Endpoint] = {}
+        self._uplinks: Dict[int, UplinkQueue] = {}
+        self._crash_time: Dict[int, float] = {}
+        #: Optional observer invoked for every delivered envelope.
+        self.on_deliver: Optional[Callable[[Envelope], None]] = None
+
+    # ------------------------------------------------------------------
+    # membership of the fabric
+    # ------------------------------------------------------------------
+    def attach(self, node_id: int, endpoint: Endpoint, upload_capacity_bps: float,
+               max_queue_delay: Optional[float] = None) -> UplinkQueue:
+        """Register ``endpoint`` under ``node_id`` with the given uplink."""
+        if node_id in self._endpoints:
+            raise ValueError(f"node {node_id} already attached")
+        self._endpoints[node_id] = endpoint
+        uplink = UplinkQueue(upload_capacity_bps, max_delay=max_queue_delay)
+        self._uplinks[node_id] = uplink
+        return uplink
+
+    def detach(self, node_id: int) -> None:
+        """Remove a node entirely (used when a node leaves gracefully)."""
+        self._endpoints.pop(node_id, None)
+        self._uplinks.pop(node_id, None)
+
+    def crash(self, node_id: int) -> None:
+        """Kill a node: it stops sending and receiving at the current time."""
+        if node_id in self._endpoints and node_id not in self._crash_time:
+            self._crash_time[node_id] = self._sim.now
+
+    def is_alive(self, node_id: int) -> bool:
+        return node_id in self._endpoints and node_id not in self._crash_time
+
+    def uplink(self, node_id: int) -> UplinkQueue:
+        return self._uplinks[node_id]
+
+    @property
+    def node_ids(self):
+        return self._endpoints.keys()
+
+    # ------------------------------------------------------------------
+    # datagram pipeline
+    # ------------------------------------------------------------------
+    def send(self, src: int, dst: int, payload: Payload) -> Optional[Envelope]:
+        """Send one datagram.  Returns the envelope, or None if it was
+        dropped before reaching the wire (dead sender / queue cap)."""
+        if not self.is_alive(src):
+            return None
+        now = self._sim.now
+        size = datagram_size(payload)
+        uplink = self._uplinks[src]
+        exit_time = uplink.enqueue(now, size)
+        if exit_time is None:
+            self.stats.record_dropped_queue()
+            return None
+        self.stats.record_sent(src, payload.kind, size)
+        if self.loss.is_lost(src, dst):
+            self.stats.record_lost()
+            return None
+        arrival = exit_time + self.latency.sample(src, dst)
+        envelope = Envelope(src, dst, payload, size, now, arrival)
+        self._sim.schedule_at(arrival, lambda: self._deliver(envelope, exit_time))
+        return envelope
+
+    def _deliver(self, envelope: Envelope, exit_time: float) -> None:
+        src_crash = self._crash_time.get(envelope.src)
+        if src_crash is not None and exit_time > src_crash:
+            # The datagram was still queued in the sender's dead process.
+            self.stats.record_dropped_dead()
+            return
+        endpoint = self._endpoints.get(envelope.dst)
+        if endpoint is None or envelope.dst in self._crash_time:
+            self.stats.record_dropped_dead()
+            return
+        self.stats.record_delivered(envelope.dst, envelope.size_bytes)
+        if self.on_deliver is not None:
+            self.on_deliver(envelope)
+        endpoint.on_message(envelope)

@@ -1,0 +1,84 @@
+"""Generator-based lightweight processes on top of the event engine.
+
+A process is a generator that yields :class:`sleep` commands; the driver
+resumes it after the requested simulated delay.  This gives sequential
+"script-like" behaviour (useful for sources, churn injectors and tests)
+without threads:
+
+    def churn(sim):
+        yield sleep(60.0)
+        kill_some_nodes()
+        yield sleep(10.0)
+        notify_survivors()
+
+    Process(sim, churn(sim)).start()
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from repro.sim.engine import Simulator
+
+
+class sleep:  # noqa: N801 - command object reads like a keyword at yield sites
+    """Yielded by a process to suspend itself for ``delay`` seconds."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, delay: float):
+        if delay < 0:
+            raise ValueError(f"negative sleep {delay!r}")
+        self.delay = delay
+
+
+class Process:
+    """Drives a generator as a simulated process."""
+
+    def __init__(self, sim: Simulator, generator: Generator[Any, None, None], name: str = ""):
+        self._sim = sim
+        self._generator = generator
+        self.name = name
+        self.finished = False
+        self._started = False
+        self._handle = None
+
+    def start(self, delay: float = 0.0) -> "Process":
+        """Schedule the first resumption ``delay`` seconds from now."""
+        if self._started:
+            raise RuntimeError(f"process {self.name!r} already started")
+        self._started = True
+        self._handle = self._sim.schedule(delay, self._resume)
+        return self
+
+    def stop(self) -> None:
+        """Cancel any pending resumption and close the generator."""
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+        if not self.finished:
+            self._generator.close()
+            self.finished = True
+
+    def _resume(self) -> None:
+        self._handle = None
+        try:
+            command = next(self._generator)
+        except StopIteration:
+            self.finished = True
+            return
+        if isinstance(command, sleep):
+            self._handle = self._sim.schedule(command.delay, self._resume)
+        elif command is None:
+            self._handle = self._sim.call_soon(self._resume)
+        else:
+            self.finished = True
+            raise TypeError(
+                f"process {self.name!r} yielded {command!r}; expected sleep(...) or None"
+            )
+
+
+def run_process(sim: Simulator, generator: Generator[Any, None, None],
+                name: str = "", delay: float = 0.0) -> Process:
+    """Convenience: create and start a :class:`Process` in one call."""
+    return Process(sim, generator, name=name).start(delay)

@@ -1,0 +1,95 @@
+"""Systematic FEC window bookkeeping.
+
+The paper encodes every window of 101 stream packets with 9 extra repair
+packets (110 total) using a systematic code: a window is fully decodable
+from *any* 101 of its 110 packets, and even an undecodable ("jittered")
+window still yields every source packet that arrived directly.
+
+We never need actual Reed-Solomon arithmetic — the evaluation uses only
+decodability and per-window delivery counts — so :class:`FecCodec` is an
+exact model of the code's erasure behaviour, not of its byte-level math
+(see DESIGN.md substitution table).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Set
+
+from repro.streaming.packets import StreamConfig
+
+
+@dataclass
+class WindowState:
+    """Receiver-side delivery state of one FEC window."""
+
+    window_id: int
+    received_source: int
+    received_fec: int
+    needed: int
+    source_per_window: int
+
+    @property
+    def received_total(self) -> int:
+        return self.received_source + self.received_fec
+
+    @property
+    def decodable(self) -> bool:
+        """True iff the whole window can be reconstructed."""
+        return self.received_total >= self.needed
+
+    @property
+    def viewable_source_packets(self) -> int:
+        """Source packets the player can render.
+
+        All of them if the window decodes; otherwise exactly the source
+        packets that arrived directly (systematic coding).
+        """
+        if self.decodable:
+            return self.source_per_window
+        return self.received_source
+
+    @property
+    def delivery_ratio(self) -> float:
+        """Fraction of the window's source data that is viewable."""
+        return self.viewable_source_packets / self.source_per_window
+
+
+class FecCodec:
+    """Erasure-level model of the paper's systematic FEC code."""
+
+    def __init__(self, config: StreamConfig = StreamConfig()):
+        config.validate()
+        self.config = config
+
+    def window_state(self, window_id: int, received_packet_ids: Iterable[int]) -> WindowState:
+        """Classify the received packets of ``window_id`` into a state."""
+        config = self.config
+        source = 0
+        fec = 0
+        seen: Set[int] = set()
+        for packet_id in received_packet_ids:
+            if config.window_of(packet_id) != window_id or packet_id in seen:
+                continue
+            seen.add(packet_id)
+            if config.is_fec(packet_id):
+                fec += 1
+            else:
+                source += 1
+        return WindowState(
+            window_id=window_id,
+            received_source=source,
+            received_fec=fec,
+            needed=config.source_packets_per_window,
+            source_per_window=config.source_packets_per_window,
+        )
+
+    def is_decodable(self, received_count: int) -> bool:
+        """Decodability from a raw distinct-packet count."""
+        return received_count >= self.config.source_packets_per_window
+
+    def window_packet_ids(self, window_id: int) -> range:
+        """All packet ids belonging to ``window_id``."""
+        per_window = self.config.packets_per_window
+        start = window_id * per_window
+        return range(start, start + per_window)

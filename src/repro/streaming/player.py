@@ -1,0 +1,171 @@
+"""Playback analysis: what does a node's stream look like at lag L?
+
+The paper's metrics (Section 3.2) are all functions of a *stream lag* L:
+a packet is usable iff it was delivered no later than ``publish_time + L``;
+a window is *jittered* at lag L iff fewer than 101 of its 110 packets are
+usable.  This module answers those questions from a
+:class:`~repro.streaming.receiver.ReceiverLog` plus the publish times,
+including the inverse queries ("what is the minimal lag for a jitter-free
+stream?") behind Figures 8 and 9.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Sequence
+
+from repro.streaming.packets import StreamConfig
+from repro.streaming.receiver import ReceiverLog
+
+#: Lag value meaning "viewed offline, after the experiment" (Figure 7).
+OFFLINE = math.inf
+
+
+@dataclass
+class WindowPlayback:
+    """Decode state of one window at one lag."""
+
+    window_id: int
+    on_time_source: int
+    on_time_fec: int
+    needed: int
+    source_per_window: int
+
+    @property
+    def on_time_total(self) -> int:
+        return self.on_time_source + self.on_time_fec
+
+    @property
+    def decodable(self) -> bool:
+        return self.on_time_total >= self.needed
+
+    @property
+    def jittered(self) -> bool:
+        return not self.decodable
+
+    @property
+    def viewable_source_packets(self) -> int:
+        if self.decodable:
+            return self.source_per_window
+        return self.on_time_source
+
+    @property
+    def delivery_ratio(self) -> float:
+        return self.viewable_source_packets / self.source_per_window
+
+
+class PlaybackAnalyzer:
+    """Computes playback metrics for receiver logs.
+
+    ``publish_time`` maps a packet id to the time the source published it
+    (in experiments: ``publish_times.__getitem__`` over the recorded list).
+    """
+
+    def __init__(self, config: StreamConfig, publish_time: Callable[[int], float]):
+        config.validate()
+        self.config = config
+        self._publish_time = publish_time
+
+    # ------------------------------------------------------------------
+    # forward queries: behaviour at a given lag
+    # ------------------------------------------------------------------
+    def window_playback(self, log: ReceiverLog, window_id: int, lag: float) -> WindowPlayback:
+        config = self.config
+        on_time_source = 0
+        on_time_fec = 0
+        start = window_id * config.packets_per_window
+        for packet_id in range(start, start + config.packets_per_window):
+            delivered = log.delivery_time(packet_id)
+            if delivered is None:
+                continue
+            if delivered <= self._publish_time(packet_id) + lag:
+                if config.is_fec(packet_id):
+                    on_time_fec += 1
+                else:
+                    on_time_source += 1
+        return WindowPlayback(
+            window_id=window_id,
+            on_time_source=on_time_source,
+            on_time_fec=on_time_fec,
+            needed=config.source_packets_per_window,
+            source_per_window=config.source_packets_per_window,
+        )
+
+    def playback(self, log: ReceiverLog, windows: Sequence[int], lag: float) -> List[WindowPlayback]:
+        return [self.window_playback(log, w, lag) for w in windows]
+
+    def jitter_fraction(self, log: ReceiverLog, windows: Sequence[int], lag: float) -> float:
+        """Fraction of ``windows`` that are jittered at ``lag`` (Fig. 7 x-axis)."""
+        if not windows:
+            return 0.0
+        jittered = sum(1 for w in windows
+                       if self.window_playback(log, w, lag).jittered)
+        return jittered / len(windows)
+
+    def jitter_free_fraction(self, log: ReceiverLog, windows: Sequence[int], lag: float) -> float:
+        """Fraction of windows decodable at ``lag`` (Figs. 5 and 6 y-axis)."""
+        return 1.0 - self.jitter_fraction(log, windows, lag)
+
+    def mean_jittered_delivery_ratio(self, log: ReceiverLog, windows: Sequence[int],
+                                     lag: float) -> float:
+        """Average delivery ratio *inside jittered windows only* (Table 2).
+
+        Returns 1.0 when no window is jittered (nothing to average —
+        reported as perfect, as the paper's table footnote implies).
+        """
+        ratios = [wp.delivery_ratio
+                  for wp in self.playback(log, windows, lag) if wp.jittered]
+        if not ratios:
+            return 1.0
+        return sum(ratios) / len(ratios)
+
+    # ------------------------------------------------------------------
+    # inverse queries: minimal lag achieving a target
+    # ------------------------------------------------------------------
+    def window_required_lag(self, log: ReceiverLog, window_id: int) -> float:
+        """Smallest lag at which ``window_id`` decodes; inf if it never does."""
+        config = self.config
+        start = window_id * config.packets_per_window
+        delays = []
+        for packet_id in range(start, start + config.packets_per_window):
+            delivered = log.delivery_time(packet_id)
+            if delivered is not None:
+                delays.append(delivered - self._publish_time(packet_id))
+        needed = config.source_packets_per_window
+        if len(delays) < needed:
+            return OFFLINE
+        delays.sort()
+        return max(0.0, delays[needed - 1])
+
+    def min_lag_jitter_free(self, log: ReceiverLog, windows: Sequence[int]) -> float:
+        """Smallest lag at which *every* window decodes (Figs. 8, 9 'no jitter')."""
+        if not windows:
+            return 0.0
+        return max(self.window_required_lag(log, w) for w in windows)
+
+    def min_lag_max_jitter(self, log: ReceiverLog, windows: Sequence[int],
+                           max_jitter: float) -> float:
+        """Smallest lag at which the jittered fraction is <= ``max_jitter``
+        (Fig. 9 'max 1% jitter' uses max_jitter=0.01)."""
+        if not windows:
+            return 0.0
+        if not 0.0 <= max_jitter <= 1.0:
+            raise ValueError(f"max_jitter must be in [0, 1], got {max_jitter!r}")
+        required = sorted(self.window_required_lag(log, w) for w in windows)
+        allowed_jittered = math.floor(max_jitter * len(required))
+        index = len(required) - 1 - allowed_jittered
+        return required[index]
+
+    def min_lag_delivery_ratio(self, log: ReceiverLog, total_packets: int,
+                               ratio: float) -> float:
+        """Smallest lag at which the node has received ``ratio`` of all
+        published packets on time (Fig. 1's '99% delivery' curves)."""
+        if not 0.0 < ratio <= 1.0:
+            raise ValueError(f"ratio must be in (0, 1], got {ratio!r}")
+        needed = math.ceil(ratio * total_packets)
+        delays = sorted(delivered - self._publish_time(packet_id)
+                        for packet_id, delivered in log.items())
+        if len(delays) < needed:
+            return OFFLINE
+        return max(0.0, delays[needed - 1])

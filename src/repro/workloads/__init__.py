@@ -1,0 +1,36 @@
+"""Workloads: upload-capability distributions and churn scenarios.
+
+The capability distributions reproduce the paper's Table 1 exactly
+(ref-691, ref-724 and the "more skewed" ms-691), plus the uniform dist2
+of Figure 2 and the unconstrained setting of Figure 1.  Churn scenarios
+implement the catastrophic-failure experiments of Section 3.6.
+"""
+
+from repro.workloads.churn import CatastrophicFailure, IntervalChurn
+from repro.workloads.distributions import (
+    MS_691,
+    REF_691,
+    REF_724,
+    UNCONSTRAINED,
+    UNIFORM_691,
+    BandwidthClass,
+    CapabilityDistribution,
+    ContinuousUniformDistribution,
+    distribution_by_name,
+)
+from repro.workloads.scenario import ScenarioConfig
+
+__all__ = [
+    "BandwidthClass",
+    "CapabilityDistribution",
+    "CatastrophicFailure",
+    "ContinuousUniformDistribution",
+    "IntervalChurn",
+    "MS_691",
+    "REF_691",
+    "REF_724",
+    "ScenarioConfig",
+    "UNCONSTRAINED",
+    "UNIFORM_691",
+    "distribution_by_name",
+]

@@ -1,0 +1,172 @@
+"""Upload-capability distributions (the paper's Table 1).
+
+Capacities use binary kilobits (1 Mbps = 1024 kbps), which makes the
+class averages come out exactly as the paper reports them:
+
+* ref-691: 10% @ 2 Mbps, 50% @ 768 kbps, 40% @ 256 kbps  -> 691.2 kbps
+* ref-724: 15% @ 2 Mbps, 39% @ 768 kbps, 46% @ 256 kbps  -> 724.5 kbps
+* ms-691 : 5% @ 3 Mbps, 10% @ 1 Mbps, 85% @ 512 kbps     -> 691.2 kbps
+
+The *capability supply ratio* (CSR) is the average capability over the
+stream rate; the paper's distributions sit at 1.15-1.20, i.e. barely
+above what the stream needs — the regime where heterogeneity-awareness
+matters most.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+KBPS = 1024.0  # binary kilobit per second, in bps
+
+
+@dataclass(frozen=True)
+class BandwidthClass:
+    """One class of nodes sharing an upload capability."""
+
+    label: str
+    capacity_bps: float
+    fraction: float
+
+    def __post_init__(self):
+        if self.capacity_bps <= 0:
+            raise ValueError(f"capacity must be positive, got {self.capacity_bps!r}")
+        if not 0.0 < self.fraction <= 1.0:
+            raise ValueError(f"fraction must be in (0, 1], got {self.fraction!r}")
+
+
+class CapabilityDistribution:
+    """A discrete distribution of upload capabilities over node classes."""
+
+    def __init__(self, name: str, classes: Sequence[BandwidthClass]):
+        if not classes:
+            raise ValueError("a distribution needs at least one class")
+        total = sum(c.fraction for c in classes)
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"class fractions must sum to 1, got {total!r}")
+        self.name = name
+        self.classes = tuple(classes)
+
+    # ------------------------------------------------------------------
+    def average_bps(self) -> float:
+        return sum(c.capacity_bps * c.fraction for c in self.classes)
+
+    def csr(self, stream_rate_bps: float) -> float:
+        """Capability supply ratio: average capability / stream rate."""
+        if stream_rate_bps <= 0:
+            raise ValueError("stream rate must be positive")
+        return self.average_bps() / stream_rate_bps
+
+    def class_of(self, capacity_bps: float) -> Optional[BandwidthClass]:
+        for cls in self.classes:
+            if cls.capacity_bps == capacity_bps:
+                return cls
+        return None
+
+    # ------------------------------------------------------------------
+    def class_counts(self, n: int) -> Dict[str, int]:
+        """Integer node counts per class using largest-remainder rounding,
+        guaranteed to sum to ``n``."""
+        if n < 1:
+            raise ValueError(f"n must be >= 1, got {n!r}")
+        exact = [(cls, cls.fraction * n) for cls in self.classes]
+        counts = {cls.label: int(quota) for cls, quota in exact}
+        remainder = n - sum(counts.values())
+        by_fraction = sorted(exact, key=lambda item: item[1] - int(item[1]),
+                             reverse=True)
+        for cls, _ in by_fraction[:remainder]:
+            counts[cls.label] += 1
+        return counts
+
+    def assign(self, n: int, rng: random.Random) -> List[Tuple[str, float]]:
+        """Assign a (class label, capacity) to each of ``n`` nodes.
+
+        Counts per class are deterministic (largest remainder); which node
+        lands in which class is shuffled with ``rng``.
+        """
+        counts = self.class_counts(n)
+        assignment: List[Tuple[str, float]] = []
+        for cls in self.classes:
+            assignment.extend([(cls.label, cls.capacity_bps)] * counts[cls.label])
+        rng.shuffle(assignment)
+        return assignment
+
+    def __repr__(self) -> str:  # pragma: no cover
+        parts = ", ".join(f"{c.fraction:.0%}@{c.label}" for c in self.classes)
+        return f"CapabilityDistribution({self.name}: {parts})"
+
+
+class ContinuousUniformDistribution(CapabilityDistribution):
+    """Uniform capability in [low, high] bps — the paper's dist2.
+
+    Exposed through the same interface; ``assign`` draws i.i.d. uniform
+    capacities and labels every node "uniform".  For class-based metrics
+    the nodes can be bucketed by tercile via :meth:`tercile_label`.
+    """
+
+    def __init__(self, name: str, low_bps: float, high_bps: float):
+        if not 0 < low_bps <= high_bps:
+            raise ValueError(f"invalid range [{low_bps}, {high_bps}]")
+        self.low_bps = low_bps
+        self.high_bps = high_bps
+        mean = (low_bps + high_bps) / 2
+        super().__init__(name, [BandwidthClass("uniform", mean, 1.0)])
+
+    def average_bps(self) -> float:
+        return (self.low_bps + self.high_bps) / 2
+
+    def assign(self, n: int, rng: random.Random) -> List[Tuple[str, float]]:
+        return [("uniform", rng.uniform(self.low_bps, self.high_bps))
+                for _ in range(n)]
+
+    def tercile_label(self, capacity_bps: float) -> str:
+        span = (self.high_bps - self.low_bps) / 3
+        if capacity_bps < self.low_bps + span:
+            return "low"
+        if capacity_bps < self.low_bps + 2 * span:
+            return "mid"
+        return "high"
+
+
+# ----------------------------------------------------------------------
+# The paper's distributions (Table 1).
+# ----------------------------------------------------------------------
+REF_691 = CapabilityDistribution("ref-691", [
+    BandwidthClass("2Mbps", 2048 * KBPS, 0.10),
+    BandwidthClass("768kbps", 768 * KBPS, 0.50),
+    BandwidthClass("256kbps", 256 * KBPS, 0.40),
+])
+
+REF_724 = CapabilityDistribution("ref-724", [
+    BandwidthClass("2Mbps", 2048 * KBPS, 0.15),
+    BandwidthClass("768kbps", 768 * KBPS, 0.39),
+    BandwidthClass("256kbps", 256 * KBPS, 0.46),
+])
+
+MS_691 = CapabilityDistribution("ms-691", [
+    BandwidthClass("3Mbps", 3072 * KBPS, 0.05),
+    BandwidthClass("1Mbps", 1024 * KBPS, 0.10),
+    BandwidthClass("512kbps", 512 * KBPS, 0.85),
+])
+
+#: The paper's dist2: uniform with the same 691.2 kbps average as dist1.
+UNIFORM_691 = ContinuousUniformDistribution(
+    "uniform-691", low_bps=256 * KBPS, high_bps=1126.4 * KBPS)
+
+#: Unconstrained PlanetLab-like uplinks (Figure 1).
+UNCONSTRAINED = CapabilityDistribution("unconstrained", [
+    BandwidthClass("100Mbps", 100_000 * KBPS, 1.0),
+])
+
+_BY_NAME = {d.name: d for d in (REF_691, REF_724, MS_691, UNIFORM_691, UNCONSTRAINED)}
+
+
+def distribution_by_name(name: str) -> CapabilityDistribution:
+    """Look up one of the paper's distributions by its name."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        known = ", ".join(sorted(_BY_NAME))
+        raise ValueError(f"unknown distribution {name!r}; known: {known}") from None

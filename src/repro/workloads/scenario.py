@@ -1,0 +1,153 @@
+"""Scenario configuration: one experiment run, fully described.
+
+A scenario bundles everything the runner needs — population size,
+protocol, capability distribution, stream and gossip parameters, network
+conditions, churn — under a single seed, so a scenario value *is* the
+experiment identity: same scenario, same result, bit for bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.core.config import GossipConfig
+from repro.streaming.packets import StreamConfig
+from repro.workloads.churn import CatastrophicFailure
+from repro.workloads.distributions import KBPS, REF_691, CapabilityDistribution
+
+#: Protocols the runner knows how to build.
+PROTOCOLS = ("standard", "heap", "tree")
+
+
+@dataclass
+class ScenarioConfig:
+    """Everything needed to run one dissemination experiment."""
+
+    name: str = "scenario"
+    #: One of "standard" (Algorithm 1), "heap" (Algorithm 2) or "tree"
+    #: (the static-tree baseline the introduction argues against).
+    protocol: str = "heap"
+    #: Total node count *including* the source (node 0).
+    n_nodes: int = 100
+    #: Seconds of stream published.
+    duration: float = 30.0
+    #: Extra simulated seconds after the source stops, so in-flight
+    #: packets settle and offline metrics are exact.
+    drain: float = 30.0
+    #: Stream publication start (leaves the aggregation protocol a short
+    #: warm-up, as a real deployment would have).
+    stream_start: float = 2.0
+    seed: int = 1
+
+    distribution: CapabilityDistribution = REF_691
+    stream: StreamConfig = field(default_factory=StreamConfig)
+    gossip: GossipConfig = field(default_factory=GossipConfig)
+
+    #: The source's uplink (well provisioned, as on the paper's testbed).
+    source_capacity_bps: float = 5 * 2048 * KBPS
+    #: Capability the source *advertises* to the fanout-adaptation and
+    #: aggregation protocols.  None means "the distribution average", so
+    #: the source gossips like an average node and its big uplink is pure
+    #: headroom — advertising the raw uplink would make every node pull
+    #: directly from the source and congest it.
+    source_advertised_bps: Optional[float] = None
+    #: Mean failure-detection delay (paper: ~10 s).
+    mean_detection_delay: float = 10.0
+    #: Bernoulli datagram loss rate (0 disables the loss model).
+    loss_rate: float = 0.0
+    #: Median of the pairwise base latency distribution, seconds.
+    latency_median: float = 0.05
+    #: Per-message uniform jitter on top of the base latency, seconds.
+    latency_jitter: float = 0.01
+    #: Optional catastrophic failure (Section 3.6).
+    churn: Optional[CatastrophicFailure] = None
+
+    #: Fraction of nodes whose *effective* uplink is degraded below their
+    #: advertised capability (the paper's overloaded PlanetLab hosts,
+    #: "between 5% and 7%" contributing far less than their limit).
+    degraded_fraction: float = 0.0
+    #: Effective capacity multiplier for degraded nodes.
+    degraded_factor: float = 0.5
+
+    #: Bias exponent for the source's first-hop target selection
+    #: (0 = uniform, the paper's default; >0 explores its §5 extension).
+    source_bias: float = 0.0
+
+    #: Membership substrate: "directory" (full membership, the paper's
+    #: PlanetLab assumption) or "cyclon" (decentralized partial views
+    #: from the peer-sampling service).
+    membership: str = "directory"
+    #: Partial-view size when membership == "cyclon".
+    cyclon_view_size: int = 20
+
+    #: Fraction of receivers that freeride (HEAP only; §5's concern).
+    freerider_fraction: float = 0.0
+    #: "underclaim" — advertise freerider_param * capability to the
+    #: aggregation protocol; "nonserve" — answer only freerider_param of
+    #: received requests.
+    freerider_mode: str = "underclaim"
+    #: Claim factor (underclaim) or serve probability (nonserve).
+    freerider_param: float = 0.1
+    #: Run the gossip-based freerider audit on every node.
+    audit: bool = False
+
+    #: Discover upload capabilities at join time instead of trusting the
+    #: configured value: nodes advertise ``discovery_initial_bps`` and
+    #: slow-start toward their real uplink (§2.2's joining heuristic).
+    capability_discovery: bool = False
+    discovery_initial_bps: float = 128 * KBPS
+
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        if self.protocol not in PROTOCOLS:
+            raise ValueError(
+                f"unknown protocol {self.protocol!r}; known: {PROTOCOLS}")
+        if self.n_nodes < 2:
+            raise ValueError("need at least a source and one receiver")
+        if self.duration <= 0:
+            raise ValueError("duration must be positive")
+        if self.drain < 0:
+            raise ValueError("drain must be >= 0")
+        if self.stream_start < 0:
+            raise ValueError("stream_start must be >= 0")
+        if not 0.0 <= self.loss_rate < 1.0:
+            raise ValueError("loss rate must be in [0, 1)")
+        if self.source_capacity_bps <= 0:
+            raise ValueError("source capacity must be positive")
+        if not 0.0 <= self.degraded_fraction <= 1.0:
+            raise ValueError("degraded fraction must be in [0, 1]")
+        if not 0.0 < self.degraded_factor <= 1.0:
+            raise ValueError("degraded factor must be in (0, 1]")
+        if self.source_bias < 0:
+            raise ValueError("source bias must be >= 0")
+        if self.membership not in ("directory", "cyclon"):
+            raise ValueError(f"unknown membership {self.membership!r}")
+        if self.cyclon_view_size < 2:
+            raise ValueError("cyclon view size must be >= 2")
+        if not 0.0 <= self.freerider_fraction < 1.0:
+            raise ValueError("freerider fraction must be in [0, 1)")
+        if self.freerider_mode not in ("underclaim", "nonserve"):
+            raise ValueError(f"unknown freerider mode {self.freerider_mode!r}")
+        if not 0.0 < self.freerider_param <= 1.0:
+            raise ValueError("freerider param must be in (0, 1]")
+        if self.freerider_fraction > 0 and self.protocol != "heap":
+            raise ValueError("freeriders are modelled for the heap protocol")
+        if self.discovery_initial_bps <= 0:
+            raise ValueError("discovery initial capability must be positive")
+        self.stream.validate()
+        self.gossip.validate()
+
+    def with_(self, **overrides) -> "ScenarioConfig":
+        """A modified copy (convenience over dataclasses.replace)."""
+        return replace(self, **overrides)
+
+    @property
+    def end_time(self) -> float:
+        """Simulated time at which the run finishes."""
+        return self.stream_start + self.duration + self.drain
+
+    @property
+    def total_packets(self) -> int:
+        """Packets the source will publish (whole windows only)."""
+        return self.stream.packets_for_duration(self.duration)

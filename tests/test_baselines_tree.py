@@ -1,0 +1,89 @@
+"""Unit tests for the static-tree baseline."""
+
+import pytest
+
+from repro.baselines.tree import StaticTreeNode, TreePush, build_kary_tree
+from repro.net.latency import ConstantLatency
+from repro.net.network import Network
+from repro.sim.engine import Simulator
+from repro.streaming.packets import StreamPacket
+
+
+def packet(packet_id):
+    return StreamPacket(packet_id=packet_id, window_id=0, publish_time=0.0)
+
+
+class TestBuildKaryTree:
+    def test_binary_tree_shape(self):
+        children = build_kary_tree(range(7), arity=2)
+        assert children[0] == [1, 2]
+        assert children[1] == [3, 4]
+        assert children[2] == [5, 6]
+        assert children[3] == []
+
+    def test_unary_tree_is_a_chain(self):
+        children = build_kary_tree(range(4), arity=1)
+        assert children == {0: [1], 1: [2], 2: [3], 3: []}
+
+    def test_every_non_root_has_one_parent(self):
+        children = build_kary_tree(range(50), arity=7)
+        seen = [c for kids in children.values() for c in kids]
+        assert sorted(seen) == list(range(1, 50))
+
+    def test_invalid_arity(self):
+        with pytest.raises(ValueError):
+            build_kary_tree(range(3), arity=0)
+
+
+class TestStaticTreeDissemination:
+    def build(self, n=15, arity=2, latency=0.01):
+        sim = Simulator()
+        net = Network(sim, latency=ConstantLatency(latency))
+        children = build_kary_tree(range(n), arity)
+        nodes = [StaticTreeNode(sim, net, i, children[i], 1e9) for i in range(n)]
+        for i, node in enumerate(nodes):
+            net.attach(i, node, upload_capacity_bps=1e9)
+        return sim, net, nodes
+
+    def test_packet_reaches_all_descendants(self):
+        sim, net, nodes = self.build()
+        nodes[0].publish(packet(0))
+        sim.run()
+        assert all(node.log.has(0) for node in nodes)
+
+    def test_delivery_time_grows_with_depth(self):
+        sim, net, nodes = self.build(n=7, arity=2, latency=0.05)
+        nodes[0].publish(packet(0))
+        sim.run()
+        root = nodes[0].log.delivery_time(0)
+        level1 = nodes[1].log.delivery_time(0)
+        level2 = nodes[3].log.delivery_time(0)
+        assert root < level1 < level2
+
+    def test_interior_crash_starves_subtree(self):
+        sim, net, nodes = self.build(n=7, arity=2)
+        net.crash(1)  # children 3, 4 are cut off
+        nodes[0].publish(packet(0))
+        sim.run()
+        assert nodes[2].log.has(0)
+        assert not nodes[3].log.has(0)
+        assert not nodes[4].log.has(0)
+
+    def test_duplicate_push_not_reforwarded(self):
+        sim, net, nodes = self.build(n=3, arity=2)
+        nodes[0].publish(packet(0))
+        sim.run()
+        forwarded_before = nodes[1].packets_forwarded
+        # Replay the same packet at node 1: must not forward again.
+        nodes[1].on_message(type("E", (), {
+            "payload": TreePush([packet(0)]), "src": 0, "dst": 1})())
+        assert nodes[1].packets_forwarded == forwarded_before
+
+    def test_wire_size(self):
+        push = TreePush([packet(0), packet(1)])
+        assert push.wire_size() == 8 + 2 * (1316 + 12)
+
+    def test_start_stop_are_noops(self):
+        sim, net, nodes = self.build(n=3)
+        nodes[0].start()
+        nodes[0].stop()  # must not raise

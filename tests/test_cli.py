@@ -1,0 +1,69 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import ABLATIONS, EXTENSIONS, FIGURES, TABLES, build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.protocol == "heap"
+        assert args.distribution == "ref-691"
+
+    def test_registries_cover_all_paper_artifacts(self):
+        assert set(FIGURES) == {"fig1", "fig2", "fig3", "fig4", "fig5", "fig6",
+                                "fig7", "fig8", "fig9", "fig10a", "fig10b"}
+        assert set(TABLES) == {"table1", "table2", "table3"}
+        assert len(ABLATIONS) == 4
+        assert len(EXTENSIONS) == 4
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig10a" in out
+        assert "table3" in out
+        assert "freeriders" in out
+
+    def test_table1(self, capsys):
+        assert main(["table", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "ref-691" in out and "CSR" in out
+
+    def test_unknown_id(self, capsys):
+        assert main(["figure", "fig99"]) == 2
+        assert "unknown id" in capsys.readouterr().err
+
+    def test_run_small_scenario(self, capsys):
+        code = main(["run", "--nodes", "25", "--seconds", "5",
+                     "--drain", "12", "--seed", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "jitter-free windows" in out
+        assert "utilization" in out
+
+    def test_run_with_freeriders_reports_detection(self, capsys):
+        code = main(["run", "--nodes", "30", "--seconds", "5", "--drain", "12",
+                     "--freerider-fraction", "0.2",
+                     "--freerider-mode", "nonserve", "--audit"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "freeriders:" in out
+        assert "precision" in out
+
+    def test_run_with_churn(self, capsys):
+        code = main(["run", "--nodes", "25", "--seconds", "8", "--drain", "15",
+                     "--churn-fraction", "0.2", "--churn-time", "4"])
+        assert code == 0
+
+    def test_run_tree_protocol(self, capsys):
+        code = main(["run", "--protocol", "tree", "--nodes", "25",
+                     "--seconds", "5", "--drain", "12",
+                     "--distribution", "unconstrained"])
+        assert code == 0

@@ -1,0 +1,169 @@
+"""Tests for the gossip-based capability aggregation protocol."""
+
+import random
+
+import pytest
+
+from repro.core.aggregation import AggregationMessage, CapabilityAggregator
+from repro.membership.directory import MembershipDirectory
+from repro.net.latency import ConstantLatency
+from repro.net.network import Network
+from repro.sim.engine import Simulator
+
+
+class AggEndpoint:
+    """Minimal endpoint wrapping one aggregator."""
+
+    def __init__(self, aggregator):
+        self.aggregator = aggregator
+
+    def on_message(self, envelope):
+        self.aggregator.on_message(envelope.src, envelope.payload)
+
+
+def build_system(capabilities, seed=0, period=0.2, fresh_count=10, fanout=7,
+                 sample_ttl=10.0):
+    sim = Simulator()
+    net = Network(sim, latency=ConstantLatency(0.02))
+    directory = MembershipDirectory(sim, random.Random(seed), mean_detection_delay=0.0)
+    directory.register_all(range(len(capabilities)))
+    aggregators = []
+    for node_id, capability in enumerate(capabilities):
+        agg = CapabilityAggregator(
+            sim, net, node_id, capability=lambda c=capability: c,
+            view=directory.view_of(node_id), rng=random.Random(seed * 7919 + node_id),
+            period=period, fresh_count=fresh_count, fanout=fanout,
+            sample_ttl=sample_ttl)
+        net.attach(node_id, AggEndpoint(agg), upload_capacity_bps=10e6)
+        aggregators.append(agg)
+    for agg in aggregators:
+        agg.start()
+    return sim, net, directory, aggregators
+
+
+def test_initial_estimate_is_own_capability():
+    sim = Simulator()
+    net = Network(sim)
+    agg = CapabilityAggregator(sim, net, 0, capability=lambda: 512.0,
+                               view=None, rng=random.Random(1))
+    assert agg.average_estimate() == 512.0
+    assert agg.relative_capability() == 1.0
+
+
+def test_estimates_converge_to_true_average():
+    capabilities = [3000.0] * 2 + [1000.0] * 4 + [512.0] * 24
+    true_average = sum(capabilities) / len(capabilities)
+    sim, net, directory, aggregators = build_system(capabilities)
+    sim.run(until=5.0)
+    estimates = [agg.average_estimate() for agg in aggregators]
+    for estimate in estimates:
+        assert estimate == pytest.approx(true_average, rel=0.15)
+    mean_estimate = sum(estimates) / len(estimates)
+    assert mean_estimate == pytest.approx(true_average, rel=0.08)
+
+
+def test_relative_capability_orders_nodes():
+    capabilities = [3000.0, 1000.0, 512.0, 512.0, 512.0, 512.0]
+    sim, net, directory, aggregators = build_system(capabilities, fanout=3)
+    sim.run(until=5.0)
+    rel = [agg.relative_capability() for agg in aggregators]
+    assert rel[0] > rel[1] > rel[2]
+    assert rel[0] == pytest.approx(3000.0 / aggregators[0].average_estimate())
+
+
+def test_sample_table_grows_beyond_direct_partners():
+    capabilities = [700.0] * 40
+    sim, net, directory, aggregators = build_system(capabilities, fanout=2)
+    sim.run(until=5.0)
+    # With fanout 2 but relayed samples, tables should know many peers.
+    assert all(agg.sample_count() > 10 for agg in aggregators)
+
+
+def test_freshest_returns_newest_first_and_caps_count():
+    sim = Simulator()
+    net = Network(sim)
+    agg = CapabilityAggregator(sim, net, 0, capability=lambda: 100.0,
+                               view=None, rng=random.Random(1), fresh_count=3)
+    agg._samples[1] = (200.0, 5.0)
+    agg._samples[2] = (300.0, 9.0)
+    agg._samples[3] = (400.0, 1.0)
+    agg._samples[0] = (100.0, 10.0)
+    fresh = agg.freshest(3)
+    assert [node for node, _, _ in fresh] == [0, 2, 1]
+
+
+def test_merge_keeps_freshest_sample():
+    sim = Simulator()
+    net = Network(sim)
+    agg = CapabilityAggregator(sim, net, 0, capability=lambda: 100.0,
+                               view=None, rng=random.Random(1))
+    agg.on_message(1, AggregationMessage([(5, 500.0, 2.0)]))
+    agg.on_message(2, AggregationMessage([(5, 999.0, 1.0)]))  # staler
+    assert agg._samples[5] == (500.0, 2.0)
+    agg.on_message(3, AggregationMessage([(5, 700.0, 3.0)]))  # fresher
+    assert agg._samples[5] == (700.0, 3.0)
+
+
+def test_own_sample_never_overwritten_by_gossip():
+    sim = Simulator()
+    net = Network(sim)
+    agg = CapabilityAggregator(sim, net, 0, capability=lambda: 100.0,
+                               view=None, rng=random.Random(1))
+    agg._refresh_own_sample()
+    agg.on_message(1, AggregationMessage([(0, 99999.0, 100.0)]))
+    assert agg._samples[0][0] == 100.0
+
+
+def test_stale_samples_evicted():
+    capabilities = [700.0] * 10
+    sim, net, directory, aggregators = build_system(capabilities, sample_ttl=1.0)
+    sim.run(until=3.0)
+    agg = aggregators[0]
+    assert agg.sample_count() > 1
+    # Stop everyone; samples now age without refresh.
+    for a in aggregators:
+        a.stop()
+    sim.run(until=10.0)
+    agg._evict_stale()
+    # Only the node's own sample survives eviction.
+    assert agg.sample_count() == 1
+
+
+def test_aggregation_traffic_is_marginal():
+    """The paper: ~1 KB/s per node at defaults, 'completely marginal'."""
+    capabilities = [700_000.0] * 30
+    sim, net, directory, aggregators = build_system(capabilities)
+    sim.run(until=10.0)
+    bytes_per_node_per_second = net.stats.bytes_sent / 30 / 10.0
+    assert bytes_per_node_per_second < 12_000  # ~10 msgs/s * ~1.1 KB
+
+
+def test_message_wire_size():
+    message = AggregationMessage([(1, 2.0, 3.0)] * 10)
+    assert message.wire_size() == 8 + 12 * 10
+
+
+def test_estimate_tracks_capability_change():
+    """When a node's capability changes, estimates follow within the TTL."""
+    state = {"cap": 512.0}
+    sim = Simulator()
+    net = Network(sim, latency=ConstantLatency(0.02))
+    directory = MembershipDirectory(sim, random.Random(0), mean_detection_delay=0.0)
+    directory.register_all(range(4))
+    aggregators = []
+    for node_id in range(4):
+        capability = (lambda: state["cap"]) if node_id == 0 else (lambda: 512.0)
+        agg = CapabilityAggregator(sim, net, node_id, capability=capability,
+                                   view=directory.view_of(node_id),
+                                   rng=random.Random(node_id), fanout=3,
+                                   sample_ttl=2.0)
+        net.attach(node_id, AggEndpoint(agg), upload_capacity_bps=10e6)
+        aggregators.append(agg)
+    for agg in aggregators:
+        agg.start()
+    sim.run(until=3.0)
+    before = aggregators[1].average_estimate()
+    state["cap"] = 5120.0
+    sim.run(until=8.0)
+    after = aggregators[1].average_estimate()
+    assert after > before * 1.5

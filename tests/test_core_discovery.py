@@ -1,0 +1,131 @@
+"""Tests for the slow-start capability prober."""
+
+import pytest
+
+from repro.core.discovery import CapabilityProber
+from repro.net.bandwidth import UplinkQueue
+from repro.sim.engine import Simulator
+
+
+def make_prober(sim, uplink, **kwargs):
+    defaults = dict(initial_bps=64_000.0, probe_period=1.0)
+    defaults.update(kwargs)
+    return CapabilityProber(sim, uplink, **defaults)
+
+
+def drive_uplink(sim, uplink, rate_bps, seconds):
+    """Schedule sends that keep the uplink at roughly ``rate_bps``."""
+    bytes_per_tick = rate_bps / 8.0 / 10.0
+    ticks = int(seconds * 10)
+    for i in range(ticks):
+        sim.schedule(i * 0.1, lambda b=int(bytes_per_tick): uplink.enqueue(sim.now, b))
+
+
+def test_grows_when_advertisement_is_filled():
+    sim = Simulator()
+    uplink = UplinkQueue(10e6)
+    prober = make_prober(sim, uplink, initial_bps=64_000.0, growth=2.0)
+    prober.start()
+    drive_uplink(sim, uplink, rate_bps=2_000_000.0, seconds=5.0)
+    sim.run(until=5.0)
+    prober.stop()
+    # 64k doubling per filled period: should have grown far beyond start.
+    assert prober.advertised_bps > 500_000.0
+
+
+def test_growth_capped_at_ceiling():
+    sim = Simulator()
+    uplink = UplinkQueue(10e6)
+    prober = make_prober(sim, uplink, initial_bps=64_000.0, growth=4.0,
+                         ceiling_bps=256_000.0)
+    prober.start()
+    drive_uplink(sim, uplink, rate_bps=5_000_000.0, seconds=5.0)
+    sim.run(until=5.0)
+    assert prober.advertised_bps == 256_000.0
+
+
+def test_decays_when_under_used():
+    sim = Simulator()
+    uplink = UplinkQueue(10e6)
+    prober = make_prober(sim, uplink, initial_bps=1_000_000.0, decay=0.5)
+    prober.start()
+    # Trickle: ~50 kbps against a 1 Mbps advertisement.
+    drive_uplink(sim, uplink, rate_bps=50_000.0, seconds=4.0)
+    sim.run(until=4.0)
+    assert prober.advertised_bps < 1_000_000.0
+    # Never decays below what is actually flowing.
+    assert prober.advertised_bps >= 50_000.0 * 0.9
+
+
+def test_holds_steady_between_watermarks():
+    sim = Simulator()
+    uplink = UplinkQueue(10e6)
+    prober = make_prober(sim, uplink, initial_bps=1_000_000.0,
+                         high_watermark=0.8, low_watermark=0.3)
+    prober.start()
+    # ~50% utilization: between watermarks, no change.
+    drive_uplink(sim, uplink, rate_bps=500_000.0, seconds=3.0)
+    sim.run(until=3.0)
+    assert prober.advertised_bps == 1_000_000.0
+
+
+def test_on_change_callback_fires():
+    sim = Simulator()
+    uplink = UplinkQueue(10e6)
+    changes = []
+    prober = make_prober(sim, uplink, on_change=changes.append, growth=2.0)
+    prober.start()
+    drive_uplink(sim, uplink, rate_bps=1_000_000.0, seconds=2.0)
+    sim.run(until=2.0)
+    assert changes
+    assert changes[-1] == prober.advertised_bps
+
+
+def test_observed_rate_resets_each_probe():
+    sim = Simulator()
+    uplink = UplinkQueue(10e6)
+    prober = make_prober(sim, uplink)
+    prober.start()
+    uplink.enqueue(0.0, 12_500)  # 100 kbit in the first period
+    sim.run(until=1.0)
+    # After the probe consumed it, a quiet second period observes ~0.
+    sim.run(until=2.0)
+    assert prober.observed_rate_bps() == 0.0
+    assert prober.probes == 2
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"initial_bps": 0.0},
+    {"growth": 0.9},
+    {"decay": 1.5},
+    {"high_watermark": 0.2, "low_watermark": 0.3},
+])
+def test_parameter_validation(kwargs):
+    sim = Simulator()
+    uplink = UplinkQueue(1e6)
+    with pytest.raises(ValueError):
+        make_prober(sim, uplink, **kwargs)
+
+
+def test_integration_with_heap_capability():
+    """Wiring the prober to a HEAP node's advertised capability: the
+    advertisement follows discovered throughput, and HEAP's fanout
+    adaptation consumes it transparently."""
+    from repro.core import GossipConfig
+    from repro.core.fanout import AdaptiveFanout
+    import random
+
+    sim = Simulator()
+    uplink = UplinkQueue(3_000_000.0)
+    state = {"advertised": 64_000.0}
+    prober = make_prober(sim, uplink, initial_bps=64_000.0, growth=2.0,
+                         ceiling_bps=3_000_000.0,
+                         on_change=lambda bps: state.update(advertised=bps))
+    policy = AdaptiveFanout(7.0, lambda: state["advertised"],
+                            lambda: 691.2 * 1024, rng=random.Random(1))
+    prober.start()
+    fanout_before = policy.current()
+    drive_uplink(sim, uplink, rate_bps=2_800_000.0, seconds=8.0)
+    sim.run(until=8.0)
+    assert policy.current() > fanout_before
+    assert state["advertised"] == 3_000_000.0

@@ -1,0 +1,125 @@
+"""Unit and property tests for fanout policies."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.fanout import AdaptiveFanout, FixedFanout, ln_fanout, quantize_fanout
+
+
+class TestLnFanout:
+    def test_matches_paper_for_270_nodes(self):
+        # ln(270) ~= 5.6; with the default headroom the paper uses ~7.
+        assert ln_fanout(270) == pytest.approx(7.0, abs=0.1)
+
+    def test_grows_logarithmically(self):
+        assert ln_fanout(1000) - ln_fanout(100) == pytest.approx(math.log(10))
+
+    def test_rejects_bad_n(self):
+        with pytest.raises(ValueError):
+            ln_fanout(0)
+
+
+class TestQuantize:
+    def test_round_mode(self):
+        assert quantize_fanout(6.8, "round", None) == 7
+        assert quantize_fanout(7.2, "round", None) == 7
+
+    def test_zero_or_negative(self):
+        assert quantize_fanout(0.0, "round", None) == 0
+        assert quantize_fanout(-3.0, "stochastic", random.Random(1)) == 0
+
+    def test_stochastic_needs_rng(self):
+        with pytest.raises(ValueError):
+            quantize_fanout(1.5, "stochastic", None)
+
+    def test_unknown_mode(self):
+        with pytest.raises(ValueError):
+            quantize_fanout(1.5, "nearest", None)
+
+    def test_stochastic_preserves_mean(self):
+        rng = random.Random(42)
+        samples = [quantize_fanout(3.3, "stochastic", rng) for _ in range(20000)]
+        assert all(s in (3, 4) for s in samples)
+        assert sum(samples) / len(samples) == pytest.approx(3.3, abs=0.03)
+
+    @given(st.floats(min_value=0.0, max_value=50.0))
+    def test_property_stochastic_within_one_of_value(self, value):
+        rng = random.Random(7)
+        q = quantize_fanout(value, "stochastic", rng)
+        assert math.floor(value) <= q <= math.ceil(value)
+
+
+class TestFixedFanout:
+    def test_constant(self):
+        policy = FixedFanout(7.0)
+        assert policy.current() == 7.0
+        assert policy.partners_this_round() == 7
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            FixedFanout(-1.0)
+
+
+class TestAdaptiveFanout:
+    def make(self, capability, average, **kwargs):
+        return AdaptiveFanout(
+            base_fanout=7.0,
+            capability=lambda: capability,
+            average_estimate=lambda: average,
+            rng=random.Random(3),
+            **kwargs,
+        )
+
+    def test_equation_one(self):
+        # b_p = 2 * b_avg -> fanout = 14 (Equation 1 of the paper).
+        policy = self.make(capability=1400.0, average=700.0)
+        assert policy.current() == pytest.approx(14.0)
+
+    def test_poor_node_gets_fraction(self):
+        policy = self.make(capability=256_000.0, average=691_000.0)
+        assert policy.current() == pytest.approx(7.0 * 256 / 691)
+
+    def test_min_fanout_floor(self):
+        policy = self.make(capability=1.0, average=1000.0, min_fanout=1.0)
+        assert policy.current() == 1.0
+
+    def test_max_fanout_cap(self):
+        policy = self.make(capability=100.0, average=1.0, max_fanout=20.0)
+        assert policy.current() == 20.0
+
+    def test_zero_average_falls_back_to_base(self):
+        policy = self.make(capability=100.0, average=0.0)
+        assert policy.current() == 7.0
+
+    def test_tracks_dynamic_estimate(self):
+        state = {"avg": 700.0}
+        policy = AdaptiveFanout(7.0, lambda: 1400.0, lambda: state["avg"],
+                                rng=random.Random(1))
+        assert policy.current() == pytest.approx(14.0)
+        state["avg"] = 1400.0
+        assert policy.current() == pytest.approx(7.0)
+
+    def test_rejects_base_below_one(self):
+        with pytest.raises(ValueError):
+            self.make(capability=1.0, average=1.0, min_fanout=0.0).__class__(
+                base_fanout=0.5, capability=lambda: 1.0,
+                average_estimate=lambda: 1.0)
+
+    def test_average_fanout_preserved_across_population(self):
+        """The mean of per-round quantized fanouts over a heterogeneous
+        population approximates the base fanout — HEAP's reliability
+        invariant (average fanout = ln(n) + c)."""
+        rng = random.Random(9)
+        capabilities = [3000.0] * 5 + [1000.0] * 10 + [512.0] * 85
+        average = sum(capabilities) / len(capabilities)
+        policies = [AdaptiveFanout(7.0, lambda c=c: c, lambda: average,
+                                   min_fanout=0.0, rng=rng)
+                    for c in capabilities]
+        rounds = 200
+        total = sum(p.partners_this_round() for p in policies for _ in range(rounds))
+        mean_fanout = total / (len(policies) * rounds)
+        assert mean_fanout == pytest.approx(7.0, rel=0.03)

@@ -1,0 +1,96 @@
+"""Unit tests for the retransmission manager."""
+
+import pytest
+
+from repro.core.retransmission import RetransmissionManager
+from repro.sim.engine import Simulator
+
+
+class Harness:
+    def __init__(self, period=0.5, max_retries=2):
+        self.sim = Simulator()
+        self.delivered = set()
+        self.resends = []
+        self.released = []
+        self.manager = RetransmissionManager(
+            self.sim, period=period, max_retries=max_retries,
+            is_delivered=self.delivered.__contains__,
+            resend=lambda peer, ids: self.resends.append((self.sim.now, peer, ids)),
+            release=lambda ids: self.released.extend(ids),
+        )
+
+
+def test_no_action_when_everything_delivered():
+    h = Harness()
+    h.manager.track(peer=1, ids=[10, 11])
+    h.delivered.update({10, 11})
+    h.sim.run()
+    assert h.resends == []
+    assert h.released == []
+
+
+def test_resend_missing_ids_to_same_peer():
+    h = Harness(period=0.5)
+    h.manager.track(peer=1, ids=[10, 11, 12])
+    h.delivered.add(10)
+    h.sim.run(until=0.6)
+    assert h.resends == [(0.5, 1, [11, 12])]
+
+
+def test_retries_then_release():
+    h = Harness(period=0.5, max_retries=2)
+    h.manager.track(peer=1, ids=[10])
+    h.sim.run()
+    # Two resends (t=0.5, 1.0) then release at t=1.5.
+    assert [(t, peer) for t, peer, _ in h.resends] == [(0.5, 1), (1.0, 1)]
+    assert h.released == [10]
+    assert h.manager.retransmissions == 2
+    assert h.manager.abandoned == 1
+
+
+def test_partial_delivery_between_retries():
+    h = Harness(period=0.5, max_retries=3)
+    h.manager.track(peer=2, ids=[1, 2, 3])
+    h.sim.schedule(0.4, lambda: h.delivered.add(1))
+    h.sim.schedule(0.9, lambda: h.delivered.update({2, 3}))
+    h.sim.run()
+    assert h.resends == [(0.5, 2, [2, 3])]
+    assert h.released == []
+
+
+def test_zero_retries_releases_immediately_on_expiry():
+    h = Harness(period=0.5, max_retries=0)
+    h.manager.track(peer=1, ids=[7])
+    h.sim.run()
+    assert h.resends == []
+    assert h.released == [7]
+
+
+def test_empty_ids_is_noop():
+    h = Harness()
+    h.manager.track(peer=1, ids=[])
+    assert h.manager.outstanding() == 0
+    h.sim.run()
+    assert h.resends == []
+
+
+def test_outstanding_counter():
+    h = Harness()
+    h.manager.track(peer=1, ids=[1])
+    h.manager.track(peer=2, ids=[2])
+    assert h.manager.outstanding() == 2
+    h.delivered.update({1, 2})
+    h.sim.run()
+    assert h.manager.outstanding() == 0
+
+
+def test_invalid_parameters():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        RetransmissionManager(sim, period=0.0, max_retries=1,
+                              is_delivered=lambda i: False,
+                              resend=lambda p, i: None, release=lambda i: None)
+    with pytest.raises(ValueError):
+        RetransmissionManager(sim, period=1.0, max_retries=-1,
+                              is_delivered=lambda i: False,
+                              resend=lambda p, i: None, release=lambda i: None)

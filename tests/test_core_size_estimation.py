@@ -1,0 +1,104 @@
+"""Tests for gossip-based system-size estimation."""
+
+import random
+
+import pytest
+
+from repro.core.size_estimation import SizeEstimateMessage, SizeEstimator
+from repro.membership.directory import MembershipDirectory
+from repro.net.latency import ConstantLatency
+from repro.net.network import Network
+from repro.sim.engine import Simulator
+
+
+class EstEndpoint:
+    def __init__(self, estimator):
+        self.estimator = estimator
+
+    def on_message(self, envelope):
+        self.estimator.on_message(envelope)
+
+
+def build_system(n, seed=0, rounds_per_epoch=30, period=0.1):
+    sim = Simulator()
+    net = Network(sim, latency=ConstantLatency(0.01))
+    directory = MembershipDirectory(sim, random.Random(seed),
+                                    mean_detection_delay=0.0)
+    directory.register_all(range(n))
+    estimators = []
+    for node_id in range(n):
+        estimator = SizeEstimator(
+            sim, net, node_id, directory.view_of(node_id),
+            random.Random(seed * 5003 + node_id), is_leader=(node_id == 0),
+            period=period, rounds_per_epoch=rounds_per_epoch)
+        net.attach(node_id, EstEndpoint(estimator), upload_capacity_bps=10e6)
+        estimators.append(estimator)
+    for estimator in estimators:
+        estimator.start()
+    return sim, net, directory, estimators
+
+
+def test_no_estimate_before_first_epoch_settles():
+    sim, net, directory, estimators = build_system(10, rounds_per_epoch=50)
+    sim.run(until=1.0)  # 10 of 50 rounds
+    assert all(e.estimate() is None for e in estimators)
+
+
+@pytest.mark.parametrize("n", [8, 40])
+def test_estimates_converge_to_population_size(n):
+    sim, net, directory, estimators = build_system(n, rounds_per_epoch=40)
+    sim.run(until=20.0)  # several epochs
+    estimates = [e.estimate() for e in estimators if e.estimate() is not None]
+    assert len(estimates) > n * 0.9
+    median = sorted(estimates)[len(estimates) // 2]
+    assert n * 0.5 < median < n * 2.0
+
+
+def test_fanout_for_estimate():
+    sim = Simulator()
+    net = Network(sim)
+    estimator = SizeEstimator(sim, net, 0, None, random.Random(1))
+    # No estimate yet: fall back.
+    assert estimator.fanout_for_estimate(fallback=7.0) == 7.0
+    estimator._settled_estimate = 270.0
+    assert estimator.fanout_for_estimate(c=1.4) == pytest.approx(7.0, abs=0.1)
+
+
+def test_epochs_advance_and_track():
+    sim, net, directory, estimators = build_system(12, rounds_per_epoch=20)
+    sim.run(until=10.0)
+    assert all(e.epoch >= 2 for e in estimators)
+
+
+def test_lagging_epoch_message_ignored():
+    sim = Simulator()
+    net = Network(sim)
+    estimator = SizeEstimator(sim, net, 0, None, random.Random(1), is_leader=True)
+    net.attach(0, EstEndpoint(estimator), 10e6)
+    estimator.epoch = 5
+    value_before = estimator._value
+    estimator._on_push(1, SizeEstimateMessage(epoch=3, value=0.5))
+    assert estimator._value == value_before
+
+
+def test_epoch_ahead_message_fast_forwards():
+    sim = Simulator()
+    net = Network(sim)
+    estimator = SizeEstimator(sim, net, 0, None, random.Random(1), is_leader=False)
+    net.attach(0, EstEndpoint(estimator), 10e6)
+    net.attach(1, EstEndpoint(estimator), 10e6)
+    estimator._on_push(1, SizeEstimateMessage(epoch=4, value=0.5))
+    assert estimator.epoch == 4
+    # Non-leader restarted at 0 then averaged with 0.5.
+    assert estimator._value == pytest.approx(0.25)
+
+
+def test_rounds_per_epoch_validation():
+    sim = Simulator()
+    net = Network(sim)
+    with pytest.raises(ValueError):
+        SizeEstimator(sim, net, 0, None, random.Random(1), rounds_per_epoch=0)
+
+
+def test_wire_sizes():
+    assert SizeEstimateMessage(0, 0.5).wire_size() == 24

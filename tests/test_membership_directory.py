@@ -1,0 +1,122 @@
+"""Unit tests for the membership directory and delayed failure detection."""
+
+import random
+
+import pytest
+
+from repro.membership.directory import MembershipDirectory
+from repro.sim.engine import Simulator
+
+
+def make_directory(n=10, mean_delay=10.0, seed=1):
+    sim = Simulator()
+    directory = MembershipDirectory(sim, random.Random(seed), mean_detection_delay=mean_delay)
+    directory.register_all(range(n))
+    return sim, directory
+
+
+def test_register_populates_views_symmetrically():
+    _, directory = make_directory(n=5)
+    for node in range(5):
+        view = directory.view_of(node)
+        assert len(view) == 4
+        assert node not in view
+
+
+def test_register_all_and_alive_count():
+    _, directory = make_directory(n=7)
+    assert directory.alive_count() == 7
+    assert directory.alive_nodes == set(range(7))
+
+
+def test_duplicate_register_rejected():
+    _, directory = make_directory(n=3)
+    with pytest.raises(ValueError):
+        directory.register(0)
+
+
+def test_late_join_becomes_visible_everywhere():
+    _, directory = make_directory(n=3)
+    directory.register(99)
+    for node in range(3):
+        assert 99 in directory.view_of(node)
+    assert len(directory.view_of(99)) == 3
+
+
+def test_crash_marks_dead_immediately_in_truth():
+    sim, directory = make_directory(n=5)
+    directory.crash(2)
+    assert not directory.is_alive(2)
+    assert directory.alive_count() == 4
+
+
+def test_crash_removal_from_views_is_delayed():
+    sim, directory = make_directory(n=5, mean_delay=10.0)
+    directory.crash(2)
+    # Immediately after the crash survivors still see node 2.
+    assert 2 in directory.view_of(0)
+    sim.run(until=20.0)  # max delay is 2 * mean = 20s
+    for node in (0, 1, 3, 4):
+        assert 2 not in directory.view_of(node)
+
+
+def test_detection_delay_zero_is_immediate():
+    sim, directory = make_directory(n=4, mean_delay=0.0)
+    directory.crash(1)
+    assert 1 not in directory.view_of(0)
+
+
+def test_detection_delays_average_near_mean():
+    sim = Simulator()
+    rng = random.Random(42)
+    directory = MembershipDirectory(sim, rng, mean_detection_delay=10.0)
+    directory.register_all(range(200))
+    directory.crash(0)
+    # Sample the fraction of views that still contain node 0 at t=10:
+    # uniform [0, 20] delays mean about half should have learned by then.
+    sim.run(until=10.0)
+    still_seeing = sum(1 for n in range(1, 200) if 0 in directory.view_of(n))
+    assert 60 < still_seeing < 140
+    sim.run(until=20.0)
+    assert all(0 not in directory.view_of(n) for n in range(1, 200))
+
+
+def test_crash_twice_is_noop():
+    sim, directory = make_directory(n=3)
+    directory.crash(1)
+    directory.crash(1)
+    assert directory.alive_count() == 2
+
+
+def test_crash_many():
+    sim, directory = make_directory(n=10, mean_delay=0.0)
+    directory.crash_many([1, 2, 3])
+    assert directory.alive_count() == 7
+
+
+def test_pick_crash_victims_respects_fraction_and_protection():
+    sim, directory = make_directory(n=100)
+    victims = directory.pick_crash_victims(0.2, random.Random(7), protect=[0])
+    assert len(victims) == 20
+    assert 0 not in victims
+    assert len(set(victims)) == 20
+
+
+def test_pick_crash_victims_rejects_bad_fraction():
+    _, directory = make_directory(n=10)
+    with pytest.raises(ValueError):
+        directory.pick_crash_victims(1.5, random.Random(1))
+
+
+def test_pick_crash_victims_deterministic():
+    _, d1 = make_directory(n=50)
+    _, d2 = make_directory(n=50)
+    v1 = d1.pick_crash_victims(0.5, random.Random(3))
+    v2 = d2.pick_crash_victims(0.5, random.Random(3))
+    assert v1 == v2
+
+
+def test_negative_detection_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        MembershipDirectory(sim, random.Random(1), mean_detection_delay=-1.0)

@@ -1,0 +1,112 @@
+"""Tests for the Cyclon-style peer sampling service."""
+
+import random
+
+import pytest
+
+from repro.membership.peer_sampling import PeerSamplingService, ShuffleRequest, ViewEntry
+from repro.net.latency import ConstantLatency
+from repro.net.network import Network
+from repro.sim.engine import Simulator
+
+
+def build_swarm(n=20, view_size=8, shuffle_length=4, seed=0, period=1.0):
+    sim = Simulator()
+    net = Network(sim, latency=ConstantLatency(0.01))
+    rng = random.Random(seed)
+    services = []
+    for node_id in range(n):
+        service = PeerSamplingService(
+            sim, net, node_id, random.Random(seed * 1000 + node_id),
+            view_size=view_size, shuffle_length=shuffle_length, period=period)
+        net.attach(node_id, service, upload_capacity_bps=10e6)
+        services.append(service)
+    # Bootstrap in a ring so the initial graph is connected but far from random.
+    for node_id, service in enumerate(services):
+        service.bootstrap([(node_id + i) % n for i in range(1, 4)])
+    for service in services:
+        service.start(phase=rng.uniform(0, period))
+    return sim, net, services
+
+
+def test_bootstrap_fills_view():
+    sim, net, services = build_swarm(n=10)
+    assert services[0].neighbors() == [1, 2, 3]
+
+
+def test_bootstrap_skips_self_and_respects_capacity():
+    sim = Simulator()
+    net = Network(sim)
+    service = PeerSamplingService(sim, net, 0, random.Random(1), view_size=3, shuffle_length=2)
+    service.bootstrap([0, 1, 2, 3, 4, 5])
+    assert len(service.neighbors()) == 3
+    assert 0 not in service.neighbors()
+
+
+def test_shuffle_length_bounded_by_view_size():
+    sim = Simulator()
+    net = Network(sim)
+    with pytest.raises(ValueError):
+        PeerSamplingService(sim, net, 0, random.Random(1), view_size=4, shuffle_length=5)
+
+
+def test_views_fill_to_capacity_over_time():
+    sim, net, services = build_swarm(n=20, view_size=8)
+    sim.run(until=30.0)
+    sizes = [len(s.neighbors()) for s in services]
+    assert min(sizes) >= 6  # essentially all views should be near-full
+
+
+def test_view_never_contains_self_or_duplicates():
+    sim, net, services = build_swarm(n=15)
+    sim.run(until=20.0)
+    for service in services:
+        neighbors = service.neighbors()
+        assert service.node_id not in neighbors
+        assert len(neighbors) == len(set(neighbors))
+        assert len(neighbors) <= service.view_size
+
+
+def test_overlay_becomes_connected_and_mixed():
+    # Starting from a ring, shuffling should spread links widely: the union
+    # of in-degree should cover all nodes and views should not remain the
+    # initial ring neighbors.
+    sim, net, services = build_swarm(n=30, view_size=8)
+    initial = {s.node_id: set(s.neighbors()) for s in services}
+    sim.run(until=60.0)
+    moved = sum(1 for s in services if set(s.neighbors()) != initial[s.node_id])
+    assert moved > 25
+    pointed_at = set()
+    for service in services:
+        pointed_at.update(service.neighbors())
+    assert len(pointed_at) == 30
+
+
+def test_dead_entries_eventually_flushed():
+    sim, net, services = build_swarm(n=20, view_size=6, shuffle_length=3)
+    sim.run(until=10.0)
+    net.crash(5)
+    services[5].stop()
+    sim.run(until=300.0)
+    holders = [s for s in services if s.node_id != 5 and 5 in s.neighbors()]
+    # Aging + shuffle-consumption makes stale entries rare; allow a small tail.
+    assert len(holders) <= 2
+
+
+def test_local_view_mirror_tracks_entries():
+    sim, net, services = build_swarm(n=10)
+    sim.run(until=10.0)
+    for service in services:
+        assert sorted(service.view.members()) == service.neighbors()
+
+
+def test_shuffle_request_wire_size():
+    request = ShuffleRequest([(1, 0), (2, 3)])
+    assert request.wire_size() == 8 + 12 * 2
+
+
+def test_view_entry_copy_is_independent():
+    entry = ViewEntry(4, age=2)
+    copy = entry.copy()
+    copy.age = 9
+    assert entry.age == 2

@@ -1,0 +1,121 @@
+"""Unit tests for LocalView and selectors."""
+
+import random
+
+import pytest
+
+from repro.membership.selector import CapabilityBiasedSelector, UniformSelector
+from repro.membership.view import LocalView
+
+
+class TestLocalView:
+    def test_excludes_owner_on_construction(self):
+        view = LocalView(owner=1, members=[1, 2, 3])
+        assert 1 not in view
+        assert len(view) == 2
+
+    def test_add_and_remove(self):
+        view = LocalView(owner=0)
+        view.add(5)
+        assert 5 in view
+        view.remove(5)
+        assert 5 not in view
+
+    def test_add_owner_is_noop(self):
+        view = LocalView(owner=0)
+        view.add(0)
+        assert len(view) == 0
+
+    def test_remove_absent_is_noop(self):
+        view = LocalView(owner=0, members=[1])
+        view.remove(99)
+        assert len(view) == 1
+
+    def test_members_returns_copy(self):
+        view = LocalView(owner=0, members=[1, 2])
+        members = view.members()
+        members.add(99)
+        assert 99 not in view
+
+    def test_sample_uniform_without_replacement(self):
+        view = LocalView(owner=0, members=range(1, 11))
+        rng = random.Random(1)
+        sample = view.sample(5, rng)
+        assert len(sample) == 5
+        assert len(set(sample)) == 5
+        assert all(s in view for s in sample)
+
+    def test_sample_more_than_available_returns_all(self):
+        view = LocalView(owner=0, members=[1, 2, 3])
+        assert sorted(view.sample(10, random.Random(1))) == [1, 2, 3]
+
+    def test_sample_zero_or_negative(self):
+        view = LocalView(owner=0, members=[1, 2, 3])
+        assert view.sample(0, random.Random(1)) == []
+        assert view.sample(-1, random.Random(1)) == []
+
+    def test_sample_respects_exclude(self):
+        view = LocalView(owner=0, members=[1, 2, 3, 4])
+        sample = view.sample(10, random.Random(1), exclude={2, 4})
+        assert sorted(sample) == [1, 3]
+
+    def test_sample_deterministic_given_seed(self):
+        view_a = LocalView(owner=0, members=range(1, 100))
+        view_b = LocalView(owner=0, members=range(1, 100))
+        assert view_a.sample(10, random.Random(7)) == view_b.sample(10, random.Random(7))
+
+    def test_sample_roughly_uniform(self):
+        view = LocalView(owner=0, members=range(1, 21))
+        rng = random.Random(11)
+        counts = {i: 0 for i in range(1, 21)}
+        for _ in range(4000):
+            for member in view.sample(2, rng):
+                counts[member] += 1
+        # Each of 20 members expected 400 times; allow generous slack.
+        assert all(280 < c < 520 for c in counts.values())
+
+
+class TestUniformSelector:
+    def test_select_delegates_to_view(self):
+        view = LocalView(owner=0, members=range(1, 30))
+        selector = UniformSelector(random.Random(3))
+        chosen = selector.select(view, 7)
+        assert len(chosen) == 7
+        assert len(set(chosen)) == 7
+
+
+class TestCapabilityBiasedSelector:
+    def capability(self, node_id):
+        return 3000.0 if node_id < 5 else 100.0
+
+    def test_bias_prefers_rich_nodes(self):
+        view = LocalView(owner=99, members=range(0, 50))
+        selector = CapabilityBiasedSelector(random.Random(5), self.capability, bias=2.0)
+        rich_picks = 0
+        for _ in range(300):
+            chosen = selector.select(view, 3)
+            rich_picks += sum(1 for c in chosen if c < 5)
+        uniform_expectation = 300 * 3 * (5 / 50)
+        assert rich_picks > 2 * uniform_expectation
+
+    def test_bias_zero_is_uniform(self):
+        view = LocalView(owner=99, members=range(0, 50))
+        selector = CapabilityBiasedSelector(random.Random(5), self.capability, bias=0.0)
+        chosen = selector.select(view, 10)
+        assert len(set(chosen)) == 10
+
+    def test_select_all_returns_everything(self):
+        view = LocalView(owner=99, members=[1, 2, 3])
+        selector = CapabilityBiasedSelector(random.Random(5), self.capability)
+        assert sorted(selector.select(view, 5)) == [1, 2, 3]
+
+    def test_no_duplicates(self):
+        view = LocalView(owner=99, members=range(0, 20))
+        selector = CapabilityBiasedSelector(random.Random(6), self.capability, bias=1.0)
+        for _ in range(50):
+            chosen = selector.select(view, 8)
+            assert len(chosen) == len(set(chosen))
+
+    def test_negative_bias_rejected(self):
+        with pytest.raises(ValueError):
+            CapabilityBiasedSelector(random.Random(1), self.capability, bias=-1.0)

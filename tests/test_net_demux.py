@@ -1,0 +1,32 @@
+"""Tests for the kind-based demultiplexer."""
+
+import pytest
+
+from repro.net.demux import Demux
+
+
+class FakeEnvelope:
+    def __init__(self, kind):
+        self.payload = type("P", (), {"kind": kind})()
+
+
+def test_routes_by_kind():
+    demux = Demux()
+    seen = []
+    demux.register("a", lambda env: seen.append(("a", env)))
+    demux.register("b", lambda env: seen.append(("b", env)))
+    demux.on_message(FakeEnvelope("b"))
+    assert [tag for tag, _ in seen] == ["b"]
+
+
+def test_unrouted_counted_not_raised():
+    demux = Demux()
+    demux.on_message(FakeEnvelope("mystery"))
+    assert demux.unrouted == 1
+
+
+def test_duplicate_registration_rejected():
+    demux = Demux()
+    demux.register("a", lambda env: None)
+    with pytest.raises(ValueError):
+        demux.register("a", lambda env: None)

@@ -1,0 +1,110 @@
+"""Unit tests for latency and loss models."""
+
+import random
+
+import pytest
+
+from repro.net.latency import (
+    ConstantLatency,
+    LogNormalLatency,
+    PairwiseLatency,
+    UniformLatency,
+)
+from repro.net.loss import BernoulliLoss, GilbertElliottLoss, NoLoss
+
+
+class TestLatencyModels:
+    def test_constant(self):
+        model = ConstantLatency(0.08)
+        assert model.sample(1, 2) == 0.08
+        assert model.mean() == 0.08
+
+    def test_constant_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ConstantLatency(-0.1)
+
+    def test_uniform_within_bounds(self):
+        model = UniformLatency(random.Random(1), low=0.02, high=0.09)
+        samples = [model.sample(0, 1) for _ in range(200)]
+        assert all(0.02 <= s < 0.09 for s in samples)
+        assert model.mean() == pytest.approx(0.055)
+
+    def test_uniform_rejects_bad_range(self):
+        with pytest.raises(ValueError):
+            UniformLatency(random.Random(1), low=0.5, high=0.1)
+
+    def test_lognormal_positive_and_floored(self):
+        model = LogNormalLatency(random.Random(2), median=0.05, sigma=1.5, floor=0.01)
+        samples = [model.sample(0, 1) for _ in range(500)]
+        assert all(s >= 0.01 for s in samples)
+
+    def test_lognormal_median_roughly_respected(self):
+        model = LogNormalLatency(random.Random(3), median=0.05, sigma=0.5, floor=0.0001)
+        samples = sorted(model.sample(0, 1) for _ in range(2000))
+        median = samples[len(samples) // 2]
+        assert 0.04 < median < 0.06
+
+    def test_lognormal_rejects_nonpositive_median(self):
+        with pytest.raises(ValueError):
+            LogNormalLatency(random.Random(1), median=0.0)
+
+    def test_pairwise_base_stable_and_symmetric(self):
+        model = PairwiseLatency(random.Random(4), jitter=0.0)
+        assert model.base(1, 2) == model.base(1, 2)
+        assert model.base(1, 2) == model.base(2, 1)
+        assert model.sample(1, 2) == model.base(1, 2)
+
+    def test_pairwise_pairs_differ(self):
+        model = PairwiseLatency(random.Random(5), jitter=0.0)
+        bases = {model.base(0, i) for i in range(1, 20)}
+        assert len(bases) > 10
+
+    def test_pairwise_jitter_added(self):
+        model = PairwiseLatency(random.Random(6), jitter=0.02)
+        base = model.base(1, 2)
+        samples = [model.sample(1, 2) for _ in range(100)]
+        assert all(base <= s <= base + 0.02 for s in samples)
+        assert len(set(samples)) > 1
+
+
+class TestLossModels:
+    def test_no_loss(self):
+        assert NoLoss().is_lost(0, 1) is False
+
+    def test_bernoulli_rate_zero_and_one(self):
+        rng = random.Random(7)
+        assert not any(BernoulliLoss(rng, 0.0).is_lost(0, 1) for _ in range(100))
+        assert all(BernoulliLoss(rng, 1.0).is_lost(0, 1) for _ in range(100))
+
+    def test_bernoulli_rate_statistical(self):
+        model = BernoulliLoss(random.Random(8), 0.2)
+        losses = sum(model.is_lost(0, 1) for _ in range(5000))
+        assert 800 < losses < 1200
+
+    def test_bernoulli_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            BernoulliLoss(random.Random(1), 1.5)
+
+    def test_gilbert_elliott_loses_more_than_good_state_alone(self):
+        model = GilbertElliottLoss(random.Random(9), p_good_to_bad=0.05,
+                                   p_bad_to_good=0.2, good_loss=0.0, bad_loss=0.8)
+        losses = sum(model.is_lost(0, 1) for _ in range(5000))
+        expected_fraction = model.steady_state_bad_fraction() * 0.8
+        assert losses > 0
+        assert abs(losses / 5000 - expected_fraction) < 0.05
+
+    def test_gilbert_elliott_state_is_per_link(self):
+        model = GilbertElliottLoss(random.Random(10), p_good_to_bad=1.0,
+                                   p_bad_to_good=0.0, good_loss=0.0, bad_loss=1.0)
+        # Link (0,1) transitions to bad on first datagram and stays there.
+        assert model.is_lost(0, 1)
+        # A different link starts in its own good state but also flips.
+        assert model.is_lost(2, 3)
+
+    def test_gilbert_elliott_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            GilbertElliottLoss(random.Random(1), p_good_to_bad=2.0)
+
+    def test_steady_state_bad_fraction_degenerate(self):
+        model = GilbertElliottLoss(random.Random(1), p_good_to_bad=0.0, p_bad_to_good=0.0)
+        assert model.steady_state_bad_fraction() == 0.0

@@ -1,0 +1,202 @@
+"""Unit and integration tests for the network fabric."""
+
+import random
+
+import pytest
+
+from repro.net.latency import ConstantLatency
+from repro.net.loss import BernoulliLoss
+from repro.net.message import UDP_IP_HEADER_BYTES, datagram_size
+from repro.net.network import Network
+from repro.sim.engine import Simulator
+
+
+class FakePayload:
+    def __init__(self, kind="test", size=100):
+        self.kind = kind
+        self._size = size
+
+    def wire_size(self):
+        return self._size
+
+
+class Sink:
+    def __init__(self):
+        self.received = []
+
+    def on_message(self, envelope):
+        self.received.append(envelope)
+
+
+def make_net(latency=0.05, loss=None):
+    sim = Simulator()
+    net = Network(sim, latency=ConstantLatency(latency), loss=loss)
+    return sim, net
+
+
+def test_datagram_size_includes_header():
+    assert datagram_size(FakePayload(size=100)) == 100 + UDP_IP_HEADER_BYTES
+
+
+def test_message_delivered_with_latency_and_serialization():
+    sim, net = make_net(latency=0.05)
+    a, b = Sink(), Sink()
+    net.attach(1, a, upload_capacity_bps=1_000_000)
+    net.attach(2, b, upload_capacity_bps=1_000_000)
+    payload = FakePayload(size=972)  # 1000B datagram -> 8ms at 1Mbps
+    net.send(1, 2, payload)
+    sim.run()
+    assert len(b.received) == 1
+    env = b.received[0]
+    assert env.payload is payload
+    assert env.arrival_time == pytest.approx(0.008 + 0.05)
+    assert env.transit_time == pytest.approx(0.058)
+
+
+def test_send_from_unattached_node_returns_none():
+    sim, net = make_net()
+    net.attach(2, Sink(), 1e6)
+    assert net.send(1, 2, FakePayload()) is None
+
+
+def test_send_to_unattached_node_is_dropped():
+    sim, net = make_net()
+    net.attach(1, Sink(), 1e6)
+    net.send(1, 99, FakePayload())
+    sim.run()
+    assert net.stats.dropped_dead == 1
+
+
+def test_double_attach_rejected():
+    sim, net = make_net()
+    net.attach(1, Sink(), 1e6)
+    with pytest.raises(ValueError):
+        net.attach(1, Sink(), 1e6)
+
+
+def test_uplink_queueing_delays_second_message():
+    sim, net = make_net(latency=0.0)
+    sink = Sink()
+    net.attach(1, Sink(), upload_capacity_bps=8000.0)  # 1000B -> 1s
+    net.attach(2, sink, upload_capacity_bps=8000.0)
+    net.send(1, 2, FakePayload(size=1000 - UDP_IP_HEADER_BYTES))
+    net.send(1, 2, FakePayload(size=1000 - UDP_IP_HEADER_BYTES))
+    sim.run()
+    arrivals = [env.arrival_time for env in sink.received]
+    assert arrivals == [pytest.approx(1.0), pytest.approx(2.0)]
+
+
+def test_crashed_node_stops_receiving():
+    sim, net = make_net(latency=0.5)
+    sink = Sink()
+    net.attach(1, Sink(), 1e9)
+    net.attach(2, sink, 1e9)
+    net.send(1, 2, FakePayload())
+    net.crash(2)
+    sim.run()
+    assert sink.received == []
+    assert net.stats.dropped_dead == 1
+    assert not net.is_alive(2)
+
+
+def test_crashed_node_stops_sending():
+    sim, net = make_net()
+    net.attach(1, Sink(), 1e9)
+    net.attach(2, Sink(), 1e9)
+    net.crash(1)
+    assert net.send(1, 2, FakePayload()) is None
+
+
+def test_queued_datagrams_die_with_sender():
+    # Sender enqueues 10 slow datagrams then crashes at t=1.5: datagrams
+    # whose serialization finished before the crash survive, the rest die.
+    sim, net = make_net(latency=0.0)
+    sink = Sink()
+    net.attach(1, Sink(), upload_capacity_bps=8000.0)  # 1000B/s -> 1s each
+    net.attach(2, sink, upload_capacity_bps=8000.0)
+    for _ in range(10):
+        net.send(1, 2, FakePayload(size=1000 - UDP_IP_HEADER_BYTES))
+    sim.schedule(1.5, lambda: net.crash(1))
+    sim.run()
+    assert len(sink.received) == 1  # only the first (exit t=1.0) made it
+
+
+def test_messages_on_wire_survive_sender_crash():
+    sim, net = make_net(latency=1.0)
+    sink = Sink()
+    net.attach(1, Sink(), 1e9)
+    net.attach(2, sink, 1e9)
+    net.send(1, 2, FakePayload())  # exits wire ~immediately, arrives t~1.0
+    sim.schedule(0.5, lambda: net.crash(1))
+    sim.run()
+    assert len(sink.received) == 1
+
+
+def test_loss_model_applied():
+    sim = Simulator()
+    net = Network(sim, latency=ConstantLatency(0.0),
+                  loss=BernoulliLoss(random.Random(1), 1.0))
+    sink = Sink()
+    net.attach(1, Sink(), 1e9)
+    net.attach(2, sink, 1e9)
+    net.send(1, 2, FakePayload())
+    sim.run()
+    assert sink.received == []
+    assert net.stats.lost == 1
+
+
+def test_stats_accounting():
+    sim, net = make_net()
+    sink = Sink()
+    net.attach(1, Sink(), 1e9)
+    net.attach(2, sink, 1e9)
+    net.send(1, 2, FakePayload(kind="propose", size=72))
+    net.send(1, 2, FakePayload(kind="serve", size=1372))
+    sim.run()
+    stats = net.stats
+    assert stats.sent == 2
+    assert stats.delivered == 2
+    assert stats.count_by_kind == {"propose": 1, "serve": 1}
+    assert stats.bytes_by_kind["propose"] == 72 + UDP_IP_HEADER_BYTES
+    assert stats.node(1).bytes_up == stats.node(2).bytes_down
+    assert stats.delivery_ratio() == 1.0
+
+
+def test_control_overhead_fraction():
+    sim, net = make_net()
+    net.attach(1, Sink(), 1e9)
+    net.attach(2, Sink(), 1e9)
+    net.send(1, 2, FakePayload(kind="serve", size=1000 - UDP_IP_HEADER_BYTES))
+    net.send(1, 2, FakePayload(kind="propose", size=1000 - UDP_IP_HEADER_BYTES))
+    sim.run()
+    assert net.stats.control_overhead_fraction() == pytest.approx(0.5)
+
+
+def test_on_deliver_observer():
+    sim, net = make_net()
+    seen = []
+    net.on_deliver = lambda env: seen.append(env.payload.kind)
+    net.attach(1, Sink(), 1e9)
+    net.attach(2, Sink(), 1e9)
+    net.send(1, 2, FakePayload(kind="x"))
+    sim.run()
+    assert seen == ["x"]
+
+
+def test_queue_cap_drops_recorded_in_stats():
+    sim, net = make_net(latency=0.0)
+    net.attach(1, Sink(), upload_capacity_bps=8000.0, max_queue_delay=0.5)
+    net.attach(2, Sink(), upload_capacity_bps=8000.0)
+    for _ in range(3):
+        net.send(1, 2, FakePayload(size=1000 - UDP_IP_HEADER_BYTES))
+    sim.run()
+    assert net.stats.dropped_queue == 2
+
+
+def test_detach_removes_node():
+    sim, net = make_net()
+    net.attach(1, Sink(), 1e9)
+    assert net.is_alive(1)
+    net.detach(1)
+    assert not net.is_alive(1)
+    assert 1 not in set(net.node_ids)

@@ -1,0 +1,129 @@
+"""Property-based tests of substrate invariants (engine, uplink, views).
+
+These guard the foundations everything else rests on: event ordering
+under arbitrary schedule/cancel interleavings, work conservation of the
+uplink queue, and sampling sanity of membership views.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.membership.view import LocalView
+from repro.net.bandwidth import UplinkQueue
+from repro.sim.engine import Simulator
+
+
+# ----------------------------------------------------------------------
+# engine
+# ----------------------------------------------------------------------
+@settings(max_examples=50, deadline=None)
+@given(delays=st.lists(st.floats(min_value=0.0, max_value=100.0),
+                       min_size=1, max_size=50))
+def test_engine_executes_in_nondecreasing_time_order(delays):
+    sim = Simulator()
+    fired = []
+    for delay in delays:
+        sim.schedule(delay, lambda: fired.append(sim.now))
+    sim.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)
+
+
+@settings(max_examples=50, deadline=None)
+@given(entries=st.lists(st.tuples(st.floats(min_value=0.0, max_value=10.0),
+                                  st.booleans()),
+                        min_size=1, max_size=40))
+def test_engine_cancelled_events_never_fire(entries):
+    sim = Simulator()
+    fired = []
+    handles = []
+    for i, (delay, cancel) in enumerate(entries):
+        handles.append((sim.schedule(delay, lambda i=i: fired.append(i)), cancel))
+    for handle, cancel in handles:
+        if cancel:
+            handle.cancel()
+    sim.run()
+    cancelled = {i for i, (_, cancel) in enumerate(entries) if cancel}
+    assert set(fired) == set(range(len(entries))) - cancelled
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_engine_nested_scheduling_keeps_clock_monotone(seed):
+    rng = random.Random(seed)
+    sim = Simulator()
+    observed = []
+
+    def spawn(depth):
+        observed.append(sim.now)
+        if depth > 0:
+            for _ in range(rng.randint(0, 2)):
+                sim.schedule(rng.uniform(0.0, 1.0), lambda: spawn(depth - 1))
+
+    sim.schedule(0.0, lambda: spawn(4))
+    sim.run()
+    assert observed == sorted(observed)
+
+
+# ----------------------------------------------------------------------
+# uplink queue
+# ----------------------------------------------------------------------
+@settings(max_examples=50, deadline=None)
+@given(sizes=st.lists(st.integers(min_value=1, max_value=100_000),
+                      min_size=1, max_size=30),
+       capacity=st.floats(min_value=1_000.0, max_value=1e8))
+def test_uplink_work_conservation(sizes, capacity):
+    """Back-to-back datagrams finish exactly after total wire time."""
+    link = UplinkQueue(capacity)
+    last_exit = 0.0
+    for size in sizes:
+        last_exit = link.enqueue(0.0, size)
+    total_bits = sum(sizes) * 8.0
+    assert last_exit * capacity >= total_bits * 0.999999
+    assert last_exit * capacity <= total_bits * 1.000001
+
+
+@settings(max_examples=50, deadline=None)
+@given(events=st.lists(st.tuples(st.floats(min_value=0.0, max_value=10.0),
+                                 st.integers(min_value=1, max_value=10_000)),
+                       min_size=1, max_size=30),
+       capacity=st.floats(min_value=1_000.0, max_value=1e7))
+def test_uplink_fifo_exit_times_monotone(events, capacity):
+    """Exit times never decrease regardless of arrival pattern, and every
+    datagram exits no earlier than arrival + its own wire time."""
+    link = UplinkQueue(capacity)
+    last_exit = 0.0
+    for arrival, size in sorted(events):
+        exit_time = link.enqueue(arrival, size)
+        assert exit_time >= last_exit
+        assert exit_time >= arrival + size * 8.0 / capacity - 1e-9
+        last_exit = exit_time
+
+
+@settings(max_examples=50, deadline=None)
+@given(events=st.lists(st.tuples(st.floats(min_value=0.0, max_value=5.0),
+                                 st.integers(min_value=1, max_value=5_000)),
+                       min_size=1, max_size=30))
+def test_uplink_utilization_bounded(events):
+    link = UplinkQueue(100_000.0)
+    for arrival, size in sorted(events):
+        link.enqueue(arrival, size)
+    assert 0.0 <= link.utilization(5.0) <= 1.0
+    assert link.bytes_sent == sum(size for _, size in events)
+
+
+# ----------------------------------------------------------------------
+# membership views
+# ----------------------------------------------------------------------
+@settings(max_examples=50, deadline=None)
+@given(members=st.sets(st.integers(0, 100), max_size=40),
+       k=st.integers(0, 50), seed=st.integers(0, 1000))
+def test_view_sampling_properties(members, k, seed):
+    view = LocalView(owner=999, members=members)
+    sample = view.sample(k, random.Random(seed))
+    assert len(sample) == min(max(k, 0), len(members))
+    assert len(set(sample)) == len(sample)
+    assert all(member in members for member in sample)
+    assert 999 not in sample

@@ -1,0 +1,195 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import SimulationError, Simulator
+
+
+def test_time_starts_at_zero():
+    sim = Simulator()
+    assert sim.now == 0.0
+    assert sim.events_executed == 0
+
+
+def test_schedule_and_run_single_event():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.5, lambda: fired.append(sim.now))
+    sim.run()
+    assert fired == [1.5]
+    assert sim.now == 1.5
+
+
+def test_events_run_in_time_order():
+    sim = Simulator()
+    order = []
+    sim.schedule(3.0, lambda: order.append("c"))
+    sim.schedule(1.0, lambda: order.append("a"))
+    sim.schedule(2.0, lambda: order.append("b"))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_same_time_events_run_in_scheduling_order():
+    sim = Simulator()
+    order = []
+    for label in "abcde":
+        sim.schedule(1.0, lambda label=label: order.append(label))
+    sim.run()
+    assert order == list("abcde")
+
+
+def test_schedule_at_absolute_time():
+    sim = Simulator()
+    fired = []
+    sim.schedule_at(2.0, lambda: fired.append(sim.now))
+    sim.run()
+    assert fired == [2.0]
+
+
+def test_schedule_in_the_past_raises():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(0.5, lambda: None)
+
+
+def test_negative_delay_raises():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-0.1, lambda: None)
+
+
+def test_cancelled_event_does_not_fire():
+    sim = Simulator()
+    fired = []
+    handle = sim.schedule(1.0, lambda: fired.append("x"))
+    handle.cancel()
+    sim.run()
+    assert fired == []
+    assert sim.events_executed == 0
+
+
+def test_cancel_is_idempotent():
+    sim = Simulator()
+    handle = sim.schedule(1.0, lambda: None)
+    handle.cancel()
+    handle.cancel()
+    sim.run()
+    assert not handle.pending
+
+
+def test_events_scheduled_during_execution_run():
+    sim = Simulator()
+    fired = []
+
+    def first():
+        fired.append("first")
+        sim.schedule(1.0, lambda: fired.append("second"))
+
+    sim.schedule(1.0, first)
+    sim.run()
+    assert fired == ["first", "second"]
+    assert sim.now == 2.0
+
+
+def test_call_soon_runs_at_current_time_after_peers():
+    sim = Simulator()
+    order = []
+
+    def event():
+        order.append("event")
+        sim.call_soon(lambda: order.append("soon"))
+
+    sim.schedule(1.0, event)
+    sim.schedule(1.0, lambda: order.append("peer"))
+    sim.run()
+    assert order == ["event", "peer", "soon"]
+
+
+def test_run_until_stops_at_horizon_and_advances_clock():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, lambda: fired.append(1))
+    sim.schedule(5.0, lambda: fired.append(5))
+    stopped = sim.run(until=3.0)
+    assert fired == [1]
+    assert stopped == 3.0
+    assert sim.now == 3.0
+    sim.run()
+    assert fired == [1, 5]
+
+
+def test_run_until_includes_events_at_exact_horizon():
+    sim = Simulator()
+    fired = []
+    sim.schedule(3.0, lambda: fired.append("edge"))
+    sim.run(until=3.0)
+    assert fired == ["edge"]
+
+
+def test_run_max_events_stops_early_without_clock_jump():
+    sim = Simulator()
+    fired = []
+    for i in range(5):
+        sim.schedule(float(i + 1), lambda i=i: fired.append(i))
+    sim.run(until=100.0, max_events=2)
+    assert fired == [0, 1]
+    assert sim.now == 2.0
+
+
+def test_step_returns_false_on_empty_heap():
+    sim = Simulator()
+    assert sim.step() is False
+    sim.schedule(1.0, lambda: None)
+    assert sim.step() is True
+    assert sim.step() is False
+
+
+def test_pending_count_excludes_cancelled():
+    sim = Simulator()
+    keep = sim.schedule(1.0, lambda: None)
+    drop = sim.schedule(2.0, lambda: None)
+    drop.cancel()
+    assert sim.pending_count == 1
+    assert keep.pending
+
+
+def test_drain_guards_against_runaway():
+    sim = Simulator()
+
+    def reschedule():
+        sim.schedule(1.0, reschedule)
+
+    sim.schedule(1.0, reschedule)
+    with pytest.raises(SimulationError):
+        sim.drain(limit=100)
+
+
+def test_run_is_not_reentrant():
+    sim = Simulator()
+    errors = []
+
+    def nested():
+        try:
+            sim.run()
+        except SimulationError as exc:
+            errors.append(exc)
+
+    sim.schedule(1.0, nested)
+    sim.run()
+    assert len(errors) == 1
+
+
+def test_many_events_deterministic_order():
+    sim = Simulator()
+    order = []
+    import random
+    rng = random.Random(42)
+    times = [rng.uniform(0, 100) for _ in range(500)]
+    for i, t in enumerate(times):
+        sim.schedule(t, lambda i=i: order.append(i))
+    sim.run()
+    expected = [i for _, i in sorted(zip(times, range(500)))]
+    assert order == expected

@@ -1,0 +1,112 @@
+"""Unit tests for generator-based processes."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.process import Process, run_process, sleep
+
+
+def test_process_runs_to_completion():
+    sim = Simulator()
+    log = []
+
+    def script():
+        log.append(("start", sim.now))
+        yield sleep(2.0)
+        log.append(("mid", sim.now))
+        yield sleep(3.0)
+        log.append(("end", sim.now))
+
+    proc = run_process(sim, script())
+    sim.run()
+    assert log == [("start", 0.0), ("mid", 2.0), ("end", 5.0)]
+    assert proc.finished
+
+
+def test_start_delay_offsets_whole_script():
+    sim = Simulator()
+    log = []
+
+    def script():
+        log.append(sim.now)
+        yield sleep(1.0)
+        log.append(sim.now)
+
+    run_process(sim, script(), delay=10.0)
+    sim.run()
+    assert log == [10.0, 11.0]
+
+
+def test_yield_none_resumes_same_time():
+    sim = Simulator()
+    log = []
+
+    def script():
+        log.append(sim.now)
+        yield None
+        log.append(sim.now)
+
+    run_process(sim, script())
+    sim.run()
+    assert log == [0.0, 0.0]
+
+
+def test_stop_halts_process():
+    sim = Simulator()
+    log = []
+
+    def script():
+        while True:
+            log.append(sim.now)
+            yield sleep(1.0)
+
+    proc = run_process(sim, script())
+    sim.run(until=3.5)
+    proc.stop()
+    sim.run(until=10.0)
+    assert log == [0.0, 1.0, 2.0, 3.0]
+    assert proc.finished
+
+
+def test_double_start_rejected():
+    sim = Simulator()
+
+    def script():
+        yield sleep(1.0)
+
+    proc = Process(sim, script())
+    proc.start()
+    with pytest.raises(RuntimeError):
+        proc.start()
+
+
+def test_bad_yield_value_raises():
+    sim = Simulator()
+
+    def script():
+        yield "nonsense"
+
+    run_process(sim, script())
+    with pytest.raises(TypeError):
+        sim.run()
+
+
+def test_negative_sleep_rejected():
+    with pytest.raises(ValueError):
+        sleep(-1.0)
+
+
+def test_two_processes_interleave():
+    sim = Simulator()
+    log = []
+
+    def ticker(name, period):
+        while sim.now < 4.0:
+            log.append((name, sim.now))
+            yield sleep(period)
+
+    run_process(sim, ticker("a", 2.0))
+    run_process(sim, ticker("b", 3.0))
+    sim.run()
+    assert ("a", 0.0) in log and ("b", 0.0) in log
+    assert ("a", 2.0) in log and ("b", 3.0) in log

@@ -1,0 +1,177 @@
+"""Tests for playback analysis (lag/jitter metrics)."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.streaming.packets import StreamConfig
+from repro.streaming.player import OFFLINE, PlaybackAnalyzer
+from repro.streaming.receiver import ReceiverLog
+
+# A small window geometry keeps the arithmetic followable:
+# 4 source + 2 FEC per window, need 4 of 6 to decode.
+CONFIG = StreamConfig(source_packets_per_window=4, fec_packets_per_window=2,
+                      packet_size_bytes=100, effective_rate_bps=80_000.0)
+INTERVAL = CONFIG.packet_interval  # 0.01 s
+
+
+def publish_time(packet_id):
+    return packet_id * INTERVAL
+
+
+def analyzer():
+    return PlaybackAnalyzer(CONFIG, publish_time)
+
+
+def log_with_delays(delays):
+    """Build a log where packet i arrives `delays[i]` after publish (None = lost)."""
+    log = ReceiverLog(0)
+    for packet_id, delay in enumerate(delays):
+        if delay is not None:
+            log.record(packet_id, publish_time(packet_id) + delay)
+    return log
+
+
+class TestWindowPlayback:
+    def test_all_on_time_decodes(self):
+        log = log_with_delays([0.1] * 6)
+        wp = analyzer().window_playback(log, 0, lag=0.2)
+        assert wp.decodable
+        assert wp.on_time_source == 4
+        assert wp.on_time_fec == 2
+        assert wp.delivery_ratio == 1.0
+
+    def test_late_packets_excluded_at_small_lag(self):
+        log = log_with_delays([0.1, 0.1, 0.1, 5.0, 0.1, 0.1])
+        wp = analyzer().window_playback(log, 0, lag=1.0)
+        assert wp.on_time_source == 3
+        assert wp.on_time_fec == 2
+        assert wp.decodable  # 5 of 6 >= 4
+
+    def test_jittered_window_viewable_is_source_only(self):
+        # Only 2 source + 1 FEC on time -> 3 < 4, jittered.
+        log = log_with_delays([0.1, 0.1, None, None, 0.1, None])
+        wp = analyzer().window_playback(log, 0, lag=1.0)
+        assert wp.jittered
+        assert wp.viewable_source_packets == 2
+        assert wp.delivery_ratio == 0.5
+
+    def test_exact_lag_boundary_counts_as_on_time(self):
+        log = log_with_delays([1.0, None, None, None, None, None])
+        wp = analyzer().window_playback(log, 0, lag=1.0)
+        assert wp.on_time_source == 1
+
+
+class TestAggregateMetrics:
+    def test_jitter_fraction(self):
+        # Window 0 complete, window 1 empty.
+        delays = [0.1] * 6 + [None] * 6
+        log = log_with_delays(delays)
+        a = analyzer()
+        assert a.jitter_fraction(log, [0, 1], lag=1.0) == 0.5
+        assert a.jitter_free_fraction(log, [0, 1], lag=1.0) == 0.5
+
+    def test_jitter_fraction_empty_windows_list(self):
+        assert analyzer().jitter_fraction(ReceiverLog(0), [], 1.0) == 0.0
+
+    def test_mean_jittered_delivery_ratio(self):
+        # Window 0 decodes; window 1 gets 2 of 4 source packets (ratio 0.5);
+        # window 2 gets 1 source packet (ratio 0.25).
+        delays = ([0.1] * 6
+                  + [0.1, 0.1, None, None, None, None]
+                  + [0.1, None, None, None, None, None])
+        log = log_with_delays(delays)
+        ratio = analyzer().mean_jittered_delivery_ratio(log, [0, 1, 2], lag=1.0)
+        assert ratio == pytest.approx((0.5 + 0.25) / 2)
+
+    def test_mean_jittered_delivery_ratio_no_jitter(self):
+        log = log_with_delays([0.1] * 6)
+        assert analyzer().mean_jittered_delivery_ratio(log, [0], lag=1.0) == 1.0
+
+
+class TestInverseQueries:
+    def test_window_required_lag_is_kth_delay(self):
+        # Delays 0.1..0.6; decoding needs 4 packets -> lag = 4th smallest = 0.4.
+        log = log_with_delays([0.1, 0.2, 0.3, 0.4, 0.5, 0.6])
+        assert analyzer().window_required_lag(log, 0) == pytest.approx(0.4)
+
+    def test_window_required_lag_undecodable(self):
+        log = log_with_delays([0.1, 0.1, 0.1, None, None, None])
+        assert analyzer().window_required_lag(log, 0) == OFFLINE
+
+    def test_min_lag_jitter_free_takes_worst_window(self):
+        delays = [0.1] * 6 + [2.0] * 6
+        log = log_with_delays(delays)
+        assert analyzer().min_lag_jitter_free(log, [0, 1]) == pytest.approx(2.0)
+
+    def test_min_lag_jitter_free_empty(self):
+        assert analyzer().min_lag_jitter_free(ReceiverLog(0), []) == 0.0
+
+    def test_min_lag_max_jitter_allows_worst_windows(self):
+        # 10 windows, 9 decodable at 0.5, one only offline.
+        delays = []
+        for w in range(9):
+            delays += [0.5] * 6
+        delays += [None] * 6
+        log = log_with_delays(delays)
+        a = analyzer()
+        assert a.min_lag_jitter_free(log, range(10)) == OFFLINE
+        assert a.min_lag_max_jitter(log, range(10), max_jitter=0.1) == pytest.approx(0.5)
+
+    def test_min_lag_max_jitter_zero_equals_jitter_free(self):
+        delays = [0.3] * 6 + [0.9] * 6
+        log = log_with_delays(delays)
+        a = analyzer()
+        assert (a.min_lag_max_jitter(log, [0, 1], 0.0)
+                == a.min_lag_jitter_free(log, [0, 1]))
+
+    def test_min_lag_max_jitter_validates_range(self):
+        with pytest.raises(ValueError):
+            analyzer().min_lag_max_jitter(ReceiverLog(0), [0], 1.5)
+
+    def test_min_lag_delivery_ratio(self):
+        # 12 packets total, delays increasing; 99% of 12 -> 12 packets needed.
+        delays = [0.1 * (i + 1) for i in range(12)]
+        log = log_with_delays(delays)
+        lag = analyzer().min_lag_delivery_ratio(log, total_packets=12, ratio=0.99)
+        assert lag == pytest.approx(1.2)
+        # Half the stream suffices at lag 0.6.
+        assert analyzer().min_lag_delivery_ratio(log, 12, 0.5) == pytest.approx(0.6)
+
+    def test_min_lag_delivery_ratio_insufficient(self):
+        log = log_with_delays([0.1, 0.1, None, None, None, None])
+        assert analyzer().min_lag_delivery_ratio(log, 6, 0.99) == OFFLINE
+
+    def test_min_lag_delivery_ratio_validates(self):
+        with pytest.raises(ValueError):
+            analyzer().min_lag_delivery_ratio(ReceiverLog(0), 10, 0.0)
+
+
+@given(st.lists(st.one_of(st.none(), st.floats(min_value=0.0, max_value=10.0)),
+                min_size=6, max_size=6))
+def test_property_jitter_monotone_in_lag(delays):
+    """Increasing the lag never makes a decodable window jittered."""
+    log = log_with_delays(delays)
+    a = analyzer()
+    small = a.window_playback(log, 0, lag=1.0)
+    large = a.window_playback(log, 0, lag=5.0)
+    assert large.on_time_total >= small.on_time_total
+    if small.decodable:
+        assert large.decodable
+
+
+@given(st.lists(st.one_of(st.none(), st.floats(min_value=0.0, max_value=10.0)),
+                min_size=6, max_size=6))
+def test_property_required_lag_consistent_with_playback(delays):
+    """At exactly the required lag the window decodes; just below, it does not."""
+    log = log_with_delays(delays)
+    a = analyzer()
+    required = a.window_required_lag(log, 0)
+    if required is OFFLINE or math.isinf(required):
+        assert not a.window_playback(log, 0, lag=1e9).decodable
+    else:
+        assert a.window_playback(log, 0, lag=required).decodable
+        if required > 1e-9:
+            assert not a.window_playback(log, 0, lag=required * 0.999 - 1e-9).decodable

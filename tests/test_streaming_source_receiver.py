@@ -1,0 +1,111 @@
+"""Tests for the stream source and receiver log."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.streaming.packets import StreamConfig
+from repro.streaming.receiver import ReceiverLog
+from repro.streaming.source import StreamSource
+
+
+class TestStreamSource:
+    def test_publishes_at_configured_rate(self):
+        sim = Simulator()
+        config = StreamConfig()
+        published = []
+        source = StreamSource(sim, config, published.append, total_packets=20)
+        source.start()
+        sim.run()
+        assert len(published) == 20
+        assert source.finished
+        gaps = [published[i + 1].publish_time - published[i].publish_time
+                for i in range(19)]
+        assert all(g == pytest.approx(config.packet_interval) for g in gaps)
+
+    def test_packet_ids_sequential_and_windows_assigned(self):
+        sim = Simulator()
+        config = StreamConfig(source_packets_per_window=3, fec_packets_per_window=1)
+        published = []
+        source = StreamSource(sim, config, published.append, total_packets=8)
+        source.start()
+        sim.run()
+        assert [p.packet_id for p in published] == list(range(8))
+        assert [p.window_id for p in published] == [0, 0, 0, 0, 1, 1, 1, 1]
+        assert [p.is_fec for p in published] == [False, False, False, True] * 2
+
+    def test_start_delay(self):
+        sim = Simulator()
+        published = []
+        source = StreamSource(sim, StreamConfig(), published.append, total_packets=1)
+        source.start(delay=5.0)
+        sim.run()
+        assert published[0].publish_time == 5.0
+
+    def test_stop_halts_emission(self):
+        sim = Simulator()
+        published = []
+        source = StreamSource(sim, StreamConfig(), published.append, total_packets=1000)
+        source.start()
+        sim.schedule(0.1, source.stop)
+        sim.run()
+        assert 0 < len(published) < 1000
+
+    def test_unbounded_source_runs_until_horizon(self):
+        sim = Simulator()
+        published = []
+        source = StreamSource(sim, StreamConfig(), published.append)
+        source.start()
+        sim.run(until=1.0)
+        source.stop()
+        expected = int(1.0 / StreamConfig().packet_interval) + 1
+        assert len(published) == expected
+
+    def test_double_start_rejected(self):
+        sim = Simulator()
+        source = StreamSource(sim, StreamConfig(), lambda p: None, total_packets=5)
+        source.start()
+        with pytest.raises(RuntimeError):
+            source.start()
+
+    def test_packet_size_follows_config(self):
+        sim = Simulator()
+        config = StreamConfig(packet_size_bytes=500)
+        published = []
+        source = StreamSource(sim, config, published.append, total_packets=1)
+        source.start()
+        sim.run()
+        assert published[0].size_bytes == 500
+
+
+class TestReceiverLog:
+    def test_records_first_delivery(self):
+        log = ReceiverLog(7)
+        assert log.record(0, 1.5)
+        assert log.delivery_time(0) == 1.5
+        assert log.has(0)
+        assert len(log) == 1
+
+    def test_duplicate_detection(self):
+        log = ReceiverLog(7)
+        log.record(0, 1.0)
+        assert not log.record(0, 2.0)
+        assert log.duplicates == 1
+        assert log.delivery_time(0) == 1.0  # first delivery wins
+
+    def test_missing_packet(self):
+        log = ReceiverLog(7)
+        assert log.delivery_time(3) is None
+        assert not log.has(3)
+
+    def test_delivery_ratio(self):
+        log = ReceiverLog(7)
+        for i in range(50):
+            log.record(i, float(i))
+        assert log.delivery_ratio(100) == 0.5
+        assert log.delivery_ratio(0) == 1.0
+
+    def test_items_iteration(self):
+        log = ReceiverLog(7)
+        log.record(3, 1.0)
+        log.record(5, 2.0)
+        assert dict(log.items()) == {3: 1.0, 5: 2.0}

@@ -1,0 +1,133 @@
+"""Tests for capability distributions (the paper's Table 1)."""
+
+import random
+
+import pytest
+
+from repro.workloads.distributions import (
+    KBPS,
+    MS_691,
+    REF_691,
+    REF_724,
+    UNCONSTRAINED,
+    UNIFORM_691,
+    BandwidthClass,
+    CapabilityDistribution,
+    ContinuousUniformDistribution,
+    distribution_by_name,
+)
+
+STREAM_RATE = 600 * KBPS
+
+
+class TestPaperDistributions:
+    def test_ref691_average_and_csr(self):
+        assert REF_691.average_bps() / KBPS == pytest.approx(691.2)
+        assert REF_691.csr(STREAM_RATE) == pytest.approx(1.15, abs=0.01)
+
+    def test_ref724_average_and_csr(self):
+        assert REF_724.average_bps() / KBPS == pytest.approx(724.5, abs=0.1)
+        assert REF_724.csr(STREAM_RATE) == pytest.approx(1.20, abs=0.01)
+
+    def test_ms691_average_and_csr(self):
+        assert MS_691.average_bps() / KBPS == pytest.approx(691.2)
+        assert MS_691.csr(STREAM_RATE) == pytest.approx(1.15, abs=0.01)
+
+    def test_ms691_skew(self):
+        # Only 15% of nodes have capability above the stream rate.
+        above = sum(c.fraction for c in MS_691.classes
+                    if c.capacity_bps > STREAM_RATE)
+        assert above == pytest.approx(0.15)
+
+    def test_uniform_dist2_same_average_as_dist1(self):
+        assert UNIFORM_691.average_bps() == pytest.approx(MS_691.average_bps())
+
+    def test_fractions_match_table1(self):
+        assert [c.fraction for c in REF_691.classes] == [0.10, 0.50, 0.40]
+        assert [c.fraction for c in REF_724.classes] == [0.15, 0.39, 0.46]
+        assert [c.fraction for c in MS_691.classes] == [0.05, 0.10, 0.85]
+
+    def test_lookup_by_name(self):
+        assert distribution_by_name("ref-691") is REF_691
+        assert distribution_by_name("ms-691") is MS_691
+        with pytest.raises(ValueError):
+            distribution_by_name("nope")
+
+
+class TestAssignment:
+    def test_class_counts_sum_to_n(self):
+        for n in (7, 100, 269, 270):
+            counts = MS_691.class_counts(n)
+            assert sum(counts.values()) == n
+
+    def test_class_counts_largest_remainder(self):
+        counts = MS_691.class_counts(100)
+        assert counts == {"3Mbps": 5, "1Mbps": 10, "512kbps": 85}
+
+    def test_assign_shuffles_but_preserves_counts(self):
+        assignment = REF_691.assign(100, random.Random(1))
+        labels = [label for label, _ in assignment]
+        assert labels.count("2Mbps") == 10
+        assert labels.count("768kbps") == 50
+        assert labels.count("256kbps") == 40
+        # Shuffled: not all 2Mbps nodes at the front.
+        assert set(labels[:10]) != {"2Mbps"}
+
+    def test_assign_deterministic_per_seed(self):
+        a = REF_691.assign(50, random.Random(9))
+        b = REF_691.assign(50, random.Random(9))
+        assert a == b
+
+    def test_assign_rejects_zero_nodes(self):
+        with pytest.raises(ValueError):
+            REF_691.class_counts(0)
+
+
+class TestContinuousUniform:
+    def test_assign_draws_within_range(self):
+        assignment = UNIFORM_691.assign(500, random.Random(2))
+        caps = [cap for _, cap in assignment]
+        assert all(UNIFORM_691.low_bps <= c <= UNIFORM_691.high_bps for c in caps)
+        mean = sum(caps) / len(caps)
+        assert mean == pytest.approx(UNIFORM_691.average_bps(), rel=0.05)
+
+    def test_tercile_labels(self):
+        dist = ContinuousUniformDistribution("u", 0.0 + 1, 3.0)
+        assert dist.tercile_label(1.1) == "low"
+        assert dist.tercile_label(1.8) == "mid"
+        assert dist.tercile_label(2.9) == "high"
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            ContinuousUniformDistribution("u", 10.0, 1.0)
+
+
+class TestValidation:
+    def test_fractions_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            CapabilityDistribution("bad", [
+                BandwidthClass("a", 1000.0, 0.5),
+                BandwidthClass("b", 2000.0, 0.4),
+            ])
+
+    def test_empty_distribution_rejected(self):
+        with pytest.raises(ValueError):
+            CapabilityDistribution("empty", [])
+
+    def test_bandwidth_class_validation(self):
+        with pytest.raises(ValueError):
+            BandwidthClass("x", -5.0, 0.5)
+        with pytest.raises(ValueError):
+            BandwidthClass("x", 100.0, 0.0)
+
+    def test_csr_rejects_bad_stream_rate(self):
+        with pytest.raises(ValueError):
+            REF_691.csr(0.0)
+
+    def test_class_of(self):
+        assert REF_691.class_of(768 * KBPS).label == "768kbps"
+        assert REF_691.class_of(123.0) is None
+
+    def test_unconstrained_is_single_class(self):
+        assert len(UNCONSTRAINED.classes) == 1
+        assert UNCONSTRAINED.average_bps() > 50_000 * KBPS
