@@ -33,3 +33,15 @@ def measure(benchmark, fn, *args, **kwargs):
     """Run ``fn`` exactly once under pytest-benchmark timing."""
     return benchmark.pedantic(fn, args=args, kwargs=kwargs,
                               rounds=1, iterations=1)
+
+
+def jobs_from_env(default: int = 1) -> int:
+    """Worker-process count for multi-seed benches (``REPRO_JOBS=N``).
+
+    Mirrors the CLI's ``--jobs`` flag for the benchmark harness; results
+    are identical for any value, only the wall time changes.
+    """
+    try:
+        return max(1, int(os.environ.get("REPRO_JOBS", default)))
+    except ValueError:
+        return default

@@ -5,6 +5,10 @@ regressions in the hot path (heap operations, uplink accounting, message
 dispatch) are caught by comparing benchmark runs.
 """
 
+from _harness import jobs_from_env
+
+from repro.experiments.multi_seed import metric_offline_delivery
+from repro.experiments.parallel import run_grid
 from repro.experiments.scales import QUICK, scenario_at
 from repro.experiments.runner import run_scenario
 from repro.sim.engine import Simulator
@@ -40,3 +44,47 @@ def bench_small_heap_scenario(benchmark):
 
     result = benchmark.pedantic(run, rounds=1, iterations=1)
     assert result.sim.events_executed > 1000
+
+
+def bench_engine_post_throughput(benchmark):
+    """Schedule/execute cost of the handle-free fire-and-forget path.
+
+    This is the path every datagram delivery takes; comparing its OPS
+    against bench_engine_event_throughput shows what the per-event
+    EventHandle used to cost.
+    """
+
+    def run_events():
+        sim = Simulator()
+
+        def chain(remaining):
+            if remaining > 0:
+                sim.post(0.001, lambda: chain(remaining - 1))
+
+        for _ in range(100):
+            chain(100)
+        sim.run()
+        return sim.events_executed
+
+    executed = benchmark(run_events)
+    assert executed == 100 * 100
+
+
+def bench_multi_seed_sweep(benchmark):
+    """8-seed sweep through the parallel experiment engine.
+
+    Serial by default; set ``REPRO_JOBS=4`` to measure the fan-out.  The
+    aggregated values are identical either way (the determinism tests
+    enforce it), so this bench tracks pure wall-time scaling.
+    """
+
+    def run():
+        config = scenario_at(QUICK, protocol="heap", distribution=REF_691,
+                             n_nodes=30, duration=5.0, drain=10.0)
+        return run_grid(config, seeds=range(1, 9),
+                        metrics={"delivery": metric_offline_delivery},
+                        jobs=jobs_from_env())
+
+    grid = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert len(grid.records) == 8
+    assert all(record.metrics["delivery"] > 0.9 for record in grid.records)

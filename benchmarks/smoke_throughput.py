@@ -1,0 +1,153 @@
+"""Smoke benchmark: simulator throughput + parallel-sweep scaling.
+
+Runs the same workloads as ``bench_simulator_throughput.py`` without the
+pytest-benchmark harness and writes a compact ``BENCH_throughput.json``
+so CI can archive the performance trajectory across PRs::
+
+    PYTHONPATH=src python benchmarks/smoke_throughput.py --jobs 4
+
+The sweep section also *verifies* (not just measures) the parallel
+engine's contract: the serial and ``--jobs N`` aggregates must be
+byte-identical, or the script exits non-zero.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+
+def _best_of(fn, repeats: int = 5) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def bench_engine(events: int = 10_000):
+    """The bare event loop: 100 chains of 100 self-scheduling events."""
+    from repro.sim.engine import Simulator
+
+    chains = 100
+    depth = events // chains
+
+    def run_schedule():
+        sim = Simulator()
+
+        def chain(remaining):
+            if remaining > 0:
+                sim.schedule(0.001, lambda: chain(remaining - 1))
+
+        for _ in range(chains):
+            chain(depth)
+        sim.run()
+        assert sim.events_executed == chains * depth
+
+    def run_post():
+        sim = Simulator()
+
+        def chain(remaining):
+            if remaining > 0:
+                sim.post(0.001, lambda: chain(remaining - 1))
+
+        for _ in range(chains):
+            chain(depth)
+        sim.run()
+        assert sim.events_executed == chains * depth
+
+    total = chains * depth
+    schedule_s = _best_of(run_schedule)
+    post_s = _best_of(run_post)
+    return {
+        "events": total,
+        "schedule_events_per_sec": round(total / schedule_s),
+        "post_events_per_sec": round(total / post_s),
+    }
+
+
+def bench_scenario():
+    """End-to-end cost of the reference small HEAP run (QUICK scale)."""
+    from repro.experiments.runner import run_scenario
+    from repro.experiments.scales import QUICK, scenario_at
+    from repro.workloads.distributions import REF_691
+
+    config = scenario_at(QUICK, protocol="heap", distribution=REF_691,
+                         n_nodes=30, duration=5.0, drain=10.0)
+    run_scenario(config)  # warm imports out of the timing
+    started = time.perf_counter()
+    result = run_scenario(config)
+    wall = time.perf_counter() - started
+    return {
+        "events": result.sim.events_executed,
+        "wall_seconds": round(wall, 4),
+        "events_per_sec": round(result.sim.events_executed / wall),
+    }
+
+
+def bench_sweep(jobs: int):
+    """8-seed, 2-scenario sweep: serial vs --jobs N, results verified equal."""
+    from repro.experiments.multi_seed import metric_offline_delivery
+    from repro.experiments.parallel import run_grid
+    from repro.workloads.distributions import REF_691
+    from repro.workloads.scenario import ScenarioConfig
+
+    configs = [
+        ScenarioConfig(name="heap", protocol="heap", n_nodes=30,
+                       duration=5.0, drain=10.0, distribution=REF_691),
+        ScenarioConfig(name="standard", protocol="standard", n_nodes=30,
+                       duration=5.0, drain=10.0, distribution=REF_691),
+    ]
+    seeds = list(range(1, 9))
+    metrics = {"delivery": metric_offline_delivery}
+
+    serial = run_grid(configs, seeds, metrics, jobs=1)
+    parallel = run_grid(configs, seeds, metrics, jobs=jobs)
+    identical = (serial.determinism_keys() == parallel.determinism_keys()
+                 and serial.render() == parallel.render())
+    return {
+        "scenarios": len(configs),
+        "seeds": len(seeds),
+        "jobs": jobs,
+        #: Speedup is bounded by the host: expect ~min(jobs, cpus) minus
+        #: pool overhead; on a 1-CPU box the pool can only cost, never win.
+        "cpus": os.cpu_count(),
+        "serial_wall_seconds": round(serial.wall_time, 4),
+        "parallel_wall_seconds": round(parallel.wall_time, 4),
+        "speedup": round(serial.wall_time / parallel.wall_time, 2),
+        "aggregates_byte_identical": identical,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--jobs", type=int,
+                        default=min(4, os.cpu_count() or 1),
+                        help="worker processes for the sweep section")
+    parser.add_argument("--out", default="BENCH_throughput.json")
+    args = parser.parse_args(argv)
+
+    report = {
+        "benchmark": "simulator-throughput-smoke",
+        "python": sys.version.split()[0],
+        "engine": bench_engine(),
+        "scenario": bench_scenario(),
+        "sweep": bench_sweep(args.jobs),
+    }
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(json.dumps(report, indent=2, sort_keys=True))
+    if not report["sweep"]["aggregates_byte_identical"]:
+        print("FATAL: parallel sweep diverged from the serial run",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -30,14 +30,15 @@ class AggregationMessage:
     """[Aggregation, fresh] — a batch of capability samples."""
 
     kind = "aggregation"
-    __slots__ = ("samples",)
+    __slots__ = ("samples", "_wire_size")
 
     def __init__(self, samples: List[Tuple[int, float, float]]):
         #: list of (node_id, capability_bps, sample_timestamp)
         self.samples = samples
+        self._wire_size = _HEADER_BYTES + _SAMPLE_BYTES * len(samples)
 
     def wire_size(self) -> int:
-        return _HEADER_BYTES + _SAMPLE_BYTES * len(self.samples)
+        return self._wire_size
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"AggregationMessage({len(self.samples)} samples)"
@@ -62,6 +63,10 @@ class CapabilityAggregator:
         self.sample_ttl = sample_ttl
         #: node_id -> (capability_bps, sample_timestamp)
         self._samples: Dict[int, Tuple[float, float]] = {}
+        #: Lower bound on the oldest foreign sample timestamp; lets
+        #: _evict_stale skip the table scan when nothing can be stale
+        #: (the common case while every peer keeps gossiping).
+        self._oldest_ts = float("inf")
         self.messages_sent = 0
         self.messages_received = 0
         self._timer = PeriodicTimer(sim, period, self._gossip)
@@ -87,10 +92,16 @@ class CapabilityAggregator:
         if self.sample_ttl <= 0:
             return
         cutoff = self._sim.now - self.sample_ttl
+        if self._oldest_ts >= cutoff:
+            return  # even the oldest known sample is still fresh
         stale = [node for node, (_, ts) in self._samples.items()
                  if ts < cutoff and node != self.node_id]
         for node in stale:
             del self._samples[node]
+        own = self.node_id
+        self._oldest_ts = min(
+            (ts for node, (_, ts) in self._samples.items() if node != own),
+            default=float("inf"))
 
     def freshest(self, count: int) -> List[Tuple[int, float, float]]:
         """The ``count`` freshest samples as (node, capability, timestamp)."""
@@ -132,10 +143,16 @@ class CapabilityAggregator:
 
     def on_message(self, src: int, message: AggregationMessage) -> None:
         self.messages_received += 1
+        samples = self._samples
+        own = self.node_id
+        oldest = self._oldest_ts
         for node, capability, timestamp in message.samples:
-            if node == self.node_id:
+            if node == own:
                 continue  # nobody knows our capability better than we do
-            existing = self._samples.get(node)
+            existing = samples.get(node)
             if existing is None or timestamp > existing[1]:
-                self._samples[node] = (capability, timestamp)
+                samples[node] = (capability, timestamp)
+                if timestamp < oldest:
+                    oldest = timestamp
+        self._oldest_ts = oldest
         self._evict_stale()

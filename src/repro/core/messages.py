@@ -21,16 +21,21 @@ SERVE_PACKET_OVERHEAD = 12
 
 
 class Propose:
-    """Phase 1: push event ids to gossip partners."""
+    """Phase 1: push event ids to gossip partners.
+
+    The wire size is computed once at construction: one proposal is sent
+    to every gossip partner, so recomputing it per ``send`` was waste.
+    """
 
     kind = "propose"
-    __slots__ = ("ids",)
+    __slots__ = ("ids", "_wire_size")
 
     def __init__(self, ids: Sequence[int]):
         self.ids = tuple(ids)
+        self._wire_size = HEADER_BYTES + ID_BYTES * len(self.ids)
 
     def wire_size(self) -> int:
-        return HEADER_BYTES + ID_BYTES * len(self.ids)
+        return self._wire_size
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"Propose({len(self.ids)} ids)"
@@ -40,30 +45,36 @@ class Request:
     """Phase 2: pull the event ids the receiver still misses."""
 
     kind = "request"
-    __slots__ = ("ids",)
+    __slots__ = ("ids", "_wire_size")
 
     def __init__(self, ids: Sequence[int]):
         self.ids = tuple(ids)
+        self._wire_size = HEADER_BYTES + ID_BYTES * len(self.ids)
 
     def wire_size(self) -> int:
-        return HEADER_BYTES + ID_BYTES * len(self.ids)
+        return self._wire_size
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"Request({len(self.ids)} ids)"
 
 
 class Serve:
-    """Phase 3: push the actual payloads for requested ids."""
+    """Phase 3: push the actual payloads for requested ids.
+
+    ``packets`` must not be mutated after construction (the size is
+    cached, and the message may still be in flight).
+    """
 
     kind = "serve"
-    __slots__ = ("packets",)
+    __slots__ = ("packets", "_wire_size")
 
     def __init__(self, packets: List[StreamPacket]):
         self.packets = packets
+        self._wire_size = HEADER_BYTES + sum(
+            p.size_bytes + SERVE_PACKET_OVERHEAD for p in packets)
 
     def wire_size(self) -> int:
-        return HEADER_BYTES + sum(p.size_bytes + SERVE_PACKET_OVERHEAD
-                                  for p in self.packets)
+        return self._wire_size
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"Serve({len(self.packets)} packets)"

@@ -43,8 +43,12 @@ class RetransmissionManager:
         if not ids:
             return
         self._outstanding += 1
-        self._sim.schedule(
-            self.period, lambda: self._expire(peer, list(ids), retries_left=self.max_retries))
+        # Retransmission timers are never cancelled, so they ride the
+        # simulator's handle-free fast path.  Copy the ids eagerly: the
+        # caller may go on mutating its list.
+        ids = list(ids)
+        self._sim.post(
+            self.period, lambda: self._expire(peer, ids, retries_left=self.max_retries))
 
     def outstanding(self) -> int:
         """Number of armed timers (diagnostic)."""
@@ -60,7 +64,7 @@ class RetransmissionManager:
             self.retransmissions += 1
             self._resend(proposer, missing)
             self._outstanding += 1
-            self._sim.schedule(
+            self._sim.post(
                 self.period,
                 lambda: self._expire(proposer, missing, retries_left - 1))
         else:

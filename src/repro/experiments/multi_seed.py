@@ -3,7 +3,9 @@
 Single-run numbers from a randomized protocol carry run-to-run noise;
 a credible comparison reports mean and dispersion across seeds.  This
 module runs one scenario under several seeds and aggregates arbitrary
-scalar metrics.
+scalar metrics.  The execution itself is delegated to
+:mod:`repro.experiments.parallel` — pass ``jobs=N`` to fan the seeds out
+over worker processes; the aggregates are bit-identical either way.
 """
 
 from __future__ import annotations
@@ -12,6 +14,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Sequence
 
 from repro.analysis.stats import mean, stdev
+from repro.experiments.parallel import run_grid
 from repro.experiments.runner import ExperimentResult, run_scenario
 from repro.workloads.scenario import ScenarioConfig
 
@@ -48,24 +51,24 @@ class AggregatedMetric:
 
 
 def run_seeds(config: ScenarioConfig, metrics: Dict[str, Metric],
-              seeds: Sequence[int]) -> Dict[str, AggregatedMetric]:
+              seeds: Sequence[int],
+              jobs: int = 1) -> Dict[str, AggregatedMetric]:
     """Run ``config`` once per seed and aggregate each metric.
 
+    ``jobs`` > 1 runs the seeds on a worker-process pool (metrics must
+    then be picklable, i.e. module-level functions); the aggregated
+    values are identical to a serial run, only faster.
+
     The churn object (if any) carries per-run state, so scenarios with
-    churn are rejected here — copy the config per seed yourself if you
-    need multi-seed churn studies.
+    churn are rejected here — use :func:`repro.experiments.parallel.run_grid`
+    directly for multi-seed churn studies (it copies the config per run).
     """
     if not seeds:
         raise ValueError("need at least one seed")
     if config.churn is not None:
         raise ValueError("multi-seed runs do not support shared churn state")
-    collected: Dict[str, List[float]] = {name: [] for name in metrics}
-    for seed in seeds:
-        result = run_scenario(config.with_(seed=seed))
-        for name, metric in metrics.items():
-            collected[name].append(metric(result))
-    return {name: AggregatedMetric(name, values)
-            for name, values in collected.items()}
+    grid = run_grid(config, seeds, metrics, jobs=jobs)
+    return grid.aggregated_for(0)
 
 
 # ----------------------------------------------------------------------
@@ -87,3 +90,16 @@ def metric_jitter_free_fraction(lag: float) -> Metric:
         from repro.metrics.jitter import jitter_free_fraction_by_class
         return mean(jitter_free_fraction_by_class(result, lag).values())
     return metric
+
+
+def metric_jitter_free_10s(result: ExperimentResult) -> float:
+    """Jitter-free fraction at the paper's 10 s lag.  Module-level (and
+    therefore picklable) for parallel sweeps."""
+    from repro.metrics.jitter import jitter_free_fraction_by_class
+    return mean(jitter_free_fraction_by_class(result, 10.0).values())
+
+
+def metric_mean_utilization(result: ExperimentResult) -> float:
+    """Mean receiver uplink utilization (Figure 4's quantity)."""
+    return mean(result.uplink_utilization(node_id)
+                for node_id in result.receiver_ids())

@@ -1,0 +1,223 @@
+"""Parallel scenario×seed experiment engine.
+
+The paper's figures are multi-seed averages over many scenario variants;
+running those grids serially on one core is the single largest wall-clock
+cost of reproducing them.  This module fans a scenario×seed grid out
+across worker processes while keeping the results *bit-identical* to a
+serial run:
+
+* every cell of the grid is an independent ``(ScenarioConfig, seed)``
+  task — simulations share no state, so parallelism cannot change any
+  result, only its arrival order;
+* tasks travel to workers as pickles (``ScenarioConfig`` is a plain
+  dataclass, so this is spawn-safe); the serial path pickles the config
+  too, which both exercises picklability on every run and gives churn
+  objects the same fresh-copy semantics workers get;
+* workers return compact :class:`RunRecord` values — metric scalars and
+  run counters, never the full ``ExperimentResult`` — so result transfer
+  stays cheap at any grid size;
+* records are merged by grid position, not completion order, so the
+  aggregate output of ``--jobs 8`` is byte-identical to ``--jobs 1``.
+
+Usage::
+
+    from repro.experiments.parallel import run_grid
+    from repro.experiments.multi_seed import metric_offline_delivery
+
+    grid = run_grid(
+        [ScenarioConfig(protocol="heap"), ScenarioConfig(protocol="standard")],
+        seeds=range(1, 9),
+        metrics={"delivery": metric_offline_delivery},
+        jobs=4,
+    )
+    print(grid.render())
+
+or from the command line::
+
+    python -m repro sweep --protocols heap,standard --num-seeds 8 --jobs 4
+
+Metrics must be picklable (module-level functions) when ``jobs > 1``.
+Progress is reported through an optional callback as tasks finish.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.experiments.runner import ExperimentResult, run_scenario
+from repro.workloads.scenario import ScenarioConfig
+
+#: A metric maps a finished run to one scalar.
+Metric = Callable[[ExperimentResult], float]
+
+#: Progress callback: (tasks_done, tasks_total, record_just_finished).
+ProgressCallback = Callable[[int, int, "RunRecord"], None]
+
+
+@dataclass
+class RunRecord:
+    """Compact, picklable result of one (scenario, seed) cell."""
+
+    scenario_index: int
+    scenario_name: str
+    seed_index: int
+    seed: int
+    #: metric name -> scalar value, in the caller's metric order.
+    metrics: Dict[str, float]
+    events_executed: int
+    sim_end_time: float
+    #: Worker wall-clock seconds; excluded from determinism comparisons.
+    wall_time: float = field(compare=False)
+
+    def determinism_key(self) -> tuple:
+        """Everything that must be identical across serial/parallel runs."""
+        return (self.scenario_index, self.scenario_name, self.seed_index,
+                self.seed, tuple(self.metrics.items()),
+                self.events_executed, self.sim_end_time)
+
+
+class GridResult:
+    """All records of one grid run, in deterministic grid order."""
+
+    def __init__(self, configs: Sequence[ScenarioConfig], seeds: Sequence[int],
+                 metric_names: Sequence[str], records: List[RunRecord],
+                 jobs: int, wall_time: float):
+        self.configs = list(configs)
+        self.seeds = list(seeds)
+        self.metric_names = list(metric_names)
+        #: Scenario-major, seed-minor — independent of completion order.
+        self.records = records
+        self.jobs = jobs
+        #: Total wall-clock seconds for the whole grid (not deterministic).
+        self.wall_time = wall_time
+
+    def records_for(self, scenario_index: int) -> List[RunRecord]:
+        n = len(self.seeds)
+        start = scenario_index * n
+        return self.records[start:start + n]
+
+    def aggregated_for(self, scenario_index: int):
+        """Per-metric aggregation for one scenario: name -> AggregatedMetric."""
+        from repro.experiments.multi_seed import AggregatedMetric
+        records = self.records_for(scenario_index)
+        return {name: AggregatedMetric(name, [r.metrics[name] for r in records])
+                for name in self.metric_names}
+
+    def aggregated(self):
+        """List of (config, {metric -> AggregatedMetric}) per scenario."""
+        return [(config, self.aggregated_for(i))
+                for i, config in enumerate(self.configs)]
+
+    def determinism_keys(self) -> List[tuple]:
+        return [record.determinism_key() for record in self.records]
+
+    def render(self) -> str:
+        """Deterministic text summary (identical for any ``jobs`` value)."""
+        lines = []
+        for i, config in enumerate(self.configs):
+            label = config.name if len(self.configs) == 1 else f"[{i}] {config.name}"
+            lines.append(f"{label}: protocol={config.protocol} "
+                         f"n={config.n_nodes} duration={config.duration:g}s "
+                         f"seeds={list(self.seeds)}")
+            for name, agg in self.aggregated_for(i).items():
+                lines.append("  " + agg.summary())
+        return "\n".join(lines)
+
+
+def _execute(payload) -> Tuple[int, RunRecord]:
+    """Run one grid cell.  Module-level so it pickles for worker processes."""
+    index, scenario_index, scenario_name, seed_index, config, metric_items = payload
+    started = time.perf_counter()
+    result = run_scenario(config)
+    values = {name: metric(result) for name, metric in metric_items}
+    record = RunRecord(
+        scenario_index=scenario_index,
+        scenario_name=scenario_name,
+        seed_index=seed_index,
+        seed=config.seed,
+        metrics=values,
+        events_executed=result.sim.events_executed,
+        sim_end_time=result.sim.now,
+        wall_time=time.perf_counter() - started,
+    )
+    return index, record
+
+
+def _default_start_method() -> str:
+    """Prefer fork (milliseconds per worker) where the platform has it;
+    fall back to spawn.  Every code path is spawn-safe — tasks and
+    metrics travel as pickles either way — so the choice only affects
+    pool startup cost, which dominates small grids."""
+    import multiprocessing
+
+    return ("fork" if "fork" in multiprocessing.get_all_start_methods()
+            else "spawn")
+
+
+def run_grid(configs, seeds: Sequence[int], metrics: Dict[str, Metric],
+             jobs: int = 1, progress: Optional[ProgressCallback] = None,
+             start_method: Optional[str] = None) -> GridResult:
+    """Run every ``config`` under every seed and collect compact records.
+
+    ``configs`` may be a single :class:`ScenarioConfig` or a sequence.
+    ``jobs`` <= 1 runs serially in-process; larger values fan the grid out
+    over a ``multiprocessing`` pool.  ``start_method`` picks the pool's
+    start method (``"fork"`` where available, else ``"spawn"``; pass
+    ``"spawn"`` explicitly to force the portable path — everything is
+    spawn-safe).  Results are merged in grid order, so the outcome is
+    bit-identical for any ``jobs`` value — only the wall time changes.
+    """
+    if isinstance(configs, ScenarioConfig):
+        configs = [configs]
+    configs = list(configs)
+    seeds = list(seeds)
+    if not configs:
+        raise ValueError("need at least one scenario config")
+    if not seeds:
+        raise ValueError("need at least one seed")
+    for config in configs:
+        config.validate()
+    metric_items = tuple(metrics.items())
+    metric_names = [name for name, _ in metric_items]
+
+    payloads = []
+    for scenario_index, config in enumerate(configs):
+        for seed_index, seed in enumerate(seeds):
+            payloads.append((
+                len(payloads), scenario_index, config.name, seed_index,
+                config.with_(seed=seed), metric_items,
+            ))
+
+    total = len(payloads)
+    records: List[Optional[RunRecord]] = [None] * total
+    started = time.perf_counter()
+    if jobs <= 1 or total == 1:
+        for done, payload in enumerate(payloads, start=1):
+            # The config rides through pickle exactly as it would to a
+            # worker: same spawn-safety guarantees, and stateful churn
+            # objects get a fresh copy per run here too.
+            index, _, scenario_name, seed_index, config, _ = payload
+            config = pickle.loads(pickle.dumps(config))
+            index, record = _execute((index, payload[1], scenario_name,
+                                      seed_index, config, metric_items))
+            records[index] = record
+            if progress is not None:
+                progress(done, total, record)
+    else:
+        import multiprocessing
+
+        ctx = multiprocessing.get_context(start_method or _default_start_method())
+        workers = min(jobs, total)
+        with ctx.Pool(processes=workers) as pool:
+            done = 0
+            for index, record in pool.imap_unordered(_execute, payloads,
+                                                     chunksize=1):
+                records[index] = record
+                done += 1
+                if progress is not None:
+                    progress(done, total, record)
+    wall = time.perf_counter() - started
+    return GridResult(configs, seeds, metric_names, records, jobs, wall)

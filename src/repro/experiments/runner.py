@@ -179,7 +179,9 @@ def run_scenario(config: ScenarioConfig,
                               jitter=config.latency_jitter)
     loss = (BernoulliLoss(registry.stream("loss"), config.loss_rate)
             if config.loss_rate > 0 else None)
-    net = Network(sim, latency=latency, loss=loss)
+    # Envelope recycling is safe here: every endpoint the runner builds
+    # drops the envelope when on_message returns.
+    net = Network(sim, latency=latency, loss=loss, reuse_envelopes=True)
 
     directory = MembershipDirectory(sim, registry.stream("detection"),
                                     mean_detection_delay=config.mean_detection_delay)

@@ -114,8 +114,17 @@ class PairwiseLatency(LatencyModel):
         return value
 
     def sample(self, src: int, dst: int) -> float:
-        jitter = self._rng.uniform(0.0, self.jitter) if self.jitter > 0 else 0.0
-        return self.base(src, dst) + jitter
+        # Inlined base() lookup and jitter draw: this runs once per
+        # datagram.  ``jitter * random()`` is bit-identical to
+        # ``uniform(0, jitter)`` and consumes the same single draw, so the
+        # RNG stream (and therefore every seeded result) is unchanged.
+        jitter = self.jitter * self._rng.random() if self.jitter > 0 else 0.0
+        key = (src, dst) if src <= dst else (dst, src)
+        base = self._bases.get(key)
+        if base is None:
+            base = max(self.floor, self._rng.lognormvariate(self._mu, self.sigma))
+            self._bases[key] = base
+        return base + jitter
 
     def mean(self) -> float:
         return math.exp(self._mu + self.sigma ** 2 / 2) + self.jitter / 2

@@ -17,6 +17,11 @@ from typing import Dict
 class LossModel(ABC):
     """Decides, per datagram, whether the network drops it."""
 
+    #: Hot-path hint: when False the network skips is_lost() entirely.
+    #: Models that consume RNG draws must keep this True even at rate 0,
+    #: so a zero-rate model stays stream-compatible with a lossy one.
+    active = True
+
     @abstractmethod
     def is_lost(self, src: int, dst: int) -> bool:
         """Return True if this datagram should be silently dropped."""
@@ -24,6 +29,8 @@ class LossModel(ABC):
 
 class NoLoss(LossModel):
     """Perfect delivery."""
+
+    active = False
 
     def is_lost(self, src: int, dst: int) -> bool:
         return False

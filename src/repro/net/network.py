@@ -12,6 +12,17 @@ Crash semantics: a node that crashes at time *t* stops receiving
 immediately and any datagram that had not finished serializing through
 its uplink by *t* is lost (it was still sitting in the application-level
 queue of the dead process).  Datagrams already on the wire are delivered.
+
+Hot path notes: ``send`` is the most-executed function of a gossip run,
+so it inlines the liveness check, traffic accounting, and loss gate, and
+enqueues the envelope itself as the delivery event on the simulator's
+fire-and-forget path (no per-datagram closure or event handle).
+Deliveries sharing an arrival timestamp drain as one batched bucket in
+the event loop.  With ``reuse_envelopes=True`` delivered envelopes are
+recycled through a free list — only safe when no endpoint or caller
+retains envelopes past the ``on_message`` callback, which holds for every
+protocol in this package; the experiment runner opts in, direct users of
+the fabric (and the tests) keep the allocate-per-datagram default.
 """
 
 from __future__ import annotations
@@ -21,9 +32,12 @@ from typing import Callable, Dict, Optional, Protocol
 from repro.net.bandwidth import UplinkQueue
 from repro.net.latency import ConstantLatency, LatencyModel
 from repro.net.loss import LossModel, NoLoss
-from repro.net.message import Envelope, Payload, datagram_size
+from repro.net.message import UDP_IP_HEADER_BYTES, Envelope, Payload
 from repro.net.stats import NetworkStats
 from repro.sim.engine import Simulator
+
+#: Upper bound on the envelope free list (reuse_envelopes=True).
+_POOL_CAP = 512
 
 
 class Endpoint(Protocol):
@@ -37,7 +51,8 @@ class Network:
     """Best-effort datagram fabric with throttled uplinks."""
 
     def __init__(self, sim: Simulator, latency: Optional[LatencyModel] = None,
-                 loss: Optional[LossModel] = None):
+                 loss: Optional[LossModel] = None,
+                 reuse_envelopes: bool = False):
         self._sim = sim
         self.latency = latency if latency is not None else ConstantLatency(0.05)
         self.loss = loss if loss is not None else NoLoss()
@@ -46,7 +61,11 @@ class Network:
         self._uplinks: Dict[int, UplinkQueue] = {}
         self._crash_time: Dict[int, float] = {}
         #: Optional observer invoked for every delivered envelope.
+        #: While set, envelope recycling is suspended (the observer may
+        #: retain envelopes).
         self.on_deliver: Optional[Callable[[Envelope], None]] = None
+        #: Free list of delivered envelopes, or None when reuse is off.
+        self._pool: Optional[list] = [] if reuse_envelopes else None
 
     # ------------------------------------------------------------------
     # membership of the fabric
@@ -59,6 +78,9 @@ class Network:
         self._endpoints[node_id] = endpoint
         uplink = UplinkQueue(upload_capacity_bps, max_delay=max_queue_delay)
         self._uplinks[node_id] = uplink
+        # Pre-create the per-node counters so send/_deliver can index
+        # stats.per_node without a existence check per datagram.
+        self.stats.node(node_id)
         return uplink
 
     def detach(self, node_id: int) -> None:
@@ -86,36 +108,77 @@ class Network:
     # ------------------------------------------------------------------
     def send(self, src: int, dst: int, payload: Payload) -> Optional[Envelope]:
         """Send one datagram.  Returns the envelope, or None if it was
-        dropped before reaching the wire (dead sender / queue cap)."""
-        if not self.is_alive(src):
+        dropped before reaching the wire (dead sender / queue cap).
+
+        With ``reuse_envelopes=True`` the returned envelope is only valid
+        until it is delivered — don't retain it.
+        """
+        if src not in self._endpoints or src in self._crash_time:
             return None
-        now = self._sim.now
-        size = datagram_size(payload)
-        uplink = self._uplinks[src]
-        exit_time = uplink.enqueue(now, size)
+        sim = self._sim
+        now = sim._now
+        size = payload.wire_size() + UDP_IP_HEADER_BYTES
+        exit_time = self._uplinks[src].enqueue(now, size)
+        stats = self.stats
         if exit_time is None:
-            self.stats.record_dropped_queue()
+            stats.dropped_queue += 1
             return None
-        self.stats.record_sent(src, payload.kind, size)
-        if self.loss.is_lost(src, dst):
-            self.stats.record_lost()
+        kind = payload.kind
+        stats.sent += 1
+        stats.bytes_sent += size
+        stats.bytes_by_kind[kind] += size
+        stats.count_by_kind[kind] += 1
+        node_stats = stats.per_node[src]
+        node_stats.bytes_up += size
+        node_stats.datagrams_up += 1
+        loss = self.loss
+        if loss.active and loss.is_lost(src, dst):
+            stats.lost += 1
             return None
         arrival = exit_time + self.latency.sample(src, dst)
-        envelope = Envelope(src, dst, payload, size, now, arrival)
-        self._sim.schedule_at(arrival, lambda: self._deliver(envelope, exit_time))
+        pool = self._pool
+        if pool:
+            envelope = pool.pop()
+            envelope.src = src
+            envelope.dst = dst
+            envelope.payload = payload
+            envelope.size_bytes = size
+            envelope.send_time = now
+            envelope.arrival_time = arrival
+        else:
+            envelope = Envelope(src, dst, payload, size, now, arrival)
+            envelope._net = self
+        envelope._exit_time = exit_time
+        sim.post_at(arrival, envelope)
         return envelope
 
     def _deliver(self, envelope: Envelope, exit_time: float) -> None:
-        src_crash = self._crash_time.get(envelope.src)
-        if src_crash is not None and exit_time > src_crash:
-            # The datagram was still queued in the sender's dead process.
-            self.stats.record_dropped_dead()
-            return
+        crash_time = self._crash_time
+        if crash_time:
+            src_crash = crash_time.get(envelope.src)
+            if src_crash is not None and exit_time > src_crash:
+                # The datagram was still queued in the sender's dead process.
+                self.stats.dropped_dead += 1
+                return
+            if envelope.dst in crash_time:
+                self.stats.dropped_dead += 1
+                return
         endpoint = self._endpoints.get(envelope.dst)
-        if endpoint is None or envelope.dst in self._crash_time:
-            self.stats.record_dropped_dead()
+        if endpoint is None:
+            self.stats.dropped_dead += 1
             return
-        self.stats.record_delivered(envelope.dst, envelope.size_bytes)
+        stats = self.stats
+        stats.delivered += 1
+        node_stats = stats.per_node.get(envelope.dst)
+        if node_stats is None:  # delivered to a node attached out-of-band
+            node_stats = stats.node(envelope.dst)
+        node_stats.bytes_down += envelope.size_bytes
+        node_stats.datagrams_down += 1
         if self.on_deliver is not None:
             self.on_deliver(envelope)
+            endpoint.on_message(envelope)
+            return  # observer may retain the envelope: never recycle
         endpoint.on_message(envelope)
+        pool = self._pool
+        if pool is not None and len(pool) < _POOL_CAP:
+            pool.append(envelope)

@@ -1,0 +1,163 @@
+"""Determinism tests for the parallel experiment engine.
+
+The contract under test: a (ScenarioConfig, seed) cell fully determines
+its result — so the same grid run serially, run under ``jobs=N``, or run
+twice must produce identical records (metric scalars, event counts,
+simulated end times), and only wall times may differ.
+"""
+
+import pickle
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.stats import mean
+from repro.experiments.multi_seed import (
+    metric_offline_delivery,
+    run_seeds,
+)
+from repro.experiments.parallel import RunRecord, run_grid
+from repro.experiments.runner import run_scenario
+from repro.workloads.churn import CatastrophicFailure
+from repro.workloads.distributions import REF_691
+from repro.workloads.scenario import ScenarioConfig
+
+
+def tiny_config(**overrides) -> ScenarioConfig:
+    base = dict(n_nodes=10, duration=2.0, drain=4.0, distribution=REF_691)
+    base.update(overrides)
+    return ScenarioConfig(**base)
+
+
+def metric_events(result) -> float:
+    """Module-level (picklable) metric: total receiver deliveries."""
+    return float(sum(len(result.log_of(node_id))
+                     for node_id in result.receiver_ids()))
+
+
+METRICS = {"delivery": metric_offline_delivery, "deliveries": metric_events}
+
+
+class TestGridShape:
+    def test_records_in_scenario_major_seed_minor_order(self):
+        grid = run_grid([tiny_config(name="a"), tiny_config(name="b")],
+                        seeds=[7, 8], metrics=METRICS)
+        order = [(r.scenario_name, r.seed) for r in grid.records]
+        assert order == [("a", 7), ("a", 8), ("b", 7), ("b", 8)]
+        assert [r.seed_index for r in grid.records] == [0, 1, 0, 1]
+
+    def test_single_config_accepted_bare(self):
+        grid = run_grid(tiny_config(), seeds=[1], metrics=METRICS)
+        assert len(grid.records) == 1
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ValueError):
+            run_grid([], seeds=[1], metrics=METRICS)
+        with pytest.raises(ValueError):
+            run_grid(tiny_config(), seeds=[], metrics=METRICS)
+
+    def test_progress_called_once_per_cell(self):
+        calls = []
+        run_grid(tiny_config(), seeds=[1, 2, 3], metrics=METRICS,
+                 progress=lambda done, total, rec: calls.append((done, total)))
+        assert calls == [(1, 3), (2, 3), (3, 3)]
+
+    def test_records_are_picklable(self):
+        grid = run_grid(tiny_config(), seeds=[1], metrics=METRICS)
+        clone = pickle.loads(pickle.dumps(grid.records[0]))
+        assert clone == grid.records[0]
+
+
+class TestDeterminism:
+    def test_repeated_serial_runs_identical(self):
+        grids = [run_grid(tiny_config(), seeds=[1, 2], metrics=METRICS)
+                 for _ in range(2)]
+        assert grids[0].determinism_keys() == grids[1].determinism_keys()
+
+    def test_parallel_matches_serial_bit_for_bit(self):
+        configs = [tiny_config(name="heap"),
+                   tiny_config(name="standard", protocol="standard")]
+        serial = run_grid(configs, seeds=[1, 2, 3], metrics=METRICS, jobs=1)
+        parallel = run_grid(configs, seeds=[1, 2, 3], metrics=METRICS, jobs=2)
+        assert serial.determinism_keys() == parallel.determinism_keys()
+        assert serial.render() == parallel.render()
+
+    def test_spawn_start_method_matches_serial(self):
+        # The portable (and strictest) pool mode: workers import the
+        # package from scratch and receive everything as pickles.
+        serial = run_grid(tiny_config(), seeds=[1, 2], metrics=METRICS)
+        spawned = run_grid(tiny_config(), seeds=[1, 2], metrics=METRICS,
+                           jobs=2, start_method="spawn")
+        assert serial.determinism_keys() == spawned.determinism_keys()
+
+    def test_seed_changes_results(self):
+        grid = run_grid(tiny_config(), seeds=[1, 2], metrics=METRICS)
+        assert (grid.records[0].events_executed
+                != grid.records[1].events_executed)
+
+    @settings(max_examples=5, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**31))
+    def test_same_seed_same_receiver_logs(self, seed):
+        """Property: one seed fully determines the full receiver trace."""
+        config = tiny_config(seed=seed)
+        a = run_scenario(pickle.loads(pickle.dumps(config)))
+        b = run_scenario(pickle.loads(pickle.dumps(config)))
+        assert a.sim.events_executed == b.sim.events_executed
+        assert a.publish_times == b.publish_times
+        for node_id in a.receiver_ids():
+            assert dict(a.log_of(node_id).items()) == dict(b.log_of(node_id).items())
+
+    @settings(max_examples=3, deadline=None)
+    @given(seeds=st.lists(st.integers(min_value=0, max_value=10_000),
+                          min_size=1, max_size=3, unique=True))
+    def test_property_serial_equals_parallel(self, seeds):
+        config = tiny_config()
+        serial = run_grid(config, seeds=seeds, metrics=METRICS, jobs=1)
+        parallel = run_grid(config, seeds=seeds, metrics=METRICS, jobs=2)
+        assert serial.determinism_keys() == parallel.determinism_keys()
+
+
+class TestChurnIsolation:
+    def test_churn_state_does_not_leak_between_cells(self):
+        # The CatastrophicFailure object records its victims; the engine
+        # must hand every cell a fresh copy so seeds can't contaminate
+        # each other (the historical reason run_seeds rejected churn).
+        churn = CatastrophicFailure(fraction=0.3, at_time=3.0)
+        config = tiny_config(duration=4.0, drain=4.0, churn=churn)
+        grid = run_grid(config, seeds=[1, 2, 3], metrics=METRICS)
+        assert churn.victims == []  # the caller's object is untouched
+        repeat = run_grid(config, seeds=[1, 2, 3], metrics=METRICS)
+        assert grid.determinism_keys() == repeat.determinism_keys()
+
+    def test_run_seeds_still_rejects_shared_churn(self):
+        config = tiny_config(churn=CatastrophicFailure(fraction=0.3,
+                                                       at_time=3.0))
+        with pytest.raises(ValueError):
+            run_seeds(config, METRICS, seeds=[1, 2])
+
+
+class TestRunSeedsCompat:
+    def test_run_seeds_jobs_equivalence(self):
+        config = tiny_config()
+        serial = run_seeds(config, METRICS, seeds=[1, 2, 3])
+        parallel = run_seeds(config, METRICS, seeds=[1, 2, 3], jobs=2)
+        for name in METRICS:
+            assert serial[name].values == parallel[name].values
+
+    def test_run_seeds_matches_direct_runs(self):
+        config = tiny_config()
+        aggregated = run_seeds(config, {"delivery": metric_offline_delivery},
+                               seeds=[4, 5])
+        direct = [metric_offline_delivery(run_scenario(config.with_(seed=s)))
+                  for s in (4, 5)]
+        assert aggregated["delivery"].values == direct
+        assert aggregated["delivery"].mean == mean(direct)
+
+    def test_lambda_metrics_still_work_serially(self):
+        # Serial execution must not require picklable metrics (the
+        # pre-parallel API allowed closures).
+        config = tiny_config()
+        aggregated = run_seeds(
+            config, {"half": lambda result: 0.5}, seeds=[1, 2])
+        assert aggregated["half"].values == [0.5, 0.5]

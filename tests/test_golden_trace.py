@@ -1,0 +1,111 @@
+"""Golden-trace regression tests for the simulator hot path.
+
+These pin the *exact* summary metrics of two small fig2-style scenarios
+(standard gossip at fanout 15 and HEAP at fanout 7, both on the ms-691
+distribution).  The pinned values were generated at the time of the
+parallel-engine / hot-path overhaul and verified to be bit-identical to
+the original seed implementation's output, so they encode the protocol's
+behavior independently of how the engine is implemented.
+
+If a refactor of the event queue, the network fast path, or the RNG
+plumbing changes *any* of these numbers, it changed protocol behavior —
+not just performance — and every archived figure silently shifts.  Fix
+the refactor, or (for an intentional behavioral change) regenerate the
+constants and say so loudly in the commit.
+
+Integer counters are compared exactly; floats with a 1e-9 relative
+tolerance (they are deterministic on one platform, but libm differences
+across platforms can wiggle the last bits of lognormal draws).
+"""
+
+import pytest
+
+from repro.analysis.stats import mean
+from repro.experiments.runner import run_scenario
+from repro.metrics.bandwidth import utilization_by_class
+from repro.metrics.jitter import jitter_free_fraction_by_class
+from repro.metrics.lag import per_node_lag_jitter_free
+from repro.workloads.distributions import MS_691
+from repro.workloads.scenario import ScenarioConfig
+
+APPROX = dict(rel=1e-9)
+
+
+def _run(protocol: str, fanout: float):
+    config = ScenarioConfig(protocol=protocol, n_nodes=40, duration=6.0,
+                            drain=12.0, seed=42, distribution=MS_691)
+    if fanout != config.gossip.fanout:
+        config = config.with_(gossip=config.gossip.__class__(fanout=fanout))
+    return run_scenario(config)
+
+
+@pytest.fixture(scope="module")
+def standard_result():
+    return _run("standard", 15.0)
+
+
+@pytest.fixture(scope="module")
+def heap_result():
+    return _run("heap", 7.0)
+
+
+class TestStandardGolden:
+    """standard gossip, fanout 15, ms-691, 40 nodes, seed 42."""
+
+    def test_event_and_traffic_counters(self, standard_result):
+        r = standard_result
+        assert r.sim.events_executed == 57520
+        assert r.net.stats.sent == 43475
+        assert r.net.stats.delivered == 43475
+        assert r.net.stats.bytes_sent == 20343420
+        assert r.net.stats.bytes_by_kind["serve"] == 17441100
+
+    def test_lag_summary(self, standard_result):
+        lags = per_node_lag_jitter_free(standard_result)
+        assert mean(lags.values()) == pytest.approx(0.9790508577822078, **APPROX)
+
+    def test_quality_and_bandwidth_by_class(self, standard_result):
+        jff = jitter_free_fraction_by_class(standard_result, 10.0)
+        assert jff == {"512kbps": 100.0, "1Mbps": 100.0, "3Mbps": 100.0}
+        util = utilization_by_class(standard_result)
+        assert util["512kbps"] == pytest.approx(75.49241191208965, **APPROX)
+        assert util["1Mbps"] == pytest.approx(55.57492574055989, **APPROX)
+        assert util["3Mbps"] == pytest.approx(38.68052164713542, **APPROX)
+
+    def test_full_delivery_no_duplicates(self, standard_result):
+        r = standard_result
+        total = r.total_packets
+        delivery = mean(r.log_of(n).delivery_ratio(total)
+                        for n in r.receiver_ids())
+        assert delivery == 1.0
+        assert sum(r.log_of(n).duplicates for n in r.receiver_ids()) == 0
+
+
+class TestHeapGolden:
+    """HEAP, fanout 7, ms-691, 40 nodes, seed 42."""
+
+    def test_event_and_traffic_counters(self, heap_result):
+        r = heap_result
+        assert r.sim.events_executed == 46472
+        assert r.net.stats.sent == 30548
+        assert r.net.stats.delivered == 30537
+        assert r.net.stats.bytes_sent == 19498880
+        assert r.net.stats.bytes_by_kind["serve"] == 17362484
+
+    def test_lag_summary(self, heap_result):
+        lags = per_node_lag_jitter_free(heap_result)
+        assert mean(lags.values()) == pytest.approx(1.163841312122211, **APPROX)
+
+    def test_heap_equalizes_utilization(self, heap_result):
+        util = utilization_by_class(heap_result)
+        assert util["512kbps"] == pytest.approx(75.58646153922034, **APPROX)
+        assert util["1Mbps"] == pytest.approx(79.88662719726564, **APPROX)
+        assert util["3Mbps"] == pytest.approx(82.91965060763889, **APPROX)
+
+    def test_delivery_ratio(self, heap_result):
+        r = heap_result
+        total = r.total_packets
+        delivery = mean(r.log_of(n).delivery_ratio(total)
+                        for n in r.receiver_ids())
+        assert delivery == pytest.approx(0.9998445998446, **APPROX)
+        assert sum(r.log_of(n).duplicates for n in r.receiver_ids()) == 0

@@ -200,3 +200,91 @@ def test_detach_removes_node():
     net.detach(1)
     assert not net.is_alive(1)
     assert 1 not in set(net.node_ids)
+
+
+# ----------------------------------------------------------------------
+# envelope recycling (reuse_envelopes=True, the experiment-runner mode)
+# ----------------------------------------------------------------------
+class TestEnvelopePooling:
+    def _pooled_net(self, latency=0.0):
+        sim = Simulator()
+        net = Network(sim, latency=ConstantLatency(latency),
+                      reuse_envelopes=True)
+        return sim, net
+
+    def test_delivery_behaves_identically_with_pooling(self):
+        sim, net = self._pooled_net(latency=0.05)
+        kinds = []
+
+        class Reader:
+            def on_message(self, envelope):
+                kinds.append((envelope.payload.kind, envelope.src,
+                              envelope.dst, envelope.size_bytes))
+
+        net.attach(1, Reader(), 1e9)
+        net.attach(2, Reader(), 1e9)
+        for i in range(5):
+            net.send(1, 2, FakePayload(kind=f"k{i}", size=100 + i))
+        sim.run()
+        assert kinds == [(f"k{i}", 1, 2, 128 + i + UDP_IP_HEADER_BYTES - 28)
+                         for i in range(5)]
+
+    def test_envelope_objects_are_recycled(self):
+        sim, net = self._pooled_net()
+        seen = []
+
+        class Reader:
+            def on_message(self, envelope):
+                seen.append(id(envelope))
+
+        net.attach(1, Reader(), 1e9)
+        net.attach(2, Reader(), 1e9)
+        net.send(1, 2, FakePayload())
+        sim.run()
+        net.send(1, 2, FakePayload())
+        sim.run()
+        assert len(seen) == 2
+        assert seen[0] == seen[1]  # the freed envelope was reused
+
+    def test_no_recycling_without_opt_in(self):
+        sim, net = make_net(latency=0.0)
+        sink = Sink()
+        net.attach(1, Sink(), 1e9)
+        net.attach(2, sink, 1e9)
+        net.send(1, 2, FakePayload())
+        sim.run()
+        first = sink.received[0]
+        net.send(1, 2, FakePayload())
+        sim.run()
+        # Default mode: retained envelopes stay valid forever.
+        assert sink.received[0] is first
+        assert first is not sink.received[1]
+
+    def test_on_deliver_observer_suspends_recycling(self):
+        sim, net = self._pooled_net()
+        retained = []
+        net.on_deliver = retained.append
+        net.attach(1, Sink(), 1e9)
+        net.attach(2, Sink(), 1e9)
+        net.send(1, 2, FakePayload(kind="a"))
+        sim.run()
+        net.send(1, 2, FakePayload(kind="b"))
+        sim.run()
+        assert [env.payload.kind for env in retained] == ["a", "b"]
+        assert retained[0] is not retained[1]
+
+    def test_stats_identical_with_and_without_pooling(self):
+        def traffic(reuse):
+            sim = Simulator()
+            net = Network(sim, latency=ConstantLatency(0.01),
+                          reuse_envelopes=reuse)
+            net.attach(1, Sink(), 1e6)
+            net.attach(2, Sink(), 1e6)
+            for _ in range(20):
+                net.send(1, 2, FakePayload(kind="serve", size=500))
+            sim.run()
+            stats = net.stats
+            return (stats.sent, stats.delivered, stats.bytes_sent,
+                    dict(stats.bytes_by_kind), stats.node(2).bytes_down)
+
+        assert traffic(False) == traffic(True)

@@ -193,3 +193,268 @@ def test_many_events_deterministic_order():
     sim.run()
     expected = [i for _, i in sorted(zip(times, range(500)))]
     assert order == expected
+
+
+# ----------------------------------------------------------------------
+# live pending counter (replaces the historical O(n) heap scan)
+# ----------------------------------------------------------------------
+class TestPendingCounter:
+    def test_counts_scheduled_and_fired(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        assert sim.pending_count == 2
+        sim.run(until=1.0)
+        assert sim.pending_count == 1
+        sim.run()
+        assert sim.pending_count == 0
+
+    def test_cancel_decrements_once(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        handle.cancel()
+        assert sim.pending_count == 1
+        handle.cancel()  # idempotent: must not decrement again
+        assert sim.pending_count == 1
+
+    def test_cancel_after_fire_keeps_count_consistent(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        sim.run(until=1.0)
+        assert sim.pending_count == 1
+        handle.cancel()  # already fired: a no-op for accounting
+        assert sim.pending_count == 1
+        assert handle.cancelled
+        assert not handle.pending
+
+    def test_post_at_events_are_counted(self):
+        sim = Simulator()
+        sim.post_at(1.0, lambda: None)
+        sim.post(2.0, lambda: None)
+        assert sim.pending_count == 2
+        sim.run()
+        assert sim.pending_count == 0
+
+    def test_counter_is_not_a_heap_scan(self):
+        # Regression guard for the O(n) pending_count scan: the property
+        # must answer from counters even with a large pending backlog.
+        sim = Simulator()
+        handles = [sim.schedule(float(i + 1), lambda: None)
+                   for i in range(5000)]
+        for handle in handles[::2]:
+            handle.cancel()
+        assert sim.pending_count == 2500
+
+
+# ----------------------------------------------------------------------
+# cancel()-after-fire and run(until=...) clock-advance edge cases
+# ----------------------------------------------------------------------
+class TestCancelAndClockEdges:
+    def test_cancelled_event_is_skipped_then_cancel_after_fire_is_safe(self):
+        sim = Simulator()
+        fired = []
+        first = sim.schedule(1.0, lambda: fired.append("first"))
+        sim.run()
+        first.cancel()
+        # The simulator must stay fully usable after a late cancel.
+        sim.schedule(1.0, lambda: fired.append("second"))
+        sim.run()
+        assert fired == ["first", "second"]
+
+    def test_run_until_advances_clock_on_empty_queue(self):
+        sim = Simulator()
+        assert sim.run(until=5.0) == 5.0
+        assert sim.now == 5.0
+
+    def test_run_until_advances_clock_when_queue_drains_early(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        assert sim.run(until=10.0) == 10.0
+        assert sim.now == 10.0
+
+    def test_repeated_run_until_is_monotonic(self):
+        sim = Simulator()
+        fired = []
+        for t in (1.0, 4.0, 9.0):
+            sim.schedule_at(t, lambda t=t: fired.append(t))
+        assert sim.run(until=2.0) == 2.0
+        assert sim.run(until=2.0) == 2.0  # re-running at the horizon: no-op
+        assert sim.run(until=5.0) == 5.0
+        assert fired == [1.0, 4.0]
+        sim.run()
+        assert fired == [1.0, 4.0, 9.0]
+
+    def test_scheduling_below_advanced_clock_raises(self):
+        sim = Simulator()
+        sim.run(until=3.0)
+        with pytest.raises(SimulationError):
+            sim.schedule_at(2.9, lambda: None)
+
+    def test_max_events_stops_inside_a_same_time_bucket_and_resumes(self):
+        sim = Simulator()
+        order = []
+        for label in "abcd":
+            sim.schedule(1.0, lambda label=label: order.append(label))
+        sim.run(max_events=2)
+        assert order == ["a", "b"]
+        assert sim.now == 1.0
+        assert sim.pending_count == 2
+        sim.run()
+        assert order == ["a", "b", "c", "d"]
+
+    def test_max_events_resume_honors_horizon(self):
+        sim = Simulator()
+        order = []
+        for label in "ab":
+            sim.schedule(2.0, lambda label=label: order.append(label))
+        sim.run(max_events=1)
+        assert order == ["a"]
+        # The interrupted bucket sits at t=2.0, beyond this horizon:
+        sim.run(until=1.0)
+        assert order == ["a"]
+        sim.run(until=2.0)
+        assert order == ["a", "b"]
+
+
+# ----------------------------------------------------------------------
+# the fire-and-forget fast path
+# ----------------------------------------------------------------------
+class TestPostAt:
+    def test_post_at_interleaves_with_handles_in_scheduling_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule_at(1.0, lambda: order.append("h1"))
+        sim.post_at(1.0, lambda: order.append("p1"))
+        sim.schedule_at(1.0, lambda: order.append("h2"))
+        sim.post_at(0.5, lambda: order.append("early"))
+        sim.run()
+        assert order == ["early", "h1", "p1", "h2"]
+
+    def test_post_in_the_past_raises(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.post_at(0.5, lambda: None)
+        with pytest.raises(SimulationError):
+            sim.post(-0.1, lambda: None)
+
+    def test_post_events_count_as_executed(self):
+        sim = Simulator()
+        sim.post(1.0, lambda: None)
+        sim.post(1.0, lambda: None)
+        sim.run()
+        assert sim.events_executed == 2
+
+
+# ----------------------------------------------------------------------
+# bucket-queue vs reference-heap ordering equivalence
+# ----------------------------------------------------------------------
+class ReferenceHeapScheduler:
+    """The seed's (time, sequence-number) binary heap, kept as an oracle."""
+
+    def __init__(self):
+        import heapq
+        self._heapq = heapq
+        self._heap = []
+        self._seq = 0
+        self.now = 0.0
+
+    def schedule_at(self, time, callback):
+        self._heapq.heappush(self._heap, (time, self._seq, callback))
+        self._seq += 1
+
+    def run(self):
+        while self._heap:
+            time, _, callback = self._heapq.heappop(self._heap)
+            self.now = time
+            callback()
+
+
+def test_bucket_queue_matches_reference_heap_under_timestamp_ties():
+    # The satellite concern: the calendar-bucket engine must order
+    # same-timestamp events exactly like the (time, seq) heap it
+    # replaced, including heavy tie pile-ups and post_at/schedule mixes.
+    import random
+
+    rng = random.Random(20260726)
+    times = [rng.choice([0.5, 1.0, 1.0, 1.0, 2.5, 2.5, round(rng.uniform(0, 3), 2)])
+             for _ in range(400)]
+
+    sim = Simulator()
+    reference = ReferenceHeapScheduler()
+    got, expected = [], []
+    for i, t in enumerate(times):
+        if i % 3 == 0:
+            sim.post_at(t, lambda i=i: got.append((sim.now, i)))
+        else:
+            sim.schedule_at(t, lambda i=i: got.append((sim.now, i)))
+        reference.schedule_at(
+            t, lambda i=i, t=t: expected.append((t, i)))
+    sim.run()
+    reference.run()
+    assert got == expected
+
+
+def test_bucket_queue_matches_reference_heap_with_nested_scheduling():
+    rng_times = [1.0, 1.0, 2.0, 1.0, 3.0]
+
+    sim = Simulator()
+    order = []
+
+    def spawn(i, t):
+        order.append(i)
+        if i < 40:
+            # Re-schedule at the same timestamp and a later one: the
+            # same-time event must run after all already-queued t events.
+            sim.schedule_at(t, lambda: order.append((i, "same")))
+            sim.schedule_at(t + 1.0, lambda: order.append((i, "later")))
+
+    for i, t in enumerate(rng_times):
+        sim.schedule_at(t, lambda i=i, t=t: spawn(i, t))
+    sim.run()
+
+    # Same workload on the reference heap.
+    reference = ReferenceHeapScheduler()
+    expected = []
+
+    def ref_spawn(i, t):
+        expected.append(i)
+        if i < 40:
+            reference.schedule_at(t, lambda: expected.append((i, "same")))
+            reference.schedule_at(t + 1.0, lambda: expected.append((i, "later")))
+
+    for i, t in enumerate(rng_times):
+        reference.schedule_at(t, lambda i=i, t=t: ref_spawn(i, t))
+    reference.run()
+    assert order == expected
+
+
+def test_exception_during_counted_resume_does_not_replay_events():
+    # Regression: a callback raising while run() drains a bucket resumed
+    # from a max_events stop must discard the bucket's remainder — not
+    # leave it behind to re-execute fired events and corrupt accounting.
+    sim = Simulator()
+    order = []
+
+    def boom():
+        order.append("c")
+        raise RuntimeError("boom")
+
+    for entry in ("a", "b"):
+        sim.post(1.0, lambda entry=entry: order.append(entry))
+    sim.post(1.0, boom)
+    sim.post(1.0, lambda: order.append("d"))
+    sim.run(max_events=1)
+    assert order == ["a"]
+    with pytest.raises(RuntimeError):
+        sim.run(max_events=10)
+    # "d" is discarded with the failing bucket; nothing replays.
+    sim.run()
+    assert order == ["a", "b", "c"]
+    # As in the original heap engine, a callback that raises is not
+    # counted as executed ("a" and "b" are).
+    assert sim.events_executed == 2
+    assert sim.pending_count >= 0
