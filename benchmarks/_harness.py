@@ -45,3 +45,8 @@ def jobs_from_env(default: int = 1) -> int:
         return max(1, int(os.environ.get("REPRO_JOBS", default)))
     except ValueError:
         return default
+
+# No grid configuration needed here: the figure/table pipeline
+# (repro.experiments.gridrun) already defaults its worker count to
+# REPRO_JOBS, so ``REPRO_JOBS=8 pytest benchmarks/`` parallelizes every
+# figure/table bench as-is.

@@ -1,0 +1,72 @@
+"""Performance-trend gate for the CI smoke benchmark.
+
+Compares a freshly written ``BENCH_throughput.json`` against the
+baseline committed in the repository and fails (exit 1) when any tracked
+throughput number regresses below ``threshold`` of its baseline::
+
+    PYTHONPATH=src python benchmarks/smoke_throughput.py --out fresh.json
+    python benchmarks/check_trend.py BENCH_throughput.json fresh.json
+
+The threshold is deliberately loose (default 0.5): shared CI runners
+jitter by tens of percent, and the gate exists to catch the "accidental
+10x" class of regression, not 5% noise.  The printed table is the
+human-readable trend record either way.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+#: (json path, human label) of every gated throughput metric.
+TRACKED = [
+    (("engine", "post_events_per_sec"), "engine post() events/s"),
+    (("engine", "schedule_events_per_sec"), "engine schedule() events/s"),
+    (("scenario", "events_per_sec"), "scenario events/s"),
+]
+
+
+def _lookup(report: dict, path) -> float:
+    value = report
+    for key in path:
+        value = value[key]
+    return float(value)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="committed BENCH_throughput.json")
+    parser.add_argument("fresh", help="freshly measured BENCH_throughput.json")
+    parser.add_argument("--threshold", type=float, default=0.5,
+                        help="fail when fresh < threshold * baseline "
+                             "(default 0.5)")
+    args = parser.parse_args(argv)
+
+    with open(args.baseline, encoding="utf-8") as fh:
+        baseline = json.load(fh)
+    with open(args.fresh, encoding="utf-8") as fh:
+        fresh = json.load(fh)
+
+    failures = []
+    print(f"{'metric':<28} {'baseline':>12} {'fresh':>12} {'ratio':>7}")
+    for path, label in TRACKED:
+        old = _lookup(baseline, path)
+        new = _lookup(fresh, path)
+        ratio = new / old if old else float("inf")
+        print(f"{label:<28} {old:>12,.0f} {new:>12,.0f} {ratio:>6.2f}x")
+        if ratio < args.threshold:
+            failures.append(f"{label}: {new:,.0f} < "
+                            f"{args.threshold:.0%} of baseline {old:,.0f}")
+    if failures:
+        print("\nFAIL: throughput regressed beyond the trend threshold:",
+              file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("\ntrend ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

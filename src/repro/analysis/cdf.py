@@ -24,6 +24,18 @@ class Cdf:
     def __len__(self) -> int:
         return len(self._values)
 
+    def __eq__(self, other: object) -> bool:
+        """Value equality: two CDFs are equal iff their sorted samples
+        are (the serial-vs-parallel parity tests compare whole CDFs)."""
+        if not isinstance(other, Cdf):
+            return NotImplemented
+        return self._values == other._values
+
+    __hash__ = None  # mutable-ish value semantics: not hashable
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Cdf(n={len(self._values)})"
+
     @property
     def values(self) -> Sequence[float]:
         return tuple(self._values)

@@ -2,9 +2,10 @@
 
     python -m repro run --protocol heap --distribution ms-691 --nodes 120
     python -m repro sweep --protocols heap,standard --num-seeds 8 --jobs 4
-    python -m repro figure fig5 --scale quick
+    python -m repro figure fig5 --scale quick --jobs 4
+    python -m repro figure fig9 --scale full --jobs 8 --resume
     python -m repro table table3
-    python -m repro ablation retransmission
+    python -m repro ablation retransmission --jobs 4
     python -m repro extension freeriders
     python -m repro list
 
@@ -13,12 +14,18 @@ runs a protocol×seed grid through the parallel experiment engine
 (``--jobs N`` fans it out over N worker processes — the aggregated output
 is byte-identical to ``--jobs 1``, only faster); the other subcommands
 regenerate a specific figure/table/ablation/extension and print the same
-rows the benches archive.
+rows the benches archive.  Figure/table/ablation grids honour ``--jobs``
+too (default: the ``REPRO_JOBS`` environment variable), and both those
+grids and ``sweep`` checkpoint each finished (scenario, seed) record to
+JSONL: ``--checkpoint PATH`` picks the file, ``--resume`` reloads
+finished cells after a kill (with a default path derived from the
+command when ``--checkpoint`` is omitted).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Callable, Dict, List, Optional
 
@@ -183,7 +190,9 @@ def _cmd_sweep(args) -> int:
                   f"{record.wall_time:.2f}s)",
                   file=sys.stderr, end="", flush=True)
 
-    grid = run_grid(configs, seeds, metrics, jobs=args.jobs, progress=progress)
+    checkpoint = _checkpoint_path(args, "sweep", args.distribution)
+    grid = run_grid(configs, seeds, metrics, jobs=args.jobs, progress=progress,
+                    checkpoint=checkpoint, resume=args.resume)
     if not args.quiet:
         print(file=sys.stderr)
         print(f"grid of {len(configs)} scenario(s) x {len(seeds)} seed(s) "
@@ -194,14 +203,51 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
-def _cmd_render(registry: Dict[str, Callable], name: str, args) -> int:
+def _checkpoint_path(args, command: str, name: str) -> Optional[str]:
+    """The JSONL checkpoint for this invocation, if any.
+
+    ``--checkpoint PATH`` names it explicitly; ``--resume`` alone derives
+    a stable per-artifact default so the natural kill/rerun workflow
+    (`figure fig9 --resume` twice) just works.  The default is keyed by
+    the *resolved* scale, so ``REPRO_SCALE=quick`` and ``REPRO_SCALE=full``
+    runs never collide on one file.
+    """
+    if args.checkpoint:
+        return args.checkpoint
+    if args.resume:
+        scale = getattr(args, "scale", None) or current_scale().name
+        return os.path.join(".repro-checkpoints",
+                            f"{command}-{name}-{scale}.jsonl")
+    return None
+
+
+def _cmd_render(registry: Dict[str, Callable], command: str, name: str,
+                args) -> int:
+    from repro.experiments import gridrun
+    from repro.experiments.parallel import CheckpointError
+
     try:
         fn = registry[name]
     except KeyError:
         print(f"unknown id {name!r}; known: {', '.join(sorted(registry))}",
               file=sys.stderr)
         return 2
-    result = fn(_scale_from_args(args))
+    saved = vars(gridrun.current_options()).copy()
+    jobs = getattr(args, "jobs", None)
+    gridrun.configure(
+        jobs=jobs if jobs is not None else gridrun.default_jobs(),
+        checkpoint=(_checkpoint_path(args, command, name)
+                    if hasattr(args, "checkpoint") else None),
+        resume=getattr(args, "resume", False),
+        progress=(None if getattr(args, "quiet", True)
+                  else gridrun.stderr_progress))
+    try:
+        result = fn(_scale_from_args(args))
+    except CheckpointError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        gridrun.configure(**saved)
     print(result.render())
     return 0
 
@@ -259,6 +305,12 @@ def build_parser() -> argparse.ArgumentParser:
                                    "are identical for any value)")
     sweep_parser.add_argument("--quiet", action="store_true",
                               help="suppress progress output on stderr")
+    sweep_parser.add_argument("--checkpoint", default=None,
+                              help="JSONL file recording each finished "
+                                   "(scenario, seed) record")
+    sweep_parser.add_argument("--resume", action="store_true",
+                              help="reload finished cells from the "
+                                   "checkpoint instead of recomputing")
 
     for command, registry in (("figure", FIGURES), ("table", TABLES),
                               ("ablation", ABLATIONS),
@@ -266,6 +318,20 @@ def build_parser() -> argparse.ArgumentParser:
         p = sub.add_parser(command, help=f"regenerate a {command}")
         p.add_argument("id", help=f"one of: {', '.join(sorted(registry))}")
         p.add_argument("--scale", choices=sorted(_SCALES), default=None)
+        if command == "extension":
+            # Extensions run bespoke study loops, not the grid pipeline:
+            # advertising grid flags they'd silently ignore would lie.
+            continue
+        p.add_argument("--jobs", type=int, default=None,
+                       help="worker processes for the scenario grid "
+                            "(default: REPRO_JOBS or 1; output is "
+                            "identical for any value)")
+        p.add_argument("--checkpoint", default=None,
+                       help="JSONL checkpoint for the scenario grid")
+        p.add_argument("--resume", action="store_true",
+                       help="resume the grid from its checkpoint")
+        p.add_argument("--quiet", action="store_true",
+                       help="suppress progress output on stderr")
 
     sub.add_parser("list", help="list available experiment ids")
     return parser
@@ -278,13 +344,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "sweep":
         return _cmd_sweep(args)
     if args.command == "figure":
-        return _cmd_render(FIGURES, args.id, args)
+        return _cmd_render(FIGURES, "figure", args.id, args)
     if args.command == "table":
-        return _cmd_render(TABLES, args.id, args)
+        return _cmd_render(TABLES, "table", args.id, args)
     if args.command == "ablation":
-        return _cmd_render(ABLATIONS, args.id, args)
+        return _cmd_render(ABLATIONS, "ablation", args.id, args)
     if args.command == "extension":
-        return _cmd_render(EXTENSIONS, args.id, args)
+        return _cmd_render(EXTENSIONS, "extension", args.id, args)
     if args.command == "list":
         return _cmd_list(args)
     return 2  # pragma: no cover

@@ -5,7 +5,9 @@
 :class:`~repro.experiments.runner.ExperimentResult`;
 :mod:`repro.experiments.figures` and :mod:`repro.experiments.tables`
 compute, for each figure and table of the paper's evaluation, the same
-rows/series the paper plots.
+rows/series the paper plots — submitting their scenario grids through
+:mod:`repro.experiments.parallel` (worker pools, in-worker summaries,
+resumable JSONL checkpoints) via :mod:`repro.experiments.gridrun`.
 """
 
 from repro.experiments.runner import ExperimentResult, run_scenario

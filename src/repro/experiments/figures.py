@@ -5,6 +5,14 @@ figure of the paper's evaluation and returns a result object whose
 ``render()`` produces the same rows/series the figure plots, as an ASCII
 table.  Benches call these; examples reuse the cheaper ones.
 
+Every figure submits its scenario cells through
+:func:`repro.experiments.gridrun.grid_summaries` in **one** grid call:
+workers reduce their receiver logs to exactly the values the figure
+needs (``MetricSpec`` summaries), the grid engine fans cells out over
+``--jobs N`` processes (byte-identical to serial), already-computed
+cells come from the process-wide caches, and checkpointed runs resume
+after a kill.
+
 Lag CDFs follow the paper's two criteria:
 
 * Figures 1-3: minimal lag to receive >= 99 % of all stream packets;
@@ -17,17 +25,18 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Sequence, Tuple
 
 from repro.analysis.cdf import Cdf
-from repro.experiments.scales import Scale, cached_run, current_scale, scenario_at
-from repro.metrics.bandwidth import utilization_by_class
-from repro.metrics.jitter import jitter_cdf, jitter_free_fraction_by_class
+from repro.experiments.gridrun import grid_summaries
+from repro.experiments.scales import Scale, current_scale, scenario_at
+from repro.metrics.bandwidth import spec_utilization_by_class
+from repro.metrics.jitter import spec_jitter_free_fraction_by_class, spec_jitter_values
 from repro.metrics.lag import (
-    lag_cdf_delivery_ratio,
-    lag_cdf_jitter_free,
-    lag_cdf_max_jitter,
-    mean_lag_by_class,
+    spec_lag_delivery,
+    spec_lag_jitter_free,
+    spec_lag_max_jitter,
+    spec_mean_lag_by_class,
 )
 from repro.metrics.report import ascii_table, cdf_row, format_percent, format_seconds
-from repro.metrics.windows import window_delivery_over_time
+from repro.metrics.windows import spec_window_delivery
 from repro.streaming.player import OFFLINE
 from repro.workloads.churn import CatastrophicFailure
 from repro.workloads.distributions import (
@@ -69,8 +78,9 @@ def _lag_headers() -> List[str]:
 def fig1_unconstrained(scale: Scale = None) -> FigureResult:
     scale = scale or current_scale()
     config = scenario_at(scale, protocol="standard", distribution=UNCONSTRAINED)
-    result = cached_run(config)
-    cdf = lag_cdf_delivery_ratio(result, ratio=0.99)
+    spec = spec_lag_delivery(0.99)
+    (summary,) = grid_summaries([(config, (spec,))])
+    cdf = Cdf(summary[spec.name])
     rows = [cdf_row("standard f=7, unconstrained, 99% delivery", cdf, LAG_GRID)]
     percentiles = {q: cdf.percentile(q) for q in (0.5, 0.75, 0.9)}
     return FigureResult(
@@ -90,17 +100,21 @@ def fig2_fanout_sweep(scale: Scale = None,
     if scale is None:
         from repro.experiments.scales import SWEEP
         scale = SWEEP if current_scale().name == "default" else current_scale()
-    rows = []
-    cdfs: Dict[str, Cdf] = {}
+    spec = spec_lag_delivery(0.99)
+    cells = []
+    labels = []
     for dist, fanouts in ((MS_691, fanouts_dist1), (UNIFORM_691, fanouts_dist2)):
         for fanout in fanouts:
             config = scenario_at(scale, protocol="standard", distribution=dist)
             config = config.with_(gossip=config.gossip.__class__(fanout=float(fanout)))
-            result = cached_run(config)
-            cdf = lag_cdf_delivery_ratio(result, ratio=0.99)
-            label = f"f={int(fanout)} {'dist1' if dist is MS_691 else 'dist2'}"
-            cdfs[label] = cdf
-            rows.append(cdf_row(label, cdf, LAG_GRID))
+            cells.append((config, (spec,)))
+            labels.append(f"f={int(fanout)} {'dist1' if dist is MS_691 else 'dist2'}")
+    rows = []
+    cdfs: Dict[str, Cdf] = {}
+    for label, summary in zip(labels, grid_summaries(cells)):
+        cdf = Cdf(summary[spec.name])
+        cdfs[label] = cdf
+        rows.append(cdf_row(label, cdf, LAG_GRID))
     return FigureResult(
         "Fig 2", "fanout sweep under constrained heterogeneous uplinks "
         "(dist1 = ms-691, dist2 = uniform-691; same 691 kbps average)",
@@ -112,11 +126,13 @@ def fig2_fanout_sweep(scale: Scale = None,
 # ----------------------------------------------------------------------
 def fig3_heap_dist1(scale: Scale = None) -> FigureResult:
     scale = scale or current_scale()
-    config = scenario_at(scale, protocol="heap", distribution=MS_691)
-    result = cached_run(config)
-    cdf = lag_cdf_delivery_ratio(result, ratio=0.99)
-    std = cached_run(scenario_at(scale, protocol="standard", distribution=MS_691))
-    std_cdf = lag_cdf_delivery_ratio(std, ratio=0.99)
+    spec = spec_lag_delivery(0.99)
+    heap, std = grid_summaries([
+        (scenario_at(scale, protocol="heap", distribution=MS_691), (spec,)),
+        (scenario_at(scale, protocol="standard", distribution=MS_691), (spec,)),
+    ])
+    cdf = Cdf(heap[spec.name])
+    std_cdf = Cdf(std[spec.name])
     rows = [cdf_row("HEAP avg f=7, dist1, 99% delivery", cdf, LAG_GRID),
             cdf_row("standard f=7, dist1 (Fig 2 reference)", std_cdf, LAG_GRID)]
     percentiles = {q: cdf.percentile(q) for q in (0.5, 0.75, 0.9)}
@@ -130,17 +146,20 @@ def fig3_heap_dist1(scale: Scale = None) -> FigureResult:
 # ----------------------------------------------------------------------
 def fig4_bandwidth_usage(scale: Scale = None) -> FigureResult:
     scale = scale or current_scale()
+    spec = spec_utilization_by_class()
+    panels = [(dist, sub, protocol)
+              for dist, sub in ((REF_691, "4a"), (MS_691, "4b"))
+              for protocol in ("standard", "heap")]
+    cells = [(scenario_at(scale, protocol=protocol, distribution=dist), (spec,))
+             for dist, sub, protocol in panels]
     rows = []
     usage: Dict[Tuple[str, str], Dict[str, float]] = {}
-    for dist, sub in ((REF_691, "4a"), (MS_691, "4b")):
-        for protocol in ("standard", "heap"):
-            result = cached_run(scenario_at(scale, protocol=protocol,
-                                            distribution=dist))
-            util = utilization_by_class(result)
-            usage[(sub, protocol)] = util
-            for label, value in util.items():
-                rows.append([sub, dist.name, protocol, label,
-                             format_percent(value)])
+    for (dist, sub, protocol), summary in zip(panels, grid_summaries(cells)):
+        util = summary[spec.name]
+        usage[(sub, protocol)] = util
+        for label, value in util.items():
+            rows.append([sub, dist.name, protocol, label,
+                         format_percent(value)])
     return FigureResult(
         "Fig 4", "average bandwidth usage by bandwidth class",
         rows, ["panel", "distribution", "protocol", "class", "usage"],
@@ -150,13 +169,19 @@ def fig4_bandwidth_usage(scale: Scale = None) -> FigureResult:
 # ----------------------------------------------------------------------
 # Figures 5 and 6 — jitter-free window percentage by class (10 s lag)
 # ----------------------------------------------------------------------
-def _quality_rows(dist, scale: Scale, lag: float):
+def _quality_cells(dist, scale: Scale, lag: float):
+    """(cells, spec) for one distribution's standard-vs-heap comparison."""
+    spec = spec_jitter_free_fraction_by_class(lag)
+    cells = [(scenario_at(scale, protocol=protocol, distribution=dist), (spec,))
+             for protocol in ("standard", "heap")]
+    return cells, spec
+
+
+def _quality_rows(dist, summaries, spec):
     rows = []
     data = {}
-    for protocol in ("standard", "heap"):
-        result = cached_run(scenario_at(scale, protocol=protocol,
-                                        distribution=dist))
-        fractions = jitter_free_fraction_by_class(result, lag)
+    for protocol, summary in zip(("standard", "heap"), summaries):
+        fractions = summary[spec.name]
         data[protocol] = fractions
         for label, value in fractions.items():
             rows.append([dist.name, protocol, label, format_percent(value)])
@@ -165,7 +190,8 @@ def _quality_rows(dist, scale: Scale, lag: float):
 
 def fig5_quality_ref691(scale: Scale = None, lag: float = 10.0) -> FigureResult:
     scale = scale or current_scale()
-    rows, data = _quality_rows(REF_691, scale, lag)
+    cells, spec = _quality_cells(REF_691, scale, lag)
+    rows, data = _quality_rows(REF_691, grid_summaries(cells), spec)
     return FigureResult(
         "Fig 5", f"jitter-free percentage of the stream by class (ref-691, "
         f"{lag:.0f}s lag)", rows,
@@ -175,8 +201,11 @@ def fig5_quality_ref691(scale: Scale = None, lag: float = 10.0) -> FigureResult:
 
 def fig6_quality_classes(scale: Scale = None, lag: float = 10.0) -> FigureResult:
     scale = scale or current_scale()
-    rows_a, data_a = _quality_rows(MS_691, scale, lag)
-    rows_b, data_b = _quality_rows(REF_724, scale, lag)
+    cells_a, spec = _quality_cells(MS_691, scale, lag)
+    cells_b, _ = _quality_cells(REF_724, scale, lag)
+    summaries = grid_summaries(cells_a + cells_b)
+    rows_a, data_a = _quality_rows(MS_691, summaries[:2], spec)
+    rows_b, data_b = _quality_rows(REF_724, summaries[2:], spec)
     return FigureResult(
         "Fig 6", f"jitter-free percentage by class (6a: ms-691, 6b: ref-724; "
         f"{lag:.0f}s lag)", rows_a + rows_b,
@@ -189,13 +218,17 @@ def fig6_quality_classes(scale: Scale = None, lag: float = 10.0) -> FigureResult
 # ----------------------------------------------------------------------
 def fig7_jitter_cdf(scale: Scale = None, lag: float = 10.0) -> FigureResult:
     scale = scale or current_scale()
+    lag_spec = spec_jitter_values(lag)
+    offline_spec = spec_jitter_values(OFFLINE)
+    cells = [(scenario_at(scale, protocol=protocol, distribution=REF_691),
+              (lag_spec, offline_spec))
+             for protocol in ("standard", "heap")]
     rows = []
     cdfs = {}
-    for protocol in ("standard", "heap"):
-        result = cached_run(scenario_at(scale, protocol=protocol,
-                                        distribution=REF_691))
-        for mode, mode_lag in ((f"{lag:.0f}s lag", lag), ("offline", OFFLINE)):
-            cdf = jitter_cdf(result, mode_lag)
+    for protocol, summary in zip(("standard", "heap"), grid_summaries(cells)):
+        for mode, spec in ((f"{lag:.0f}s lag", lag_spec),
+                           ("offline", offline_spec)):
+            cdf = Cdf(summary[spec.name])
             label = f"{protocol} - {mode}"
             cdfs[label] = cdf
             rows.append(cdf_row(label, cdf, JITTER_GRID))
@@ -210,17 +243,20 @@ def fig7_jitter_cdf(scale: Scale = None, lag: float = 10.0) -> FigureResult:
 # ----------------------------------------------------------------------
 def fig8_lag_by_class(scale: Scale = None) -> FigureResult:
     scale = scale or current_scale()
+    spec = spec_mean_lag_by_class()
+    panels = [(dist, sub, protocol)
+              for dist, sub in ((REF_691, "8a"), (MS_691, "8b"))
+              for protocol in ("standard", "heap")]
+    cells = [(scenario_at(scale, protocol=protocol, distribution=dist), (spec,))
+             for dist, sub, protocol in panels]
     rows = []
     data = {}
-    for dist, sub in ((REF_691, "8a"), (MS_691, "8b")):
-        for protocol in ("standard", "heap"):
-            result = cached_run(scenario_at(scale, protocol=protocol,
-                                            distribution=dist))
-            means = mean_lag_by_class(result)
-            data[(sub, protocol)] = means
-            for label, value in means.items():
-                rows.append([sub, dist.name, protocol, label,
-                             format_seconds(value)])
+    for (dist, sub, protocol), summary in zip(panels, grid_summaries(cells)):
+        means = summary[spec.name]
+        data[(sub, protocol)] = means
+        for label, value in means.items():
+            rows.append([sub, dist.name, protocol, label,
+                         format_seconds(value)])
     return FigureResult(
         "Fig 8", "average stream lag to obtain a jitter-free stream, by class",
         rows, ["panel", "distribution", "protocol", "class", "mean lag"],
@@ -232,17 +268,23 @@ def fig8_lag_by_class(scale: Scale = None) -> FigureResult:
 # ----------------------------------------------------------------------
 def fig9_lag_cdf(scale: Scale = None) -> FigureResult:
     scale = scale or current_scale()
+    free_spec = spec_lag_jitter_free()
+    jitter_spec = spec_lag_max_jitter(0.01)
+    panels = [(dist, sub, protocol)
+              for dist, sub in ((REF_691, "9a"), (MS_691, "9b"))
+              for protocol in ("standard", "heap")]
+    cells = [(scenario_at(scale, protocol=protocol, distribution=dist),
+              (free_spec, jitter_spec))
+             for dist, sub, protocol in panels]
     rows = []
     cdfs = {}
-    for dist, sub in ((REF_691, "9a"), (MS_691, "9b")):
-        for protocol in ("standard", "heap"):
-            result = cached_run(scenario_at(scale, protocol=protocol,
-                                            distribution=dist))
-            for mode, cdf in (("no jitter", lag_cdf_jitter_free(result)),
-                              ("max 1% jitter", lag_cdf_max_jitter(result, 0.01))):
-                label = f"{sub} {protocol} - {mode}"
-                cdfs[label] = cdf
-                rows.append(cdf_row(label, cdf, LAG_GRID))
+    for (dist, sub, protocol), summary in zip(panels, grid_summaries(cells)):
+        for mode, spec in (("no jitter", free_spec),
+                           ("max 1% jitter", jitter_spec)):
+            cdf = Cdf(summary[spec.name])
+            label = f"{sub} {protocol} - {mode}"
+            cdfs[label] = cdf
+            rows.append(cdf_row(label, cdf, LAG_GRID))
     return FigureResult(
         "Fig 9", "cumulative distribution of nodes vs stream lag "
         "(9a: ref-691, 9b: ms-691)", rows, _lag_headers(), extra={"cdfs": cdfs})
@@ -262,17 +304,30 @@ def fig10_churn(scale: Scale = None, fraction: float = 0.2,
     # Churn needs stream both well before and well after the failure
     # (detection alone takes ~10 s), so enforce a minimum duration.
     duration = max(scale.duration, 45.0)
-    rows = []
-    series_by_label = {}
     base = scenario_at(scale, protocol="heap")
     at_time = (failure_time if failure_time is not None
                else base.stream_start + duration / 3.0)
-    for protocol, lag in (("heap", 12.0), ("standard", 20.0), ("standard", 30.0)):
+
+    # One run per protocol computes every lag series that protocol's
+    # curves need (the two standard-gossip lags share a run: the series
+    # are pure reductions of the same deterministic receiver logs).
+    wanted = (("heap", 12.0), ("standard", 20.0), ("standard", 30.0))
+    specs_by_protocol: Dict[str, List] = {}
+    for protocol, lag in wanted:
+        specs_by_protocol.setdefault(protocol, []).append(
+            spec_window_delivery(lag))
+    cells = []
+    for protocol, specs in specs_by_protocol.items():
         config = scenario_at(
             scale, protocol=protocol, distribution=REF_691, duration=duration,
             churn=CatastrophicFailure(fraction=fraction, at_time=at_time))
-        result = cached_run(config)
-        series = window_delivery_over_time(result, lag=lag)
+        cells.append((config, tuple(specs)))
+    by_protocol = dict(zip(specs_by_protocol, grid_summaries(cells)))
+
+    rows = []
+    series_by_label = {}
+    for protocol, lag in wanted:
+        series = by_protocol[protocol][spec_window_delivery(lag).name]
         label = f"{protocol} - {lag:.0f}s lag"
         series_by_label[label] = series
         # Sample the series into before / around / after the failure.

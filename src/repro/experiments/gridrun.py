@@ -1,0 +1,182 @@
+"""Cached, checkpointable grid execution for figures, tables and ablations.
+
+This is the layer every figure/table/ablation entry point submits its
+scenario cells through.  It adds three things on top of
+:func:`repro.experiments.parallel.run_grid`:
+
+* **a coherent summary cache** — each (scenario, summary-spec) pair is
+  computed at most once per process, whether it was produced by a worker
+  process, by the serial path, or derived from an already-cached full
+  ``ExperimentResult``.  A figure that re-requests a cell another figure
+  already paid for reuses the summary instead of recomputing it;
+* **process-wide execution options** — ``configure(jobs=..., ...)`` sets
+  the worker count / checkpoint / resume behaviour once (the CLI and the
+  benchmark harness do this from ``--jobs`` / ``REPRO_JOBS``), so the
+  ~18 figure/table entry points keep their simple ``fn(scale)``
+  signatures;
+* **resumable execution** — with a checkpoint configured, the grid's
+  records append to JSONL as they land and a killed run resumes from the
+  finished cells (each entry point makes exactly one grid call, so one
+  artifact maps to one checkpoint file).
+
+Determinism contract: summaries are pure functions of their run, runs
+are pure functions of their config, and assembly happens in cell order —
+so the output is byte-identical for any ``jobs`` value, with or without
+an intervening kill/resume.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.parallel import ProgressCallback, RunRecord, run_grid
+from repro.experiments.scales import cached_result, cached_run
+from repro.metrics.summary import MetricSpec
+from repro.workloads.scenario import ScenarioConfig, scenario_key
+
+#: One unit of figure work: a scenario and the reductions it needs.
+Cell = Tuple[ScenarioConfig, Sequence[MetricSpec]]
+
+
+def default_jobs() -> int:
+    """Worker-process count from the environment (``REPRO_JOBS=N``)."""
+    try:
+        return max(1, int(os.environ.get("REPRO_JOBS", 1)))
+    except ValueError:
+        return 1
+
+
+@dataclass
+class GridOptions:
+    """Process-wide defaults for figure/table grid execution."""
+
+    #: None -> ``REPRO_JOBS`` (or 1).
+    jobs: Optional[int] = None
+    #: JSONL checkpoint path for the next grid call (CLI ``--checkpoint``).
+    checkpoint: Optional[str] = None
+    #: Reload finished cells from the checkpoint (CLI ``--resume``).
+    resume: bool = False
+    #: Pin the pool start method (also forces the pool on 1-CPU hosts —
+    #: the parity tests rely on that).
+    start_method: Optional[str] = None
+    #: Per-record progress callback (the CLI prints to stderr).
+    progress: Optional[ProgressCallback] = None
+
+
+_OPTIONS = GridOptions()
+
+
+def configure(**overrides) -> GridOptions:
+    """Update the process-wide grid options; unknown names raise."""
+    for name, value in overrides.items():
+        if not hasattr(_OPTIONS, name):
+            raise TypeError(f"unknown grid option {name!r}")
+        setattr(_OPTIONS, name, value)
+    return _OPTIONS
+
+
+def current_options() -> GridOptions:
+    return _OPTIONS
+
+
+#: (scenario key, spec name) -> computed summary value.
+_SUMMARY_CACHE: Dict[Tuple[str, str], object] = {}
+
+
+def clear_summary_cache() -> None:
+    _SUMMARY_CACHE.clear()
+
+
+def summary_cache_size() -> int:
+    return len(_SUMMARY_CACHE)
+
+
+def stderr_progress(done: int, total: int, record: RunRecord) -> None:
+    """A ready-made progress printer (the CLI's default for figures)."""
+    print(f"\r[{done}/{total}] {record.scenario_name} seed={record.seed} "
+          f"({record.events_executed:,} events, {record.wall_time:.2f}s)",
+          file=sys.stderr, end="" if done < total else "\n", flush=True)
+
+
+def grid_summaries(cells: Sequence[Cell], *,
+                   jobs: Optional[int] = None,
+                   checkpoint: Optional[str] = None,
+                   resume: Optional[bool] = None,
+                   start_method: Optional[str] = None,
+                   progress: Optional[ProgressCallback] = None,
+                   ) -> List[Dict[str, object]]:
+    """Compute every cell's summaries; one name->value dict per cell,
+    in cell order.
+
+    Distinct cells naming the same scenario are deduplicated into one
+    run that computes the union of their specs.  Per-process caches are
+    consulted first: a summary computed earlier (even by a different
+    figure) is reused, and a scenario whose full result is still in
+    ``cached_run``'s cache yields missing summaries without a re-run.
+    Keyword arguments override the :func:`configure` defaults for this
+    call only.
+
+    With a checkpoint, cache-based skipping is disabled for the *grid
+    membership* (every unique scenario is part of the checkpointed grid,
+    so the file's fingerprint never depends on what some earlier process
+    happened to have cached) — the serial path still reuses cached full
+    results through ``cached_run``, and finished cells restore from the
+    checkpoint itself.
+    """
+    opts = _OPTIONS
+    jobs = jobs if jobs is not None else (
+        opts.jobs if opts.jobs is not None else default_jobs())
+    checkpoint = checkpoint if checkpoint is not None else opts.checkpoint
+    resume = resume if resume is not None else opts.resume
+    start_method = start_method if start_method is not None else opts.start_method
+    progress = progress if progress is not None else opts.progress
+
+    # Deduplicate cells into one (config, union-of-specs) per scenario.
+    unique: Dict[str, Tuple[ScenarioConfig, Dict[str, MetricSpec]]] = {}
+    keys: List[str] = []
+    for config, specs in cells:
+        key = scenario_key(config)
+        keys.append(key)
+        if key not in unique:
+            unique[key] = (config, {})
+        merged = unique[key][1]
+        for spec in specs:
+            merged.setdefault(spec.name, spec)
+
+    # Decide what actually has to run.
+    to_run: List[Tuple[str, ScenarioConfig, Tuple[MetricSpec, ...]]] = []
+    for key, (config, merged) in unique.items():
+        if checkpoint is None:
+            missing = {name: spec for name, spec in merged.items()
+                       if (key, name) not in _SUMMARY_CACHE}
+            if not missing:
+                continue
+            result = cached_result(config)
+            if result is not None:
+                # The full result is already in-process: reducing it here
+                # is far cheaper than resubmitting the scenario.
+                for name, spec in missing.items():
+                    _SUMMARY_CACHE[(key, name)] = spec.fn(result)
+                continue
+            to_run.append((key, config, tuple(missing.values())))
+        else:
+            # Checkpointed grids always cover every unique scenario so
+            # their fingerprint is a pure function of the cells.
+            to_run.append((key, config, tuple(merged.values())))
+
+    if to_run:
+        grid = run_grid([config for _, config, _ in to_run],
+                        seeds=None, metrics={}, jobs=jobs,
+                        progress=progress, start_method=start_method,
+                        summaries=[specs for _, _, specs in to_run],
+                        checkpoint=checkpoint, resume=resume,
+                        run_fn=cached_run)
+        for (key, _, _), record in zip(to_run, grid.records):
+            for name, value in record.summaries.items():
+                _SUMMARY_CACHE[(key, name)] = value
+
+    return [{spec.name: _SUMMARY_CACHE[(key, spec.name)] for spec in specs}
+            for key, (_, specs) in zip(keys, cells)]

@@ -11,7 +11,7 @@ over worker processes; the aggregates are bit-identical either way.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.analysis.stats import mean, stdev
 from repro.experiments.parallel import run_grid
@@ -52,12 +52,16 @@ class AggregatedMetric:
 
 def run_seeds(config: ScenarioConfig, metrics: Dict[str, Metric],
               seeds: Sequence[int],
-              jobs: int = 1) -> Dict[str, AggregatedMetric]:
+              jobs: int = 1,
+              checkpoint: Optional[str] = None,
+              resume: bool = False) -> Dict[str, AggregatedMetric]:
     """Run ``config`` once per seed and aggregate each metric.
 
     ``jobs`` > 1 runs the seeds on a worker-process pool (metrics must
     then be picklable, i.e. module-level functions); the aggregated
-    values are identical to a serial run, only faster.
+    values are identical to a serial run, only faster.  ``checkpoint``
+    persists each seed's record to JSONL as it finishes and
+    ``resume=True`` reloads finished seeds after a kill.
 
     The churn object (if any) carries per-run state, so scenarios with
     churn are rejected here — use :func:`repro.experiments.parallel.run_grid`
@@ -67,7 +71,8 @@ def run_seeds(config: ScenarioConfig, metrics: Dict[str, Metric],
         raise ValueError("need at least one seed")
     if config.churn is not None:
         raise ValueError("multi-seed runs do not support shared churn state")
-    grid = run_grid(config, seeds, metrics, jobs=jobs)
+    grid = run_grid(config, seeds, metrics, jobs=jobs,
+                    checkpoint=checkpoint, resume=resume)
     return grid.aggregated_for(0)
 
 

@@ -13,11 +13,15 @@ serial run:
   dataclass, so this is spawn-safe); the serial path pickles the config
   too, which both exercises picklability on every run and gives churn
   objects the same fresh-copy semantics workers get;
-* workers return compact :class:`RunRecord` values — metric scalars and
-  run counters, never the full ``ExperimentResult`` — so result transfer
+* workers return compact :class:`RunRecord` values — metric scalars,
+  run counters and the requested :class:`~repro.metrics.summary.MetricSpec`
+  summaries, never the full ``ExperimentResult`` — so result transfer
   stays cheap at any grid size;
 * records are merged by grid position, not completion order, so the
-  aggregate output of ``--jobs 8`` is byte-identical to ``--jobs 1``.
+  aggregate output of ``--jobs 8`` is byte-identical to ``--jobs 1``;
+* with ``checkpoint=`` the engine appends each finished record to a
+  JSONL file as it lands, and ``resume=True`` reloads finished cells so
+  a killed run restarts where it stopped instead of from scratch.
 
 Usage::
 
@@ -29,32 +33,48 @@ Usage::
         seeds=range(1, 9),
         metrics={"delivery": metric_offline_delivery},
         jobs=4,
+        checkpoint="sweep.jsonl", resume=True,
     )
     print(grid.render())
 
 or from the command line::
 
-    python -m repro sweep --protocols heap,standard --num-seeds 8 --jobs 4
+    python -m repro sweep --protocols heap,standard --num-seeds 8 --jobs 4 \
+        --checkpoint sweep.jsonl --resume
 
-Metrics must be picklable (module-level functions) when ``jobs > 1``.
-Progress is reported through an optional callback as tasks finish.
+Metrics and summary specs must be picklable (module-level functions, or
+``functools.partial`` over them) when a pool is used.  Progress is
+reported through an optional callback as tasks finish (restored
+checkpoint records report first, in grid order).
 """
 
 from __future__ import annotations
 
+import hashlib
+import os
 import pickle
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import (Callable, Dict, List, Optional, Sequence, Tuple)
 
 from repro.experiments.runner import ExperimentResult, run_scenario
-from repro.workloads.scenario import ScenarioConfig
+from repro.metrics.export import append_jsonl, read_jsonl
+from repro.metrics.summary import MetricSpec, summarize
+from repro.workloads.scenario import ScenarioConfig, scenario_key
 
 #: A metric maps a finished run to one scalar.
 Metric = Callable[[ExperimentResult], float]
 
 #: Progress callback: (tasks_done, tasks_total, record_just_finished).
 ProgressCallback = Callable[[int, int, "RunRecord"], None]
+
+#: Header line identifying a grid checkpoint file.
+CHECKPOINT_FORMAT = "repro-grid-checkpoint-v1"
+
+
+class CheckpointError(ValueError):
+    """A checkpoint file cannot be resumed (wrong grid, wrong format, or
+    damaged beyond the tolerated trailing truncation)."""
 
 
 @dataclass
@@ -71,6 +91,11 @@ class RunRecord:
     sim_end_time: float
     #: Worker wall-clock seconds; excluded from determinism comparisons.
     wall_time: float = field(compare=False)
+    #: spec name -> compact summary value (JSON-able: the in-worker
+    #: reductions of the receiver logs a figure asked for).  Excluded
+    #: from ``==`` because a JSONL round trip turns tuples into lists;
+    #: compare through :meth:`summary_key` instead.
+    summaries: Dict[str, object] = field(default_factory=dict, compare=False)
 
     def determinism_key(self) -> tuple:
         """Everything that must be identical across serial/parallel runs."""
@@ -78,14 +103,49 @@ class RunRecord:
                 self.seed, tuple(self.metrics.items()),
                 self.events_executed, self.sim_end_time)
 
+    def summary_key(self) -> str:
+        """Canonical JSON of the summaries: stable across JSONL round
+        trips (tuples and lists serialize identically), so fresh and
+        resumed records compare equal."""
+        import json
+
+        return json.dumps(self.summaries, sort_keys=True)
+
+    def to_jsonable(self) -> dict:
+        return {
+            "scenario_index": self.scenario_index,
+            "scenario_name": self.scenario_name,
+            "seed_index": self.seed_index,
+            "seed": self.seed,
+            "metrics": self.metrics,
+            "events_executed": self.events_executed,
+            "sim_end_time": self.sim_end_time,
+            "wall_time": self.wall_time,
+            "summaries": self.summaries,
+        }
+
+    @classmethod
+    def from_jsonable(cls, obj: dict) -> "RunRecord":
+        return cls(scenario_index=obj["scenario_index"],
+                   scenario_name=obj["scenario_name"],
+                   seed_index=obj["seed_index"],
+                   seed=obj["seed"],
+                   metrics=dict(obj["metrics"]),
+                   events_executed=obj["events_executed"],
+                   sim_end_time=obj["sim_end_time"],
+                   wall_time=obj["wall_time"],
+                   summaries=dict(obj.get("summaries", {})))
+
 
 class GridResult:
     """All records of one grid run, in deterministic grid order."""
 
-    def __init__(self, configs: Sequence[ScenarioConfig], seeds: Sequence[int],
+    def __init__(self, configs: Sequence[ScenarioConfig], seeds: Sequence,
                  metric_names: Sequence[str], records: List[RunRecord],
                  jobs: int, wall_time: float):
         self.configs = list(configs)
+        #: ``[None]`` marks an own-seed grid (each config ran under its
+        #: embedded ``config.seed``; shape is scenarios × 1).
         self.seeds = list(seeds)
         self.metric_names = list(metric_names)
         #: Scenario-major, seed-minor — independent of completion order.
@@ -114,25 +174,32 @@ class GridResult:
     def determinism_keys(self) -> List[tuple]:
         return [record.determinism_key() for record in self.records]
 
+    def summary_keys(self) -> List[str]:
+        return [record.summary_key() for record in self.records]
+
     def render(self) -> str:
         """Deterministic text summary (identical for any ``jobs`` value)."""
         lines = []
         for i, config in enumerate(self.configs):
+            seeds = ([r.seed for r in self.records_for(i)]
+                     if self.seeds == [None] else list(self.seeds))
             label = config.name if len(self.configs) == 1 else f"[{i}] {config.name}"
             lines.append(f"{label}: protocol={config.protocol} "
                          f"n={config.n_nodes} duration={config.duration:g}s "
-                         f"seeds={list(self.seeds)}")
+                         f"seeds={seeds}")
             for name, agg in self.aggregated_for(i).items():
                 lines.append("  " + agg.summary())
         return "\n".join(lines)
 
 
-def _execute(payload) -> Tuple[int, RunRecord]:
-    """Run one grid cell.  Module-level so it pickles for worker processes."""
-    index, scenario_index, scenario_name, seed_index, config, metric_items = payload
+def _run_cell(payload, run_fn=run_scenario) -> Tuple[int, RunRecord]:
+    """Run one grid cell with a pluggable scenario runner."""
+    (index, scenario_index, scenario_name, seed_index, config,
+     metric_items, specs) = payload
     started = time.perf_counter()
-    result = run_scenario(config)
+    result = run_fn(config)
     values = {name: metric(result) for name, metric in metric_items}
+    summaries = summarize(result, specs)
     record = RunRecord(
         scenario_index=scenario_index,
         scenario_name=scenario_name,
@@ -142,82 +209,275 @@ def _execute(payload) -> Tuple[int, RunRecord]:
         events_executed=result.sim.events_executed,
         sim_end_time=result.sim.now,
         wall_time=time.perf_counter() - started,
+        summaries=summaries,
     )
     return index, record
 
 
+def _execute(payload) -> Tuple[int, RunRecord]:
+    """Pool entry point.  Module-level so it pickles to worker processes."""
+    return _run_cell(payload)
+
+
 def _default_start_method() -> str:
     """Prefer fork (milliseconds per worker) where the platform has it;
-    fall back to spawn.  Every code path is spawn-safe — tasks and
-    metrics travel as pickles either way — so the choice only affects
-    pool startup cost, which dominates small grids."""
+    fall back to spawn.  Every code path is spawn-safe — tasks, metrics
+    and summary specs travel as pickles either way — so the choice only
+    affects pool startup cost, which dominates small grids."""
     import multiprocessing
 
     return ("fork" if "fork" in multiprocessing.get_all_start_methods()
             else "spawn")
 
 
-def run_grid(configs, seeds: Sequence[int], metrics: Dict[str, Metric],
+def _available_cpus() -> int:
+    """CPUs this process may actually use (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _check_spawn_importable(metric_items, specs_by_scenario) -> None:
+    """Refuse functions spawn workers cannot import.
+
+    A function defined in ``__main__`` (a script or REPL) pickles by
+    reference in the parent but fails to *unpickle* in a spawn worker,
+    whose ``__main__`` is a different module.  Left unchecked that kills
+    the worker during task ``get()``; the pool respawns it, the task is
+    never completed and ``imap_unordered`` waits forever — a silent
+    deadlock instead of an error.  Fail loudly up front instead.
+    """
+    import functools
+
+    def origin(fn):
+        while isinstance(fn, functools.partial):
+            fn = fn.func
+        return getattr(fn, "__module__", None), getattr(fn, "__qualname__", fn)
+
+    offenders = []
+    for name, metric in metric_items:
+        module, qualname = origin(metric)
+        if module == "__main__":
+            offenders.append(f"metric {name!r} ({qualname})")
+    for specs in specs_by_scenario:
+        for spec in specs:
+            module, qualname = origin(spec.fn)
+            if module == "__main__":
+                offenders.append(f"summary spec {spec.name!r} ({qualname})")
+    if offenders:
+        raise ValueError(
+            "spawn workers cannot import functions defined in __main__: "
+            + "; ".join(offenders)
+            + " — move them into a module, or use fork/serial execution")
+
+
+def _specs_per_scenario(summaries, n_configs: int) -> List[Tuple[MetricSpec, ...]]:
+    """Normalize the ``summaries`` argument to one spec tuple per scenario."""
+    if summaries is None:
+        return [()] * n_configs
+    summaries = list(summaries)
+    if not summaries:
+        return [()] * n_configs
+    if isinstance(summaries[0], MetricSpec):
+        flat = tuple(summaries)
+        return [flat] * n_configs
+    per_scenario = [tuple(specs) for specs in summaries]
+    if len(per_scenario) != n_configs:
+        raise ValueError(f"need one spec sequence per scenario: got "
+                         f"{len(per_scenario)} for {n_configs} scenarios")
+    return per_scenario
+
+
+def grid_fingerprint(configs: Sequence[ScenarioConfig], seeds,
+                     metric_names: Sequence[str],
+                     specs_per_scenario: Sequence[Sequence[MetricSpec]]) -> str:
+    """Stable identity of a grid: which runs, which reductions.
+
+    Everything that changes a record's *content* is covered — scenario
+    value-keys, the seed axis, metric names, summary-spec names — so a
+    checkpoint can refuse to resume a different grid.  Spec names encode
+    their parameters by construction (see ``MetricSpec``).
+    """
+    blob = repr((
+        tuple(scenario_key(config) for config in configs),
+        tuple(seeds) if seeds is not None else None,
+        tuple(metric_names),
+        tuple(tuple(spec.name for spec in specs)
+              for specs in specs_per_scenario),
+    ))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def _load_checkpoint(path: str, fingerprint: str,
+                     total: int) -> Dict[int, RunRecord]:
+    """Read finished cells from a checkpoint; index -> record.
+
+    Raises :class:`CheckpointError` if the file belongs to a different
+    grid or is damaged — a resume must never silently mix two
+    experiments' records.
+    """
+    import json
+
+    try:
+        objects = read_jsonl(path)
+    except json.JSONDecodeError as exc:
+        raise CheckpointError(f"checkpoint {path} is damaged beyond a "
+                              f"truncated last line: {exc}") from exc
+    if not objects:
+        return {}
+    header = objects[0]
+    if (not isinstance(header, dict)
+            or header.get("format") != CHECKPOINT_FORMAT):
+        raise CheckpointError(f"{path} is not a grid checkpoint")
+    if header.get("fingerprint") != fingerprint:
+        raise CheckpointError(
+            f"checkpoint {path} belongs to a different grid "
+            f"(scenarios, seeds or summary specs changed); "
+            f"delete it or pass a fresh path")
+    done: Dict[int, RunRecord] = {}
+    for obj in objects[1:]:
+        try:
+            index = obj["index"]
+            record = RunRecord.from_jsonable(obj["record"])
+        except (KeyError, TypeError) as exc:
+            raise CheckpointError(f"checkpoint {path} contains a "
+                                  f"non-record line: {exc!r}") from exc
+        if 0 <= index < total:
+            done[index] = record
+    return done
+
+
+def run_grid(configs, seeds: Optional[Sequence[int]],
+             metrics: Dict[str, Metric],
              jobs: int = 1, progress: Optional[ProgressCallback] = None,
-             start_method: Optional[str] = None) -> GridResult:
+             start_method: Optional[str] = None,
+             summaries=None,
+             checkpoint: Optional[str] = None,
+             resume: bool = False,
+             run_fn: Optional[Callable[[ScenarioConfig], ExperimentResult]] = None,
+             ) -> GridResult:
     """Run every ``config`` under every seed and collect compact records.
 
     ``configs`` may be a single :class:`ScenarioConfig` or a sequence.
-    ``jobs`` <= 1 runs serially in-process; larger values fan the grid out
-    over a ``multiprocessing`` pool.  ``start_method`` picks the pool's
-    start method (``"fork"`` where available, else ``"spawn"``; pass
-    ``"spawn"`` explicitly to force the portable path — everything is
-    spawn-safe).  Results are merged in grid order, so the outcome is
-    bit-identical for any ``jobs`` value — only the wall time changes.
+    ``seeds=None`` runs each config under its own embedded ``config.seed``
+    (an N×1 grid — what the figure pipeline uses).  ``jobs`` <= 1 runs
+    serially in-process; larger values fan the grid out over a
+    ``multiprocessing`` pool — except on a single-CPU host, where the
+    pool could only add overhead (~9 % measured) and is bypassed unless
+    ``start_method`` is given explicitly (tests use that to force the
+    pool path).  ``summaries`` requests in-worker
+    :class:`~repro.metrics.summary.MetricSpec` reductions: either one
+    sequence applied to every scenario, or one sequence *per* scenario.
+    ``checkpoint`` appends each finished record to a JSONL file;
+    ``resume=True`` reloads finished cells from it (validated by grid
+    fingerprint) so only the remainder runs.  ``run_fn`` replaces the
+    scenario runner on the serial path only (the figure pipeline passes
+    ``cached_run`` there to share results process-wide).  Results are
+    merged in grid order, so the outcome is bit-identical for any
+    ``jobs`` value — only the wall time changes.
     """
     if isinstance(configs, ScenarioConfig):
         configs = [configs]
     configs = list(configs)
-    seeds = list(seeds)
     if not configs:
         raise ValueError("need at least one scenario config")
-    if not seeds:
-        raise ValueError("need at least one seed")
+    if seeds is not None:
+        seeds = list(seeds)
+        if not seeds:
+            raise ValueError("need at least one seed")
     for config in configs:
         config.validate()
     metric_items = tuple(metrics.items())
     metric_names = [name for name, _ in metric_items]
+    specs_by_scenario = _specs_per_scenario(summaries, len(configs))
 
     payloads = []
     for scenario_index, config in enumerate(configs):
-        for seed_index, seed in enumerate(seeds):
-            payloads.append((
-                len(payloads), scenario_index, config.name, seed_index,
-                config.with_(seed=seed), metric_items,
-            ))
+        specs = specs_by_scenario[scenario_index]
+        if seeds is None:
+            payloads.append((len(payloads), scenario_index, config.name, 0,
+                             config, metric_items, specs))
+        else:
+            for seed_index, seed in enumerate(seeds):
+                payloads.append((
+                    len(payloads), scenario_index, config.name, seed_index,
+                    config.with_(seed=seed), metric_items, specs,
+                ))
 
     total = len(payloads)
     records: List[Optional[RunRecord]] = [None] * total
     started = time.perf_counter()
-    if jobs <= 1 or total == 1:
-        for done, payload in enumerate(payloads, start=1):
-            # The config rides through pickle exactly as it would to a
-            # worker: same spawn-safety guarantees, and stateful churn
-            # objects get a fresh copy per run here too.
-            index, _, scenario_name, seed_index, config, _ = payload
-            config = pickle.loads(pickle.dumps(config))
-            index, record = _execute((index, payload[1], scenario_name,
-                                      seed_index, config, metric_items))
-            records[index] = record
-            if progress is not None:
-                progress(done, total, record)
-    else:
-        import multiprocessing
 
-        ctx = multiprocessing.get_context(start_method or _default_start_method())
-        workers = min(jobs, total)
-        with ctx.Pool(processes=workers) as pool:
-            done = 0
-            for index, record in pool.imap_unordered(_execute, payloads,
-                                                     chunksize=1):
-                records[index] = record
-                done += 1
-                if progress is not None:
-                    progress(done, total, record)
+    # ------------------------------------------------------------------
+    # checkpoint: restore finished cells, then append fresh ones.
+    # ------------------------------------------------------------------
+    checkpoint_fh = None
+    done = 0
+    if checkpoint is not None:
+        fingerprint = grid_fingerprint(configs, seeds, metric_names,
+                                       specs_by_scenario)
+        restored: Dict[int, RunRecord] = {}
+        if resume and os.path.exists(checkpoint):
+            restored = _load_checkpoint(checkpoint, fingerprint, total)
+        parent = os.path.dirname(checkpoint)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        if restored:
+            checkpoint_fh = open(checkpoint, "a", encoding="utf-8")
+        else:
+            checkpoint_fh = open(checkpoint, "w", encoding="utf-8")
+            append_jsonl(checkpoint_fh, {"format": CHECKPOINT_FORMAT,
+                                         "fingerprint": fingerprint,
+                                         "total": total})
+        for index in sorted(restored):
+            records[index] = restored[index]
+            done += 1
+            if progress is not None:
+                progress(done, total, restored[index])
+
+    pending = [p for p in payloads if records[p[0]] is None]
+
+    def finish(index: int, record: RunRecord) -> None:
+        nonlocal done
+        records[index] = record
+        done += 1
+        if checkpoint_fh is not None:
+            append_jsonl(checkpoint_fh,
+                         {"index": index, "record": record.to_jsonable()})
+        if progress is not None:
+            progress(done, total, record)
+
+    # A pool on a 1-CPU host is pure overhead; run in-process unless the
+    # caller pinned a start method (the parity tests do, to force the
+    # pool path regardless of host).
+    serial = (jobs <= 1 or len(pending) <= 1
+              or (start_method is None and _available_cpus() <= 1))
+    try:
+        if serial:
+            for payload in pending:
+                # The config rides through pickle exactly as it would to
+                # a worker: same spawn-safety guarantees, and stateful
+                # churn objects get a fresh copy per run here too.
+                config = pickle.loads(pickle.dumps(payload[4]))
+                payload = payload[:4] + (config,) + payload[5:]
+                index, record = _run_cell(payload, run_fn or run_scenario)
+                finish(index, record)
+        else:
+            import multiprocessing
+
+            method = start_method or _default_start_method()
+            if method == "spawn":
+                _check_spawn_importable(metric_items, specs_by_scenario)
+            ctx = multiprocessing.get_context(method)
+            workers = min(jobs, len(pending))
+            with ctx.Pool(processes=workers) as pool:
+                for index, record in pool.imap_unordered(_execute, pending,
+                                                         chunksize=1):
+                    finish(index, record)
+    finally:
+        if checkpoint_fh is not None:
+            checkpoint_fh.close()
     wall = time.perf_counter() - started
-    return GridResult(configs, seeds, metric_names, records, jobs, wall)
+    return GridResult(configs, seeds if seeds is not None else [None],
+                      metric_names, records, jobs, wall)

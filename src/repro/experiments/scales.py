@@ -17,8 +17,10 @@ import os
 from dataclasses import dataclass
 from typing import Dict
 
+from typing import Optional
+
 from repro.experiments.runner import ExperimentResult, run_scenario
-from repro.workloads.scenario import ScenarioConfig
+from repro.workloads.scenario import ScenarioConfig, scenario_key
 
 
 @dataclass(frozen=True)
@@ -69,22 +71,10 @@ def scenario_at(scale: Scale, **overrides) -> ScenarioConfig:
 
 _CACHE: Dict[str, ExperimentResult] = {}
 
-
-def _cache_key(config: ScenarioConfig) -> str:
-    # Derive the key from *every* field so newly added scenario options
-    # can never alias cached results; object-valued fields are reduced to
-    # stable identities.
-    import dataclasses
-
-    parts = []
-    for field in dataclasses.fields(config):
-        value = getattr(config, field.name)
-        if field.name == "distribution":
-            value = value.name
-        elif field.name == "churn":
-            value = (value.fraction, value.at_time) if value else None
-        parts.append((field.name, repr(value)))
-    return repr(parts)
+#: The cache key is the shared scenario value-identity — the same key
+#: the grid engine's summary cache and checkpoint fingerprints use, so
+#: "already computed" means the same thing in-process and in-worker.
+_cache_key = scenario_key
 
 
 def cached_run(config: ScenarioConfig) -> ExperimentResult:
@@ -103,5 +93,21 @@ def cached_run(config: ScenarioConfig) -> ExperimentResult:
     return result
 
 
+def cached_result(config: ScenarioConfig) -> Optional[ExperimentResult]:
+    """The already-computed result for ``config``, if this process has
+    one (never a fresh run).  The grid pipeline uses this to compute a
+    missing summary from an in-process result instead of resubmitting
+    the scenario to a worker."""
+    if config.churn is not None:
+        return None
+    return _CACHE.get(_cache_key(config))
+
+
 def clear_cache() -> None:
+    """Drop cached results *and* the grid pipeline's summary cache (the
+    two must stay coherent: a summary without its run is fine, but tests
+    that count runs need both gone)."""
     _CACHE.clear()
+    from repro.experiments import gridrun
+
+    gridrun.clear_summary_cache()

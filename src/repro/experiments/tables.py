@@ -1,13 +1,20 @@
-"""Per-table experiment definitions (Tables 1-3 of the paper)."""
+"""Per-table experiment definitions (Tables 1-3 of the paper).
+
+Tables 2 and 3 submit their scenario cells through the parallel grid
+pipeline (:func:`repro.experiments.gridrun.grid_summaries`) — one grid
+call per table, in-worker per-class reductions, byte-identical for any
+``--jobs`` value, resumable from a JSONL checkpoint.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence
 
-from repro.experiments.scales import Scale, cached_run, current_scale, scenario_at
-from repro.metrics.jitter import mean_jittered_delivery_by_class
-from repro.metrics.lag import jitter_free_node_percentage_by_class
+from repro.experiments.gridrun import grid_summaries
+from repro.experiments.scales import Scale, current_scale, scenario_at
+from repro.metrics.jitter import spec_mean_jittered_delivery_by_class
+from repro.metrics.lag import spec_jitter_free_pct_by_class
 from repro.metrics.report import ascii_table, format_percent
 from repro.workloads.distributions import KBPS, MS_691, REF_691, REF_724
 
@@ -42,21 +49,38 @@ def table1_distributions(stream_rate_bps: float = 600 * KBPS) -> TableResult:
 #: distributions and 20 s for the skewed ms-691 in Table 3.
 TABLE_LAGS = {"ref-691": 10.0, "ref-724": 10.0, "ms-691": 20.0}
 
+#: (distribution, protocol) matrix shared by Tables 2 and 3 — identical
+#: cells, different reductions, so one table's runs serve the other
+#: through the grid pipeline's caches.
+_TABLE_MATRIX = [(dist, protocol)
+                 for dist in (REF_691, REF_724, MS_691)
+                 for protocol in ("standard", "heap")]
+
+
+def _table_cells(scale: Scale, spec_for):
+    """One cell per matrix entry; ``spec_for(lag)`` builds its spec."""
+    cells = []
+    specs = []
+    for dist, protocol in _TABLE_MATRIX:
+        spec = spec_for(TABLE_LAGS[dist.name])
+        specs.append(spec)
+        cells.append((scenario_at(scale, protocol=protocol,
+                                  distribution=dist), (spec,)))
+    return cells, specs
+
 
 def table2_jittered_delivery(scale: Scale = None) -> TableResult:
     """Table 2: average delivery rate inside windows that cannot be decoded."""
     scale = scale or current_scale()
+    cells, specs = _table_cells(scale, spec_mean_jittered_delivery_by_class)
     rows = []
     data = {}
-    for dist in (REF_691, REF_724, MS_691):
-        lag = TABLE_LAGS[dist.name]
-        for protocol in ("standard", "heap"):
-            result = cached_run(scenario_at(scale, protocol=protocol,
-                                            distribution=dist))
-            ratios = mean_jittered_delivery_by_class(result, lag)
-            data[(dist.name, protocol)] = ratios
-            for label, value in ratios.items():
-                rows.append([dist.name, protocol, label, format_percent(value)])
+    for (dist, protocol), spec, summary in zip(_TABLE_MATRIX, specs,
+                                               grid_summaries(cells)):
+        ratios = summary[spec.name]
+        data[(dist.name, protocol)] = ratios
+        for label, value in ratios.items():
+            rows.append([dist.name, protocol, label, format_percent(value)])
     return TableResult(
         "Table 2", "average delivery rate in jittered windows "
         "(100% = the class had no jittered windows)",
@@ -67,18 +91,17 @@ def table2_jittered_delivery(scale: Scale = None) -> TableResult:
 def table3_jitter_free_nodes(scale: Scale = None) -> TableResult:
     """Table 3: % of nodes receiving a fully jitter-free stream, by class."""
     scale = scale or current_scale()
+    cells, specs = _table_cells(scale, spec_jitter_free_pct_by_class)
     rows = []
     data = {}
-    for dist in (REF_691, REF_724, MS_691):
+    for (dist, protocol), spec, summary in zip(_TABLE_MATRIX, specs,
+                                               grid_summaries(cells)):
         lag = TABLE_LAGS[dist.name]
-        for protocol in ("standard", "heap"):
-            result = cached_run(scenario_at(scale, protocol=protocol,
-                                            distribution=dist))
-            percentages = jitter_free_node_percentage_by_class(result, lag)
-            data[(dist.name, protocol)] = percentages
-            for label, value in percentages.items():
-                rows.append([f"{dist.name} ({lag:.0f}s lag)", protocol, label,
-                             format_percent(value)])
+        percentages = summary[spec.name]
+        data[(dist.name, protocol)] = percentages
+        for label, value in percentages.items():
+            rows.append([f"{dist.name} ({lag:.0f}s lag)", protocol, label,
+                         format_percent(value)])
     return TableResult(
         "Table 3", "percentage of nodes receiving a jitter-free stream",
         rows, ["distribution", "protocol", "class", "% jitter-free nodes"],

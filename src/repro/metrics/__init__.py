@@ -9,6 +9,10 @@ Each module computes one family of the paper's measurements:
 * :mod:`repro.metrics.bandwidth` — per-class uplink utilization (Figure 4);
 * :mod:`repro.metrics.windows` — per-window delivery over stream time
   (Figure 10, the churn experiments);
+* :mod:`repro.metrics.summary` — the :class:`~repro.metrics.summary.MetricSpec`
+  layer: in-worker reductions of a run to the compact, JSON-able values a
+  figure actually needs (what lets grid workers return summaries instead
+  of whole results);
 * :mod:`repro.metrics.report` — ASCII rendering of tables and CDF series.
 """
 
@@ -29,9 +33,12 @@ from repro.metrics.lag import (
     per_node_lag_max_jitter,
 )
 from repro.metrics.report import ascii_table, cdf_row, format_percent
+from repro.metrics.summary import MetricSpec, summarize
 from repro.metrics.windows import window_delivery_over_time
 
 __all__ = [
+    "MetricSpec",
+    "summarize",
     "ascii_table",
     "cdf_row",
     "format_percent",

@@ -14,6 +14,7 @@ from typing import Dict
 
 from repro.analysis.stats import mean
 from repro.experiments.runner import ExperimentResult
+from repro.metrics.summary import MetricSpec
 
 
 def utilization_by_class(result: ExperimentResult) -> Dict[str, float]:
@@ -43,3 +44,14 @@ def absolute_upload_by_class(result: ExperimentResult) -> Dict[str, float]:
             result.net.uplink(node_id).bytes_sent * 8.0 / duration
             for node_id in members)
     return rates
+
+
+# ----------------------------------------------------------------------
+# in-worker summary specs (picklable, JSON-able; see repro.metrics.summary)
+# ----------------------------------------------------------------------
+def spec_utilization_by_class() -> MetricSpec:
+    return MetricSpec("utilization_by_class", utilization_by_class)
+
+
+def spec_absolute_upload_by_class() -> MetricSpec:
+    return MetricSpec("absolute_upload_by_class", absolute_upload_by_class)

@@ -1,18 +1,55 @@
-"""CSV export of figure/table data.
+"""CSV/JSONL export of figure/table data.
 
 A real deployment of this reproduction wants to plot with external
 tooling; these helpers turn the harness's result objects into plain CSV
 files: one for tabular rows (figures 4-6, 8, tables) and one for curve
-series (CDFs and the per-window churn series).
+series (CDFs and the per-window churn series).  The JSONL helpers back
+the grid engine's resumable checkpoints: one JSON object per line,
+appended incrementally, read back tolerantly (a run killed mid-write
+leaves a truncated last line, which must not poison the resume).
 """
 
 from __future__ import annotations
 
 import csv
+import json
 import math
 from typing import Dict, Iterable, List, Sequence, Tuple
 
 from repro.analysis.cdf import Cdf
+
+
+def jsonl_line(obj: object) -> str:
+    """One compact JSON line (no trailing newline).  ``allow_nan`` stays
+    on: per-node lags are legitimately ``inf`` (nodes that never reach
+    the target) and per-class values ``nan`` (empty classes)."""
+    return json.dumps(obj, separators=(",", ":"), sort_keys=False)
+
+
+def append_jsonl(fh, obj: object) -> None:
+    """Write one object as a JSONL line and flush, so a killed run loses
+    at most the record in flight."""
+    fh.write(jsonl_line(obj) + "\n")
+    fh.flush()
+
+
+def read_jsonl(path: str) -> List[object]:
+    """Read a JSONL file, silently dropping a trailing partial line
+    (the signature of a killed writer).  A corrupt line anywhere *else*
+    raises — that file is damaged, not merely truncated."""
+    objects: List[object] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        lines = fh.read().splitlines()
+    for lineno, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            objects.append(json.loads(line))
+        except json.JSONDecodeError:
+            if lineno == len(lines) - 1:
+                break
+            raise
+    return objects
 
 
 def write_rows_csv(path: str, headers: Sequence[str],

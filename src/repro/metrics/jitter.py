@@ -9,11 +9,13 @@ CDF of Figure 7 and the jittered-window delivery ratios of Table 2.
 from __future__ import annotations
 
 import math
-from typing import Dict
+from functools import partial
+from typing import Dict, List
 
 from repro.analysis.cdf import Cdf
 from repro.analysis.stats import mean
 from repro.experiments.runner import ExperimentResult
+from repro.metrics.summary import MetricSpec
 from repro.streaming.player import OFFLINE
 
 
@@ -35,13 +37,20 @@ def jitter_free_fraction_by_class(result: ExperimentResult,
     return fractions
 
 
+def jitter_values(result: ExperimentResult,
+                  lag: float = OFFLINE) -> List[float]:
+    """Per-node experienced jitter percentages at ``lag`` (worker-summary
+    form of Figure 7's CDF sample)."""
+    analyzer = result.analyzer()
+    windows = result.windows()
+    return [100.0 * analyzer.jitter_fraction(result.log_of(node_id), windows, lag)
+            for node_id in result.receiver_ids()]
+
+
 def jitter_cdf(result: ExperimentResult, lag: float = OFFLINE) -> Cdf:
     """CDF over nodes of the experienced jitter percentage at ``lag``
     (Figure 7; ``lag=OFFLINE`` is the paper's 'offline viewing')."""
-    analyzer = result.analyzer()
-    windows = result.windows()
-    return Cdf(100.0 * analyzer.jitter_fraction(result.log_of(node_id), windows, lag)
-               for node_id in result.receiver_ids())
+    return Cdf(jitter_values(result, lag))
 
 
 def mean_jittered_delivery_by_class(result: ExperimentResult,
@@ -60,3 +69,21 @@ def mean_jittered_delivery_by_class(result: ExperimentResult,
             result.log_of(node_id), windows, lag) for node_id in members]
         ratios[label] = mean(per_node)
     return ratios
+
+
+# ----------------------------------------------------------------------
+# in-worker summary specs (picklable, JSON-able; see repro.metrics.summary)
+# ----------------------------------------------------------------------
+def spec_jitter_values(lag: float = OFFLINE) -> MetricSpec:
+    return MetricSpec(f"jitter_values_{lag:g}",
+                      partial(jitter_values, lag=lag))
+
+
+def spec_jitter_free_fraction_by_class(lag: float) -> MetricSpec:
+    return MetricSpec(f"jitter_free_fraction_by_class_{lag:g}",
+                      partial(jitter_free_fraction_by_class, lag=lag))
+
+
+def spec_mean_jittered_delivery_by_class(lag: float) -> MetricSpec:
+    return MetricSpec(f"mean_jittered_delivery_by_class_{lag:g}",
+                      partial(mean_jittered_delivery_by_class, lag=lag))

@@ -11,11 +11,13 @@ and per-class percentages its Table 3.
 from __future__ import annotations
 
 import math
-from typing import Dict
+from functools import partial
+from typing import Dict, List
 
 from repro.analysis.cdf import Cdf
 from repro.analysis.stats import mean
 from repro.experiments.runner import ExperimentResult
+from repro.metrics.summary import MetricSpec
 
 
 def per_node_lag_jitter_free(result: ExperimentResult) -> Dict[int, float]:
@@ -47,16 +49,58 @@ def per_node_lag_delivery_ratio(result: ExperimentResult,
             for node_id in result.receiver_ids()}
 
 
+def lag_values_jitter_free(result: ExperimentResult) -> List[float]:
+    """Per-node jitter-free lags as a plain list (worker-summary form)."""
+    return list(per_node_lag_jitter_free(result).values())
+
+
+def lag_values_max_jitter(result: ExperimentResult,
+                          max_jitter: float) -> List[float]:
+    return list(per_node_lag_max_jitter(result, max_jitter).values())
+
+
+def lag_values_delivery_ratio(result: ExperimentResult,
+                              ratio: float = 0.99) -> List[float]:
+    return list(per_node_lag_delivery_ratio(result, ratio).values())
+
+
 def lag_cdf_jitter_free(result: ExperimentResult) -> Cdf:
-    return Cdf(per_node_lag_jitter_free(result).values())
+    return Cdf(lag_values_jitter_free(result))
 
 
 def lag_cdf_max_jitter(result: ExperimentResult, max_jitter: float) -> Cdf:
-    return Cdf(per_node_lag_max_jitter(result, max_jitter).values())
+    return Cdf(lag_values_max_jitter(result, max_jitter))
 
 
 def lag_cdf_delivery_ratio(result: ExperimentResult, ratio: float = 0.99) -> Cdf:
-    return Cdf(per_node_lag_delivery_ratio(result, ratio).values())
+    return Cdf(lag_values_delivery_ratio(result, ratio))
+
+
+# ----------------------------------------------------------------------
+# in-worker summary specs (picklable, JSON-able; see repro.metrics.summary)
+# ----------------------------------------------------------------------
+def spec_lag_jitter_free() -> MetricSpec:
+    """Per-node jitter-free lag values (Figures 8/9's no-jitter curves)."""
+    return MetricSpec("lag_jitter_free", lag_values_jitter_free)
+
+
+def spec_lag_max_jitter(max_jitter: float) -> MetricSpec:
+    return MetricSpec(f"lag_max_jitter_{max_jitter:g}",
+                      partial(lag_values_max_jitter, max_jitter=max_jitter))
+
+
+def spec_lag_delivery(ratio: float = 0.99) -> MetricSpec:
+    return MetricSpec(f"lag_delivery_{ratio:g}",
+                      partial(lag_values_delivery_ratio, ratio=ratio))
+
+
+def spec_mean_lag_by_class() -> MetricSpec:
+    return MetricSpec("mean_lag_by_class", mean_lag_by_class)
+
+
+def spec_jitter_free_pct_by_class(lag: float) -> MetricSpec:
+    return MetricSpec(f"jitter_free_pct_by_class_{lag:g}",
+                      partial(jitter_free_node_percentage_by_class, lag=lag))
 
 
 def mean_lag_by_class(result: ExperimentResult) -> Dict[str, float]:

@@ -9,9 +9,11 @@ failure rather than re-normalizing to survivors.
 
 from __future__ import annotations
 
+from functools import partial
 from typing import List, Tuple
 
 from repro.experiments.runner import ExperimentResult
+from repro.metrics.summary import MetricSpec
 
 
 def window_delivery_over_time(result: ExperimentResult,
@@ -34,3 +36,13 @@ def window_delivery_over_time(result: ExperimentResult,
         series.append((window_id, publish_time,
                        100.0 * decoding / max(1, len(receivers))))
     return series
+
+
+def spec_window_delivery(lag: float) -> MetricSpec:
+    """In-worker summary of the per-window delivery series at ``lag``.
+
+    The series checkpoints to JSONL as lists-of-lists; consumers must
+    treat rows as sequences, not require tuples.
+    """
+    return MetricSpec(f"window_delivery_{lag:g}",
+                      partial(window_delivery_over_time, lag=lag))

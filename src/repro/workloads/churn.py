@@ -45,6 +45,12 @@ class CatastrophicFailure:
 
         sim.schedule_at(self.at_time, fire)
 
+    def key(self) -> tuple:
+        """Stable identity of the *configuration* (never the per-run
+        ``victims`` state) — used by scenario cache keys and grid
+        checkpoint fingerprints."""
+        return ("catastrophic", self.fraction, self.at_time)
+
     def __repr__(self) -> str:  # pragma: no cover
         return f"CatastrophicFailure({self.fraction:.0%} at t={self.at_time}s)"
 
@@ -79,3 +85,7 @@ class IntervalChurn:
             sim.schedule(self.interval, fire)
 
         sim.schedule_at(max(self.start, sim.now) + self.interval, fire)
+
+    def key(self) -> tuple:
+        """Stable configuration identity (excludes ``victims`` state)."""
+        return ("interval", self.interval, self.start, self.stop)

@@ -151,3 +151,26 @@ class ScenarioConfig:
     def total_packets(self) -> int:
         """Packets the source will publish (whole windows only)."""
         return self.stream.packets_for_duration(self.duration)
+
+
+def scenario_key(config: ScenarioConfig) -> str:
+    """Stable value-identity of a scenario, usable as a cache key.
+
+    Derived from *every* field so newly added scenario options can never
+    alias two different experiments; object-valued fields are reduced to
+    stable identities (distributions by name, churn by its configuration,
+    never its per-run state).  The same key is used by the in-process
+    result cache, the grid summary cache and the JSONL checkpoint
+    fingerprint, so all three agree on what "the same run" means.
+    """
+    import dataclasses
+
+    parts = []
+    for field_ in dataclasses.fields(config):
+        value = getattr(config, field_.name)
+        if field_.name == "distribution":
+            value = value.name
+        elif field_.name == "churn":
+            value = value.key() if value is not None else None
+        parts.append((field_.name, repr(value)))
+    return repr(parts)

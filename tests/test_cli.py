@@ -67,3 +67,37 @@ class TestCommands:
                      "--seconds", "5", "--drain", "12",
                      "--distribution", "unconstrained"])
         assert code == 0
+
+
+class TestGridFlags:
+    def test_figure_parser_accepts_grid_flags(self):
+        args = build_parser().parse_args(
+            ["figure", "fig5", "--scale", "quick", "--jobs", "4",
+             "--checkpoint", "x.jsonl", "--resume", "--quiet"])
+        assert args.jobs == 4
+        assert args.checkpoint == "x.jsonl"
+        assert args.resume is True
+
+    def test_sweep_parser_accepts_checkpoint_flags(self):
+        args = build_parser().parse_args(
+            ["sweep", "--checkpoint", "s.jsonl", "--resume"])
+        assert args.checkpoint == "s.jsonl"
+        assert args.resume is True
+
+    def test_sweep_checkpoint_resume_round_trip(self, tmp_path, capsys):
+        path = str(tmp_path / "sweep.jsonl")
+        argv = ["sweep", "--protocols", "heap", "--nodes", "10",
+                "--seconds", "2", "--drain", "4", "--num-seeds", "2",
+                "--quiet", "--checkpoint", path]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv + ["--resume"]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_render_restores_grid_options(self, tmp_path, capsys):
+        from repro.experiments.gridrun import current_options
+
+        before = vars(current_options()).copy()
+        assert main(["table", "table1", "--jobs", "3", "--quiet",
+                     "--checkpoint", str(tmp_path / "t.jsonl")]) == 0
+        assert vars(current_options()) == before

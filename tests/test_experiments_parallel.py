@@ -3,7 +3,9 @@
 The contract under test: a (ScenarioConfig, seed) cell fully determines
 its result — so the same grid run serially, run under ``jobs=N``, or run
 twice must produce identical records (metric scalars, event counts,
-simulated end times), and only wall times may differ.
+simulated end times, in-worker summaries), and only wall times may
+differ.  The checkpoint tests add the resume contract: a killed grid
+restarts from its JSONL records without recomputing finished cells.
 """
 
 import pickle
@@ -13,12 +15,14 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.analysis.stats import mean
+from repro.experiments import parallel
 from repro.experiments.multi_seed import (
     metric_offline_delivery,
     run_seeds,
 )
 from repro.experiments.parallel import RunRecord, run_grid
 from repro.experiments.runner import run_scenario
+from repro.metrics.lag import spec_lag_delivery, spec_mean_lag_by_class
 from repro.workloads.churn import CatastrophicFailure
 from repro.workloads.distributions import REF_691
 from repro.workloads.scenario import ScenarioConfig
@@ -161,3 +165,186 @@ class TestRunSeedsCompat:
         aggregated = run_seeds(
             config, {"half": lambda result: 0.5}, seeds=[1, 2])
         assert aggregated["half"].values == [0.5, 0.5]
+
+
+SPECS = (spec_lag_delivery(0.99), spec_mean_lag_by_class())
+
+
+class TestSummaries:
+    def test_serial_records_carry_requested_summaries(self):
+        grid = run_grid(tiny_config(), seeds=[1], metrics=METRICS,
+                        summaries=SPECS)
+        record = grid.records[0]
+        assert set(record.summaries) == {spec.name for spec in SPECS}
+        direct = run_scenario(tiny_config(seed=1))
+        for spec in SPECS:
+            assert record.summaries[spec.name] == spec.fn(direct)
+
+    def test_pool_summaries_match_serial(self):
+        serial = run_grid(tiny_config(), seeds=[1, 2], metrics=METRICS,
+                          summaries=SPECS)
+        pooled = run_grid(tiny_config(), seeds=[1, 2], metrics=METRICS,
+                          summaries=SPECS, jobs=2, start_method="fork")
+        assert serial.summary_keys() == pooled.summary_keys()
+        assert serial.determinism_keys() == pooled.determinism_keys()
+
+    def test_spawn_summaries_match_serial(self):
+        # Spawn workers re-import the package with a fresh hash seed and
+        # rebuild every RNG from the pickled config: the summaries must
+        # still be bit-identical (the RNG registry derives streams from
+        # SHA-256, never from process state).
+        serial = run_grid(tiny_config(), seeds=[1], metrics=METRICS,
+                          summaries=SPECS)
+        spawned = run_grid(tiny_config(), seeds=[1, 1], metrics={},
+                           summaries=SPECS, jobs=2, start_method="spawn")
+        assert (serial.records[0].summary_key()
+                == spawned.records[0].summary_key()
+                == spawned.records[1].summary_key())
+
+    def test_per_scenario_spec_lists(self):
+        configs = [tiny_config(name="a"), tiny_config(name="b")]
+        grid = run_grid(configs, seeds=[1], metrics=METRICS,
+                        summaries=[(SPECS[0],), (SPECS[1],)])
+        assert set(grid.records[0].summaries) == {SPECS[0].name}
+        assert set(grid.records[1].summaries) == {SPECS[1].name}
+
+    def test_spawn_rejects_main_module_functions(self):
+        # A __main__-defined metric unpickles nowhere in a spawn worker;
+        # historically that killed the worker and deadlocked the pool.
+        def local_metric(result):  # pragma: no cover - never runs
+            return 1.0
+
+        local_metric.__module__ = "__main__"
+        with pytest.raises(ValueError, match="__main__"):
+            run_grid(tiny_config(), seeds=[1, 2],
+                     metrics={"m": local_metric}, jobs=2,
+                     start_method="spawn")
+
+
+class TestOwnSeedGrids:
+    def test_seeds_none_runs_each_config_under_its_own_seed(self):
+        configs = [tiny_config(name="a", seed=7), tiny_config(name="b", seed=9)]
+        grid = run_grid(configs, seeds=None, metrics=METRICS)
+        assert [r.seed for r in grid.records] == [7, 9]
+        assert grid.seeds == [None]
+        direct = run_grid(tiny_config(name="a"), seeds=[7], metrics=METRICS)
+        assert (grid.records[0].determinism_key()[3:]
+                == direct.records[0].determinism_key()[3:])
+
+    def test_records_for_one_per_scenario(self):
+        configs = [tiny_config(name="a", seed=1), tiny_config(name="b", seed=2)]
+        grid = run_grid(configs, seeds=None, metrics=METRICS)
+        assert [r.scenario_name for r in grid.records_for(1)] == ["b"]
+
+    def test_render_reports_each_scenarios_own_seed(self):
+        configs = [tiny_config(name="a", seed=7), tiny_config(name="b", seed=9)]
+        text = run_grid(configs, seeds=None, metrics=METRICS).render()
+        assert "[0] a: " in text and "seeds=[7]" in text
+        assert "[1] b: " in text and "seeds=[9]" in text
+        assert "seeds=[7, 9]" not in text
+
+
+class TestSingleCpuBypass:
+    def test_one_cpu_host_skips_the_pool(self, monkeypatch):
+        # On a 1-CPU host a pool is pure overhead (~9% measured): jobs>1
+        # must run in-process.  Creating any pool context here fails the
+        # test.
+        import multiprocessing
+
+        monkeypatch.setattr(parallel, "_available_cpus", lambda: 1)
+
+        def forbidden(*args, **kwargs):
+            raise AssertionError("pool must be bypassed on a 1-CPU host")
+
+        monkeypatch.setattr(multiprocessing, "get_context", forbidden)
+        grid = run_grid(tiny_config(), seeds=[1, 2], metrics=METRICS, jobs=4)
+        assert len(grid.records) == 2
+
+    def test_explicit_start_method_still_forces_the_pool(self, monkeypatch):
+        monkeypatch.setattr(parallel, "_available_cpus", lambda: 1)
+        grid = run_grid(tiny_config(), seeds=[1, 2], metrics=METRICS,
+                        jobs=2, start_method="fork")
+        serial = run_grid(tiny_config(), seeds=[1, 2], metrics=METRICS)
+        assert grid.determinism_keys() == serial.determinism_keys()
+
+
+def _counting_run_scenario(monkeypatch):
+    calls = []
+    real = parallel.run_scenario
+
+    def wrapper(config):
+        calls.append(config.seed)
+        return real(config)
+
+    monkeypatch.setattr(parallel, "run_scenario", wrapper)
+    return calls
+
+
+class TestCheckpoint:
+    def test_checkpoint_file_has_header_and_records(self, tmp_path):
+        path = str(tmp_path / "grid.jsonl")
+        run_grid(tiny_config(), seeds=[1, 2], metrics=METRICS,
+                 summaries=SPECS, checkpoint=path)
+        from repro.metrics.export import read_jsonl
+
+        objects = read_jsonl(path)
+        assert objects[0]["format"] == parallel.CHECKPOINT_FORMAT
+        assert objects[0]["total"] == 2
+        assert sorted(obj["index"] for obj in objects[1:]) == [0, 1]
+
+    def test_resume_restores_without_recomputing(self, tmp_path, monkeypatch):
+        path = str(tmp_path / "grid.jsonl")
+        full = run_grid(tiny_config(), seeds=[1, 2, 3], metrics=METRICS,
+                        summaries=SPECS, checkpoint=path)
+        # Simulate a kill after the first record landed.
+        lines = (tmp_path / "grid.jsonl").read_text().splitlines()
+        (tmp_path / "grid.jsonl").write_text("\n".join(lines[:2]) + "\n")
+        calls = _counting_run_scenario(monkeypatch)
+        resumed = run_grid(tiny_config(), seeds=[1, 2, 3], metrics=METRICS,
+                           summaries=SPECS, checkpoint=path, resume=True)
+        assert calls == [2, 3]  # seed 1 restored from the checkpoint
+        assert resumed.determinism_keys() == full.determinism_keys()
+        assert resumed.summary_keys() == full.summary_keys()
+
+    def test_resume_tolerates_a_truncated_last_line(self, tmp_path,
+                                                    monkeypatch):
+        path = str(tmp_path / "grid.jsonl")
+        run_grid(tiny_config(), seeds=[1, 2], metrics=METRICS,
+                 checkpoint=path)
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"index": 5, "rec')  # the kill landed mid-write
+        calls = _counting_run_scenario(monkeypatch)
+        resumed = run_grid(tiny_config(), seeds=[1, 2], metrics=METRICS,
+                           checkpoint=path, resume=True)
+        assert calls == []
+        assert len(resumed.records) == 2
+
+    def test_resume_rejects_a_different_grid(self, tmp_path):
+        path = str(tmp_path / "grid.jsonl")
+        run_grid(tiny_config(), seeds=[1, 2], metrics=METRICS,
+                 checkpoint=path)
+        with pytest.raises(ValueError, match="different grid"):
+            run_grid(tiny_config(), seeds=[1, 2, 3], metrics=METRICS,
+                     checkpoint=path, resume=True)
+
+    def test_checkpoint_without_resume_starts_fresh(self, tmp_path):
+        path = str(tmp_path / "grid.jsonl")
+        run_grid(tiny_config(), seeds=[1], metrics=METRICS, checkpoint=path)
+        run_grid(tiny_config(name="other"), seeds=[1], metrics=METRICS,
+                 checkpoint=path)  # no resume: overwrite, no fingerprint clash
+        from repro.metrics.export import read_jsonl
+
+        objects = read_jsonl(path)
+        assert objects[0]["total"] == 1
+
+    def test_progress_fires_for_restored_and_fresh_cells(self, tmp_path):
+        path = str(tmp_path / "grid.jsonl")
+        run_grid(tiny_config(), seeds=[1, 2], metrics=METRICS,
+                 checkpoint=path)
+        lines = (tmp_path / "grid.jsonl").read_text().splitlines()
+        (tmp_path / "grid.jsonl").write_text("\n".join(lines[:2]) + "\n")
+        seen = []
+        run_grid(tiny_config(), seeds=[1, 2], metrics=METRICS,
+                 checkpoint=path, resume=True,
+                 progress=lambda done, total, rec: seen.append((done, total)))
+        assert seen == [(1, 2), (2, 2)]

@@ -1,0 +1,152 @@
+"""Parity and resume tests for the figure/table grid pipeline.
+
+The acceptance contract of the parallel reproduction pipeline:
+
+* figure/table data files are **byte-identical** between ``--jobs 1``
+  and ``--jobs N`` (the pool is forced via an explicit start method so
+  the test is honest on 1-CPU hosts);
+* a figure that re-requests a (scenario, seed) another figure already
+  computed reuses the summary or the cached full result — never a
+  recomputation in the same process;
+* an interrupted figure run resumes from its JSONL checkpoint without
+  recomputing finished cells.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments import gridrun, scales
+from repro.experiments.ablations import ablation_source_bias
+from repro.experiments.figures import fig4_bandwidth_usage, fig5_quality_ref691, fig7_jitter_cdf
+from repro.experiments.gridrun import GridOptions, configure, grid_summaries
+from repro.experiments.scales import Scale, clear_cache, scenario_at
+from repro.experiments.tables import table3_jitter_free_nodes
+from repro.metrics.export import write_result_csv
+from repro.metrics.jitter import spec_jitter_free_fraction_by_class
+from repro.metrics.lag import spec_lag_delivery
+from repro.workloads.distributions import REF_691
+
+TINY = Scale("tiny", 20, 4.0, 10.0)
+
+
+@pytest.fixture(autouse=True)
+def fresh_state(monkeypatch):
+    """Every test starts with empty caches and default grid options."""
+    clear_cache()
+    defaults = GridOptions()
+    for name in vars(defaults):
+        monkeypatch.setattr(gridrun._OPTIONS, name, getattr(defaults, name))
+    yield
+    clear_cache()
+
+
+def _count_runs(monkeypatch):
+    calls = []
+    real = scales.run_scenario
+
+    def wrapper(config):
+        calls.append(config.protocol)
+        return real(config)
+
+    monkeypatch.setattr(scales, "run_scenario", wrapper)
+    return calls
+
+
+class TestSerialParallelParity:
+    def test_grid_summaries_identical_serial_vs_forced_pool(self):
+        spec = spec_lag_delivery(0.99)
+        cells = [(scenario_at(TINY, protocol=p, distribution=REF_691), (spec,))
+                 for p in ("heap", "standard")]
+        serial = grid_summaries(cells, jobs=1)
+        clear_cache()
+        pooled = grid_summaries(cells, jobs=4, start_method="fork")
+        assert (json.dumps(serial, sort_keys=True)
+                == json.dumps(pooled, sort_keys=True))
+
+    def test_figure_data_file_byte_identical(self, tmp_path):
+        serial_fig = fig5_quality_ref691(TINY)
+        serial_csv = tmp_path / "serial.csv"
+        write_result_csv(str(serial_csv), serial_fig)
+
+        clear_cache()
+        configure(jobs=4, start_method="fork")
+        parallel_fig = fig5_quality_ref691(TINY)
+        parallel_csv = tmp_path / "parallel.csv"
+        write_result_csv(str(parallel_csv), parallel_fig)
+
+        assert serial_fig.render() == parallel_fig.render()
+        assert serial_csv.read_bytes() == parallel_csv.read_bytes()
+
+    def test_table_render_byte_identical(self):
+        serial = table3_jitter_free_nodes(TINY).render()
+        clear_cache()
+        configure(jobs=2, start_method="fork")
+        parallel = table3_jitter_free_nodes(TINY).render()
+        assert serial == parallel
+
+    def test_ablation_render_byte_identical(self):
+        serial = ablation_source_bias(TINY, biases=(0.0, 1.0)).render()
+        clear_cache()
+        configure(jobs=2, start_method="fork")
+        parallel = ablation_source_bias(TINY, biases=(0.0, 1.0)).render()
+        assert serial == parallel
+
+
+class TestSummaryCoherence:
+    def test_figures_share_runs_in_one_process(self, monkeypatch):
+        calls = _count_runs(monkeypatch)
+        fig5_quality_ref691(TINY)
+        first = len(calls)
+        assert first == 2  # standard + heap on ref-691
+        # Different reductions of the *same* runs: the cached full
+        # results answer them without a single new scenario execution.
+        fig7_jitter_cdf(TINY)
+        assert len(calls) == first
+        # Same reductions again: pure summary-cache hits.
+        fig5_quality_ref691(TINY)
+        assert len(calls) == first
+
+    def test_summary_cache_survives_without_full_results(self, monkeypatch):
+        spec = spec_jitter_free_fraction_by_class(10.0)
+        cells = [(scenario_at(TINY, protocol="heap",
+                              distribution=REF_691), (spec,))]
+        grid_summaries(cells)
+        # Drop the heavyweight result cache but keep the summaries (the
+        # situation after a worker computed the cell: the parent never
+        # had the full result).
+        scales._CACHE.clear()
+        calls = _count_runs(monkeypatch)
+        (summary,) = grid_summaries(cells)
+        assert calls == []
+        assert spec.name in summary
+
+
+class TestFigureCheckpointResume:
+    def test_interrupted_figure_resumes_from_checkpoint(self, tmp_path,
+                                                        monkeypatch):
+        path = str(tmp_path / "fig4.jsonl")
+        configure(checkpoint=path, resume=True)
+        reference = fig4_bandwidth_usage(TINY)
+        lines = (tmp_path / "fig4.jsonl").read_text().splitlines()
+        assert len(lines) == 1 + 4  # header + one record per scenario
+
+        # Kill after two finished cells, then resume in a "new process"
+        # (cold caches).
+        (tmp_path / "fig4.jsonl").write_text("\n".join(lines[:3]) + "\n")
+        clear_cache()
+        calls = _count_runs(monkeypatch)
+        resumed = fig4_bandwidth_usage(TINY)
+        assert len(calls) == 2  # only the missing cells ran
+        assert resumed.render() == reference.render()
+
+    def test_resume_across_processes_is_fingerprint_stable(self, tmp_path):
+        # The same figure twice with cold caches must accept its own
+        # checkpoint (the grid fingerprint is a pure function of the
+        # cells, not of what an earlier process had cached).
+        path = str(tmp_path / "fig5.jsonl")
+        configure(checkpoint=path, resume=True)
+        first = fig5_quality_ref691(TINY)
+        clear_cache()
+        again = fig5_quality_ref691(TINY)
+        assert first.render() == again.render()
