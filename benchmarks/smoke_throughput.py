@@ -70,6 +70,27 @@ def bench_engine(events: int = 10_000):
     }
 
 
+def bench_fanout(fanout: int = 16, rounds: int = 2000):
+    """Unicast send loop vs multicast send_many on a fan-out workload.
+
+    The speedup is self-relative (both paths measured back to back in
+    this process), so it is robust to host noise in a way absolute
+    events/s numbers are not.
+    """
+    from bench_fanout_send import run_send_loop, run_send_many
+
+    events = rounds * fanout
+    loop_s = _best_of(lambda: run_send_loop(rounds, fanout))
+    many_s = _best_of(lambda: run_send_many(rounds, fanout))
+    return {
+        "fanout": fanout,
+        "events": events,
+        "send_loop_events_per_sec": round(events / loop_s),
+        "send_many_events_per_sec": round(events / many_s),
+        "send_many_speedup": round(loop_s / many_s, 2),
+    }
+
+
 def bench_scenario():
     """End-to-end cost of the reference small HEAP run (QUICK scale)."""
     from repro.experiments.runner import run_scenario
@@ -135,6 +156,7 @@ def main(argv=None) -> int:
         "benchmark": "simulator-throughput-smoke",
         "python": sys.version.split()[0],
         "engine": bench_engine(),
+        "fanout": bench_fanout(),
         "scenario": bench_scenario(),
         "sweep": bench_sweep(args.jobs),
     }

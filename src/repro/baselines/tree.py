@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence
 
-from repro.net.message import Envelope
+from repro.net.message import Envelope, register_kind
 from repro.net.network import Network
 from repro.sim.engine import Simulator
 from repro.streaming.packets import StreamPacket
@@ -27,6 +27,7 @@ class TreePush:
     """Payload carrying stream packets down the tree."""
 
     kind = "tree-push"
+    kind_id = register_kind("tree-push")
     __slots__ = ("packets",)
 
     def __init__(self, packets: List[StreamPacket]):
@@ -57,6 +58,9 @@ def build_kary_tree(node_ids: Sequence[int], arity: int) -> Dict[int, List[int]]
 class StaticTreeNode:
     """One node of the static push tree."""
 
+    __slots__ = ("_sim", "_net", "node_id", "children", "capability_bps",
+                 "log", "packets_forwarded", "_dispatch")
+
     def __init__(self, sim: Simulator, net: Network, node_id: int,
                  children: List[int], capability_bps: float):
         self._sim = sim
@@ -66,23 +70,31 @@ class StaticTreeNode:
         self.capability_bps = capability_bps
         self.log = ReceiverLog(node_id)
         self.packets_forwarded = 0
+        self._dispatch = {TreePush.kind_id: self._handle_push}
 
     def publish(self, packet: StreamPacket) -> None:
         """Source entry point: deliver locally and push down the tree."""
         self._deliver(packet)
 
-    def on_message(self, envelope: Envelope) -> None:
-        if envelope.payload.kind != TreePush.kind:
-            return
+    def dispatch_table(self):
+        """Kind-id dispatch (captured by ``Network.attach``)."""
+        return self._dispatch
+
+    def _handle_push(self, envelope: Envelope) -> None:
         for packet in envelope.payload.packets:
             if not self.log.has(packet.packet_id):
                 self._deliver(packet)
 
+    def on_message(self, envelope: Envelope) -> None:
+        if envelope.payload.kind_id == TreePush.kind_id:
+            self._handle_push(envelope)
+
     def _deliver(self, packet: StreamPacket) -> None:
         self.log.record(packet.packet_id, self._sim.now)
-        for child in self.children:
-            self._net.send(self.node_id, child, TreePush([packet]))
-            self.packets_forwarded += 1
+        children = self.children
+        if children:
+            self._net.send_many(self.node_id, children, TreePush([packet]))
+            self.packets_forwarded += len(children)
 
     # The gossip runner calls these on every protocol node; the static
     # tree has no timers, so they are no-ops.

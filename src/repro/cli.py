@@ -19,7 +19,12 @@ too (default: the ``REPRO_JOBS`` environment variable), and both those
 grids and ``sweep`` checkpoint each finished (scenario, seed) record to
 JSONL: ``--checkpoint PATH`` picks the file, ``--resume`` reloads
 finished cells after a kill (with a default path derived from the
-command when ``--checkpoint`` is omitted).
+command when ``--checkpoint`` is omitted).  ``--checkpoint-dir DIR``
+instead derives the file inside DIR and adds housekeeping: a
+fingerprint-mismatched (stale) checkpoint is garbage-collected rather
+than fatal, and the spent checkpoint is deleted after a successful run.
+``sweep --csv PATH`` exports every (scenario, seed) record as CSV for
+external plotting.
 """
 
 from __future__ import annotations
@@ -141,7 +146,7 @@ def _cmd_sweep(args) -> int:
         metric_mean_utilization,
         metric_offline_delivery,
     )
-    from repro.experiments.parallel import run_grid
+    from repro.experiments.parallel import CheckpointError, run_grid
 
     from repro.workloads.scenario import PROTOCOLS
 
@@ -191,31 +196,59 @@ def _cmd_sweep(args) -> int:
                   file=sys.stderr, end="", flush=True)
 
     checkpoint = _checkpoint_path(args, "sweep", args.distribution)
-    grid = run_grid(configs, seeds, metrics, jobs=args.jobs, progress=progress,
-                    checkpoint=checkpoint, resume=args.resume)
+    try:
+        grid = run_grid(configs, seeds, metrics, jobs=args.jobs,
+                        progress=progress,
+                        checkpoint=checkpoint, resume=args.resume,
+                        checkpoint_gc=_managed_checkpoint(args))
+    except CheckpointError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     if not args.quiet:
         print(file=sys.stderr)
         print(f"grid of {len(configs)} scenario(s) x {len(seeds)} seed(s) "
               f"with --jobs {args.jobs}: {grid.wall_time:.2f}s wall",
               file=sys.stderr)
+    if args.csv:
+        from repro.metrics.export import write_grid_csv
+
+        rows = write_grid_csv(args.csv, grid)
+        if not args.quiet:
+            print(f"wrote {rows} record row(s) to {args.csv}",
+                  file=sys.stderr)
     # Aggregates go to stdout and are byte-identical for any --jobs value.
     print(grid.render())
     return 0
 
 
+def _managed_checkpoint(args) -> bool:
+    """Housekeeping applies only to checkpoints *derived* from
+    ``--checkpoint-dir`` — never to a file the user named explicitly
+    with ``--checkpoint``, which must keep the fail-loud semantics."""
+    return (bool(getattr(args, "checkpoint_dir", None))
+            and not getattr(args, "checkpoint", None))
+
+
 def _checkpoint_path(args, command: str, name: str) -> Optional[str]:
     """The JSONL checkpoint for this invocation, if any.
 
-    ``--checkpoint PATH`` names it explicitly; ``--resume`` alone derives
-    a stable per-artifact default so the natural kill/rerun workflow
-    (`figure fig9 --resume` twice) just works.  The default is keyed by
-    the *resolved* scale, so ``REPRO_SCALE=quick`` and ``REPRO_SCALE=full``
-    runs never collide on one file.
+    ``--checkpoint PATH`` names it explicitly; ``--checkpoint-dir DIR``
+    derives a stable per-artifact file *inside DIR* and turns on
+    checkpoint housekeeping (stale/mismatched files are GC'd instead of
+    fatal, spent ones deleted after a successful run); ``--resume`` alone
+    derives the same default name under ``.repro-checkpoints`` so the
+    natural kill/rerun workflow (`figure fig9 --resume` twice) just
+    works.  The default is keyed by the *resolved* scale, so
+    ``REPRO_SCALE=quick`` and ``REPRO_SCALE=full`` runs never collide on
+    one file.
     """
     if args.checkpoint:
         return args.checkpoint
+    scale = getattr(args, "scale", None) or current_scale().name
+    if getattr(args, "checkpoint_dir", None):
+        return os.path.join(args.checkpoint_dir,
+                            f"{command}-{name}-{scale}.jsonl")
     if args.resume:
-        scale = getattr(args, "scale", None) or current_scale().name
         return os.path.join(".repro-checkpoints",
                             f"{command}-{name}-{scale}.jsonl")
     return None
@@ -239,6 +272,7 @@ def _cmd_render(registry: Dict[str, Callable], command: str, name: str,
         checkpoint=(_checkpoint_path(args, command, name)
                     if hasattr(args, "checkpoint") else None),
         resume=getattr(args, "resume", False),
+        checkpoint_gc=_managed_checkpoint(args),
         progress=(None if getattr(args, "quiet", True)
                   else gridrun.stderr_progress))
     try:
@@ -308,9 +342,18 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument("--checkpoint", default=None,
                               help="JSONL file recording each finished "
                                    "(scenario, seed) record")
+    sweep_parser.add_argument("--checkpoint-dir", default=None,
+                              help="directory for a derived checkpoint "
+                                   "file, with housekeeping: stale or "
+                                   "fingerprint-mismatched checkpoints "
+                                   "are GC'd, spent ones deleted after "
+                                   "a successful run")
     sweep_parser.add_argument("--resume", action="store_true",
                               help="reload finished cells from the "
                                    "checkpoint instead of recomputing")
+    sweep_parser.add_argument("--csv", default=None, metavar="PATH",
+                              help="export every (scenario, seed) record "
+                                   "as CSV for external plotting")
 
     for command, registry in (("figure", FIGURES), ("table", TABLES),
                               ("ablation", ABLATIONS),
@@ -328,6 +371,9 @@ def build_parser() -> argparse.ArgumentParser:
                             "identical for any value)")
         p.add_argument("--checkpoint", default=None,
                        help="JSONL checkpoint for the scenario grid")
+        p.add_argument("--checkpoint-dir", default=None,
+                       help="directory for a derived checkpoint file, "
+                            "with GC of stale/mismatched checkpoints")
         p.add_argument("--resume", action="store_true",
                        help="resume the grid from its checkpoint")
         p.add_argument("--quiet", action="store_true",

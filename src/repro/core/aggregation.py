@@ -16,6 +16,7 @@ import random
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.membership.view import LocalView
+from repro.net.message import register_kind
 from repro.net.network import Network
 from repro.sim.engine import Simulator
 from repro.sim.timers import PeriodicTimer
@@ -26,10 +27,16 @@ _HEADER_BYTES = 8
 _SAMPLE_BYTES = 12
 
 
+def _sample_ts(item):
+    """Sort key for ``freshest``: the sample timestamp."""
+    return item[1][1]
+
+
 class AggregationMessage:
     """[Aggregation, fresh] — a batch of capability samples."""
 
     kind = "aggregation"
+    kind_id = register_kind("aggregation")
     __slots__ = ("samples", "_wire_size")
 
     def __init__(self, samples: List[Tuple[int, float, float]]):
@@ -46,6 +53,10 @@ class AggregationMessage:
 
 class CapabilityAggregator:
     """One node's capability-aggregation agent."""
+
+    __slots__ = ("_sim", "_net", "node_id", "_capability", "_view", "_rng",
+                 "fresh_count", "fanout", "sample_ttl", "_samples",
+                 "_oldest_ts", "messages_sent", "messages_received", "_timer")
 
     def __init__(self, sim: Simulator, net: Network, node_id: int,
                  capability: Callable[[], float], view: LocalView,
@@ -104,8 +115,13 @@ class CapabilityAggregator:
             default=float("inf"))
 
     def freshest(self, count: int) -> List[Tuple[int, float, float]]:
-        """The ``count`` freshest samples as (node, capability, timestamp)."""
-        ordered = sorted(self._samples.items(), key=lambda item: -item[1][1])
+        """The ``count`` freshest samples as (node, capability, timestamp).
+
+        ``reverse=True`` with a positive key keeps the exact tie order of
+        the historical ``key=-timestamp`` ascending sort (both are stable
+        on insertion order), so traces are unchanged.
+        """
+        ordered = sorted(self._samples.items(), key=_sample_ts, reverse=True)
         return [(node, cap, ts) for node, (cap, ts) in ordered[:count]]
 
     def sample_count(self) -> int:
@@ -137,9 +153,8 @@ class CapabilityAggregator:
         if not partners:
             return
         fresh = self.freshest(self.fresh_count)
-        for partner in partners:
-            self._net.send(self.node_id, partner, AggregationMessage(fresh))
-            self.messages_sent += 1
+        self._net.send_many(self.node_id, partners, AggregationMessage(fresh))
+        self.messages_sent += len(partners)
 
     def on_message(self, src: int, message: AggregationMessage) -> None:
         self.messages_received += 1

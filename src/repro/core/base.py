@@ -16,19 +16,29 @@ Message handling mirrors the pseudo-code:
   delivered nor already requested, and arms a retransmission timer;
 * phase 3 — a [Request] receiver serves the payloads it holds; a [Serve]
   receiver delivers new packets, queueing their ids for its next round.
+
+Delivery plumbing: the node keeps a **dispatch table** mapping interned
+payload kind-ids to bound envelope handlers.  The network captures the
+table at attach time and hands each delivered envelope straight to the
+matching handler; co-hosted protocols (peer sampling, auditing, ...)
+join the same endpoint through :meth:`register_handler` /
+:meth:`register_handlers` instead of the old string-keyed
+``extra_handlers`` dict.  Proposal rounds fan one [Propose] payload out
+through :meth:`Network.send_many` — one wire-size computation and one
+batched stats accumulation for the whole round.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Callable, Dict, List, Optional, Set
+from typing import Callable, Dict, List, Mapping, Optional, Set, Union
 
 from repro.core.config import GossipConfig
 from repro.core.messages import Propose, Request, Serve
 from repro.core.retransmission import RetransmissionManager
 from repro.membership.selector import UniformSelector
 from repro.membership.view import LocalView
-from repro.net.message import Envelope
+from repro.net.message import Envelope, intern_kind, kind_name
 from repro.net.network import Network
 from repro.sim.engine import Simulator
 from repro.sim.timers import PeriodicTimer
@@ -38,6 +48,13 @@ from repro.streaming.receiver import ReceiverLog
 
 class GossipNode:
     """One participant of the gossip dissemination."""
+
+    __slots__ = ("_sim", "_net", "node_id", "view", "config", "_rng",
+                 "capability_bps", "selector", "log", "_store", "_to_propose",
+                 "_requested", "_gossip_timer", "_retransmission", "_policy",
+                 "on_deliver", "on_request_sent", "on_serve_received",
+                 "_dispatch", "proposes_sent", "requests_sent", "serves_sent",
+                 "packets_served", "rounds", "partners_per_round")
 
     def __init__(self, sim: Simulator, net: Network, node_id: int,
                  view: LocalView, config: GossipConfig, rng: random.Random,
@@ -80,9 +97,13 @@ class GossipNode:
         #: from a peer, and number of packets a peer served us.
         self.on_request_sent: Optional[Callable[[int, int], None]] = None
         self.on_serve_received: Optional[Callable[[int, int], None]] = None
-        #: Additional payload-kind handlers for co-hosted protocols
-        #: (peer sampling, auditing, size estimation, ...).
-        self.extra_handlers: Dict[str, Callable[[Envelope], None]] = {}
+        #: Kind-id dispatch table: the network captures this (live) at
+        #: attach time and routes every delivered envelope through it.
+        self._dispatch: Dict[int, Callable[[Envelope], None]] = {
+            Propose.kind_id: self._handle_propose,
+            Request.kind_id: self._handle_request,
+            Serve.kind_id: self._handle_serve,
+        }
 
         # Counters (diagnostics and tests).
         self.proposes_sent = 0
@@ -158,10 +179,8 @@ class GossipNode:
         partners = self.selector.select(self.view, fanout)
         if not partners:
             return
-        proposal = Propose(ids)
-        for partner in partners:
-            self._net.send(self.node_id, partner, proposal)
-            self.proposes_sent += 1
+        self._net.send_many(self.node_id, partners, Propose(ids))
+        self.proposes_sent += len(partners)
 
     # ------------------------------------------------------------------
     # phase 2: request
@@ -213,21 +232,50 @@ class GossipNode:
     # ------------------------------------------------------------------
     # network plumbing
     # ------------------------------------------------------------------
-    def on_message(self, envelope: Envelope) -> None:
-        payload = envelope.payload
-        kind = payload.kind
-        if kind == "propose":
-            self._on_propose(envelope.src, payload)
-        elif kind == "request":
-            self._on_request(envelope.src, payload)
-        elif kind == "serve":
-            self._on_serve(envelope.src, payload)
-        else:
-            self._on_other_message(envelope)
+    def _handle_propose(self, envelope: Envelope) -> None:
+        self._on_propose(envelope.src, envelope.payload)
 
-    def _on_other_message(self, envelope: Envelope) -> None:
-        """Dispatch non-dissemination payloads to co-hosted protocols."""
-        handler = self.extra_handlers.get(envelope.payload.kind)
+    def _handle_request(self, envelope: Envelope) -> None:
+        self._on_request(envelope.src, envelope.payload)
+
+    def _handle_serve(self, envelope: Envelope) -> None:
+        self._on_serve(envelope.src, envelope.payload)
+
+    def dispatch_table(self) -> Dict[int, Callable[[Envelope], None]]:
+        """The live kind-id dispatch table (captured by ``Network.attach``)."""
+        return self._dispatch
+
+    def register_handler(self, kind: Union[str, int],
+                         handler: Callable[[Envelope], None]) -> None:
+        """Route a payload kind (name or kind-id) to a co-hosted protocol.
+
+        Raises on a duplicate registration — two protocols claiming one
+        kind on the same endpoint is always a wiring bug.  A string name
+        is interned into the global kind registry: prefer the payload
+        class's ``kind_id`` for kinds a protocol module owns, or that
+        module's import-time ``register_kind`` will see its own name as
+        a duplicate.
+        """
+        kind_id = intern_kind(kind) if isinstance(kind, str) else kind
+        if kind_id in self._dispatch:
+            raise ValueError(f"node {self.node_id}: handler for kind "
+                             f"{kind_name(kind_id)!r} already registered")
+        self._dispatch[kind_id] = handler
+
+    def register_handlers(
+            self, table: Mapping[int, Callable[[Envelope], None]]) -> None:
+        """Merge another protocol's dispatch table into this endpoint's."""
+        for kind_id, handler in table.items():
+            self.register_handler(kind_id, handler)
+
+    def on_message(self, envelope: Envelope) -> None:
+        """Fallback delivery entry point (direct callers, detached use).
+
+        Attached nodes are normally dispatched straight from the network's
+        captured table; this applies the same table, silently ignoring
+        unregistered kinds (matching the old extra-handler behaviour).
+        """
+        handler = self._dispatch.get(envelope.payload.kind_id)
         if handler is not None:
             handler(envelope)
 

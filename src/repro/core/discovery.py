@@ -34,6 +34,11 @@ from repro.sim.timers import PeriodicTimer
 class CapabilityProber:
     """Slow-start estimator of a node's usable upload capability."""
 
+    __slots__ = ("_sim", "_uplink", "advertised_bps", "ceiling_bps",
+                 "probe_period", "growth", "decay", "high_watermark",
+                 "low_watermark", "_on_change", "_bytes_at_last_probe",
+                 "probes", "_timer")
+
     def __init__(self, sim: Simulator, uplink: UplinkQueue,
                  initial_bps: float = 64_000.0,
                  ceiling_bps: Optional[float] = None,

@@ -19,7 +19,7 @@ from __future__ import annotations
 import random
 from typing import Optional
 
-from repro.core.aggregation import CapabilityAggregator
+from repro.core.aggregation import AggregationMessage, CapabilityAggregator
 from repro.core.base import GossipNode
 from repro.core.config import GossipConfig
 from repro.core.fanout import AdaptiveFanout
@@ -31,6 +31,8 @@ from repro.sim.engine import Simulator
 
 class HeapGossipNode(GossipNode):
     """A HEAP participant: gossip node + aggregation + adaptive fanout."""
+
+    __slots__ = ("aggregator",)
 
     def __init__(self, sim: Simulator, net: Network, node_id: int,
                  view: LocalView, config: GossipConfig, rng: random.Random,
@@ -55,6 +57,9 @@ class HeapGossipNode(GossipNode):
             mode=config.fanout_rounding,
             rng=rng,
         )
+        # The aggregation protocol rides this endpoint's dispatch table.
+        self.register_handler(AggregationMessage.kind_id,
+                              self._handle_aggregation)
 
     # ------------------------------------------------------------------
     def start(self, phase: Optional[float] = None) -> None:
@@ -77,8 +82,5 @@ class HeapGossipNode(GossipNode):
         return self.aggregator.average_estimate()
 
     # ------------------------------------------------------------------
-    def _on_other_message(self, envelope: Envelope) -> None:
-        if envelope.payload.kind == "aggregation":
-            self.aggregator.on_message(envelope.src, envelope.payload)
-        else:
-            super()._on_other_message(envelope)
+    def _handle_aggregation(self, envelope: Envelope) -> None:
+        self.aggregator.on_message(envelope.src, envelope.payload)

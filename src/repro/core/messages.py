@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import List, Sequence
 
+from repro.net.message import register_kind
 from repro.streaming.packets import StreamPacket
 
 #: Fixed protocol header bytes inside a datagram payload.
@@ -28,6 +29,7 @@ class Propose:
     """
 
     kind = "propose"
+    kind_id = register_kind("propose")
     __slots__ = ("ids", "_wire_size")
 
     def __init__(self, ids: Sequence[int]):
@@ -45,6 +47,7 @@ class Request:
     """Phase 2: pull the event ids the receiver still misses."""
 
     kind = "request"
+    kind_id = register_kind("request")
     __slots__ = ("ids", "_wire_size")
 
     def __init__(self, ids: Sequence[int]):
@@ -66,6 +69,7 @@ class Serve:
     """
 
     kind = "serve"
+    kind_id = register_kind("serve")
     __slots__ = ("packets", "_wire_size")
 
     def __init__(self, packets: List[StreamPacket]):

@@ -19,6 +19,9 @@ from repro.sim.engine import Simulator
 class RetransmissionManager:
     """Tracks outstanding requests for one node."""
 
+    __slots__ = ("_sim", "period", "max_retries", "_is_delivered", "_resend",
+                 "_release", "retransmissions", "abandoned", "_outstanding")
+
     def __init__(self, sim: Simulator, period: float, max_retries: int,
                  is_delivered: Callable[[int], bool],
                  resend: Callable[[int, List[int]], None],

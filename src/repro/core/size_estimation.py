@@ -21,6 +21,7 @@ import random
 from typing import Optional
 
 from repro.membership.view import LocalView
+from repro.net.message import register_kind
 from repro.net.network import Network
 from repro.sim.engine import Simulator
 from repro.sim.timers import PeriodicTimer
@@ -33,6 +34,7 @@ class SizeEstimateMessage:
     """Push half of a push-pull averaging exchange."""
 
     kind = "size-push"
+    kind_id = register_kind("size-push")
     __slots__ = ("epoch", "value")
 
     def __init__(self, epoch: int, value: float):
@@ -47,6 +49,7 @@ class SizeEstimateReply:
     """Pull half: the responder's value, for symmetric averaging."""
 
     kind = "size-pull"
+    kind_id = register_kind("size-pull")
     __slots__ = ("epoch", "value")
 
     def __init__(self, epoch: int, value: float):
@@ -67,6 +70,10 @@ class SizeEstimator:
     every 6 s.
     """
 
+    __slots__ = ("_sim", "_net", "node_id", "_view", "_rng", "is_leader",
+                 "rounds_per_epoch", "epoch", "_round_in_epoch", "_value",
+                 "_settled_estimate", "exchanges", "_timer", "_dispatch")
+
     def __init__(self, sim: Simulator, net: Network, node_id: int,
                  view: LocalView, rng: random.Random, is_leader: bool = False,
                  period: float = 0.2, rounds_per_epoch: int = 30):
@@ -86,6 +93,10 @@ class SizeEstimator:
         self._settled_estimate: Optional[float] = None
         self.exchanges = 0
         self._timer = PeriodicTimer(sim, period, self._tick)
+        self._dispatch = {
+            SizeEstimateMessage.kind_id: self._handle_push,
+            SizeEstimateReply.kind_id: self._handle_pull,
+        }
 
     # ------------------------------------------------------------------
     def start(self, phase: Optional[float] = None) -> None:
@@ -119,8 +130,8 @@ class SizeEstimator:
         partner_list = self._view.sample(1, self._rng)
         if not partner_list:
             return
-        self._net.send(self.node_id, partner_list[0],
-                       SizeEstimateMessage(self.epoch, self._value))
+        self._net.send_many(self.node_id, partner_list,
+                            SizeEstimateMessage(self.epoch, self._value))
 
     def _settle_epoch(self) -> None:
         if self._value > 0:
@@ -130,12 +141,20 @@ class SizeEstimator:
         self._value = 1.0 if self.is_leader else 0.0
 
     # ------------------------------------------------------------------
+    def dispatch_table(self):
+        """Kind-id dispatch (captured by ``Network.attach``)."""
+        return self._dispatch
+
     def on_message(self, envelope) -> None:
-        payload = envelope.payload
-        if payload.kind == SizeEstimateMessage.kind:
-            self._on_push(envelope.src, payload)
-        elif payload.kind == SizeEstimateReply.kind:
-            self._on_pull(payload)
+        handler = self._dispatch.get(envelope.payload.kind_id)
+        if handler is not None:
+            handler(envelope)
+
+    def _handle_push(self, envelope) -> None:
+        self._on_push(envelope.src, envelope.payload)
+
+    def _handle_pull(self, envelope) -> None:
+        self._on_pull(envelope.payload)
 
     def _on_push(self, src: int, message: SizeEstimateMessage) -> None:
         if message.epoch != self.epoch:

@@ -22,6 +22,8 @@ from repro.sim.engine import Simulator
 class StandardGossipNode(GossipNode):
     """Homogeneous gossip: ``getFanout()`` returns the configured constant."""
 
+    __slots__ = ()
+
     def __init__(self, sim: Simulator, net: Network, node_id: int,
                  view: LocalView, config: GossipConfig, rng: random.Random,
                  capability_bps: float):

@@ -34,7 +34,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments.parallel import ProgressCallback, RunRecord, run_grid
 from repro.experiments.scales import cached_result, cached_run
-from repro.metrics.summary import MetricSpec
+from repro.metrics.summary import MetricSpec, standard_bundle
 from repro.workloads.scenario import ScenarioConfig, scenario_key
 
 #: One unit of figure work: a scenario and the reductions it needs.
@@ -64,6 +64,14 @@ class GridOptions:
     start_method: Optional[str] = None
     #: Per-record progress callback (the CLI prints to stderr).
     progress: Optional[ProgressCallback] = None
+    #: Housekeep managed checkpoints (CLI ``--checkpoint-dir``): GC
+    #: stale/mismatched files on resume, delete spent ones on success.
+    checkpoint_gc: bool = False
+    #: Compute the predeclared standard spec bundle
+    #: (:func:`repro.metrics.summary.standard_bundle`) alongside the
+    #: requested specs whenever a cell runs, so later figures reuse
+    #: cached summaries instead of re-running the cell at ``--jobs N``.
+    bundle: bool = True
 
 
 _OPTIONS = GridOptions()
@@ -107,6 +115,7 @@ def grid_summaries(cells: Sequence[Cell], *,
                    resume: Optional[bool] = None,
                    start_method: Optional[str] = None,
                    progress: Optional[ProgressCallback] = None,
+                   bundle: Optional[bool] = None,
                    ) -> List[Dict[str, object]]:
     """Compute every cell's summaries; one name->value dict per cell,
     in cell order.
@@ -118,6 +127,13 @@ def grid_summaries(cells: Sequence[Cell], *,
     ``cached_run``'s cache yields missing summaries without a re-run.
     Keyword arguments override the :func:`configure` defaults for this
     call only.
+
+    Any cell that actually *runs* additionally computes the predeclared
+    standard spec bundle (unless ``bundle=False``): the full summary set
+    of the protocol×distribution figure matrix.  Workers ship summaries,
+    not results, so without this a second figure at ``--jobs N`` would
+    re-run every shared scenario just to reduce it differently; with it,
+    the second figure is a pure cache hit.
 
     With a checkpoint, cache-based skipping is disabled for the *grid
     membership* (every unique scenario is part of the checkpointed grid,
@@ -133,6 +149,8 @@ def grid_summaries(cells: Sequence[Cell], *,
     resume = resume if resume is not None else opts.resume
     start_method = start_method if start_method is not None else opts.start_method
     progress = progress if progress is not None else opts.progress
+    bundle = bundle if bundle is not None else opts.bundle
+    bundle_specs = standard_bundle() if bundle else ()
 
     # Deduplicate cells into one (config, union-of-specs) per scenario.
     unique: Dict[str, Tuple[ScenarioConfig, Dict[str, MetricSpec]]] = {}
@@ -147,6 +165,18 @@ def grid_summaries(cells: Sequence[Cell], *,
             merged.setdefault(spec.name, spec)
 
     # Decide what actually has to run.
+    def with_bundle(specs: Dict[str, MetricSpec],
+                    key: str) -> Tuple[MetricSpec, ...]:
+        """The specs a running cell computes: requested + the standard
+        bundle (uncached entries only on the cache path; checkpointed
+        grids include the whole bundle so the fingerprint stays a pure
+        function of the cells)."""
+        extra = {spec.name: spec for spec in bundle_specs
+                 if spec.name not in specs
+                 and (checkpoint is not None
+                      or (key, spec.name) not in _SUMMARY_CACHE)}
+        return tuple(specs.values()) + tuple(extra.values())
+
     to_run: List[Tuple[str, ScenarioConfig, Tuple[MetricSpec, ...]]] = []
     for key, (config, merged) in unique.items():
         if checkpoint is None:
@@ -161,11 +191,11 @@ def grid_summaries(cells: Sequence[Cell], *,
                 for name, spec in missing.items():
                     _SUMMARY_CACHE[(key, name)] = spec.fn(result)
                 continue
-            to_run.append((key, config, tuple(missing.values())))
+            to_run.append((key, config, with_bundle(missing, key)))
         else:
             # Checkpointed grids always cover every unique scenario so
             # their fingerprint is a pure function of the cells.
-            to_run.append((key, config, tuple(merged.values())))
+            to_run.append((key, config, with_bundle(merged, key)))
 
     if to_run:
         grid = run_grid([config for _, config, _ in to_run],
@@ -173,6 +203,7 @@ def grid_summaries(cells: Sequence[Cell], *,
                         progress=progress, start_method=start_method,
                         summaries=[specs for _, _, specs in to_run],
                         checkpoint=checkpoint, resume=resume,
+                        checkpoint_gc=opts.checkpoint_gc,
                         run_fn=cached_run)
         for (key, _, _), record in zip(to_run, grid.records):
             for name, value in record.summaries.items():

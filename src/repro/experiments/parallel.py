@@ -355,6 +355,7 @@ def run_grid(configs, seeds: Optional[Sequence[int]],
              summaries=None,
              checkpoint: Optional[str] = None,
              resume: bool = False,
+             checkpoint_gc: bool = False,
              run_fn: Optional[Callable[[ScenarioConfig], ExperimentResult]] = None,
              ) -> GridResult:
     """Run every ``config`` under every seed and collect compact records.
@@ -371,7 +372,14 @@ def run_grid(configs, seeds: Optional[Sequence[int]],
     sequence applied to every scenario, or one sequence *per* scenario.
     ``checkpoint`` appends each finished record to a JSONL file;
     ``resume=True`` reloads finished cells from it (validated by grid
-    fingerprint) so only the remainder runs.  ``run_fn`` replaces the
+    fingerprint) so only the remainder runs.  ``checkpoint_gc=True``
+    turns on housekeeping for managed checkpoint files (the CLI's
+    ``--checkpoint-dir`` mode): a resume against a stale checkpoint —
+    fingerprint mismatch or damage beyond trailing truncation — is
+    garbage-collected and the grid starts fresh instead of erroring, and
+    the checkpoint is deleted after the grid completes successfully (a
+    spent checkpoint can only ever shadow a future run).  ``run_fn``
+    replaces the
     scenario runner on the serial path only (the figure pipeline passes
     ``cached_run`` there to share results process-wide).  Results are
     merged in grid order, so the outcome is bit-identical for any
@@ -419,7 +427,17 @@ def run_grid(configs, seeds: Optional[Sequence[int]],
                                        specs_by_scenario)
         restored: Dict[int, RunRecord] = {}
         if resume and os.path.exists(checkpoint):
-            restored = _load_checkpoint(checkpoint, fingerprint, total)
+            if checkpoint_gc:
+                try:
+                    restored = _load_checkpoint(checkpoint, fingerprint, total)
+                except CheckpointError as exc:
+                    import sys
+
+                    print(f"checkpoint-gc: discarding stale checkpoint "
+                          f"{checkpoint} ({exc})", file=sys.stderr)
+                    restored = {}
+            else:
+                restored = _load_checkpoint(checkpoint, fingerprint, total)
         parent = os.path.dirname(checkpoint)
         if parent:
             os.makedirs(parent, exist_ok=True)
@@ -478,6 +496,14 @@ def run_grid(configs, seeds: Optional[Sequence[int]],
     finally:
         if checkpoint_fh is not None:
             checkpoint_fh.close()
+    if checkpoint_gc and checkpoint is not None:
+        # The grid completed: its checkpoint is spent.  Leaving it around
+        # could only shadow a future (changed) grid with a mismatched
+        # fingerprint, so managed checkpoints are collected on success.
+        try:
+            os.remove(checkpoint)
+        except OSError:  # pragma: no cover - already gone / perms
+            pass
     wall = time.perf_counter() - started
     return GridResult(configs, seeds if seeds is not None else [None],
                       metric_names, records, jobs, wall)

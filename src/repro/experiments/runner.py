@@ -241,13 +241,13 @@ def run_scenario(config: ScenarioConfig,
         net.attach(node_id, node, upload_capacity_bps=capacities[node_id])
 
     # Co-hosted protocols: peer sampling and the freerider audit ride the
-    # same endpoint through the node's extra-handler dispatch.
+    # same endpoint by merging their kind-id tables into the node's
+    # dispatch table (captured live by the network at attach time).
     detectors: Dict[int, FreeriderDetector] = {}
     if samplers:
         for node_id, node in enumerate(nodes):
             sampler = samplers[node_id]
-            node.extra_handlers["shuffle-req"] = sampler.on_message
-            node.extra_handlers["shuffle-rep"] = sampler.on_message
+            node.register_handlers(sampler.dispatch_table())
             sampler.start()
     # Capability discovery: HEAP receivers start from a low advertised
     # capability and slow-start toward their physical uplink (§2.2).
@@ -273,7 +273,7 @@ def run_scenario(config: ScenarioConfig,
             detector = FreeriderDetector(
                 sim, net, node_id, views[node_id],
                 registry.fork(f"audit-{node_id}").stream("audit"))
-            node.extra_handlers["audit"] = detector.on_message
+            node.register_handlers(detector.dispatch_table())
             node.on_request_sent = detector.record_request
             node.on_serve_received = detector.record_serve
             detector.start()

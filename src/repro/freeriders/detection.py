@@ -31,6 +31,7 @@ import random
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.membership.view import LocalView
+from repro.net.message import register_kind
 from repro.net.network import Network
 from repro.sim.engine import Simulator
 from repro.sim.timers import PeriodicTimer
@@ -45,6 +46,7 @@ class AuditReport:
     """[Audit] — a batch of (peer, asked, answered) observations."""
 
     kind = "audit"
+    kind_id = register_kind("audit")
     __slots__ = ("reporter", "entries")
 
     def __init__(self, reporter: int, entries: List[Tuple[int, int, int]]):
@@ -108,6 +110,10 @@ class FreeriderDetector:
     reports it receives into a global score table.
     """
 
+    __slots__ = ("_sim", "_net", "node_id", "_view", "_rng", "fanout",
+                 "report_size", "_local", "_global", "reports_sent",
+                 "reports_received", "_timer", "_dispatch")
+
     def __init__(self, sim: Simulator, net: Network, node_id: int,
                  view: LocalView, rng: random.Random, period: float = 1.0,
                  fanout: int = 2, report_size: int = 10):
@@ -127,6 +133,7 @@ class FreeriderDetector:
         self.reports_sent = 0
         self.reports_received = 0
         self._timer = PeriodicTimer(sim, period, self._gossip)
+        self._dispatch = {AuditReport.kind_id: self.on_message}
 
     # ------------------------------------------------------------------
     def start(self, phase: Optional[float] = None) -> None:
@@ -164,15 +171,18 @@ class FreeriderDetector:
         entries = [(peer, asked, answered)
                    for peer, (asked, answered) in ranked[:self.report_size]]
         report = AuditReport(self.node_id, entries)
-        for partner in partners:
-            self._net.send(self.node_id, partner, report)
-            self.reports_sent += 1
+        self._net.send_many(self.node_id, partners, report)
+        self.reports_sent += len(partners)
         # Merge our own evidence as well (we are a reporter too).
         self._merge(self.node_id, entries)
 
+    def dispatch_table(self):
+        """Kind-id dispatch: merged into the hosting node's endpoint."""
+        return self._dispatch
+
     def on_message(self, envelope) -> None:
         payload = envelope.payload
-        if payload.kind != AuditReport.kind:
+        if payload.kind_id != AuditReport.kind_id:
             return
         self.reports_received += 1
         self._merge(payload.reporter, payload.entries)

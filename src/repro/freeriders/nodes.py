@@ -33,6 +33,8 @@ from repro.sim.engine import Simulator
 class UnderclaimingNode(HeapGossipNode):
     """Advertises ``claim_factor * capability`` to HEAP's aggregation."""
 
+    __slots__ = ("claim_factor", "true_capability_bps")
+
     def __init__(self, sim: Simulator, net: Network, node_id: int,
                  view: LocalView, config: GossipConfig, rng: random.Random,
                  capability_bps: float, claim_factor: float = 0.1):
@@ -48,6 +50,8 @@ class UnderclaimingNode(HeapGossipNode):
 
 class NonServingNode(HeapGossipNode):
     """Honest everywhere except the serve phase."""
+
+    __slots__ = ("serve_probability", "requests_dropped")
 
     def __init__(self, sim: Simulator, net: Network, node_id: int,
                  view: LocalView, config: GossipConfig, rng: random.Random,

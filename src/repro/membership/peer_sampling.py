@@ -18,6 +18,7 @@ import random
 from typing import Dict, List, Optional, Tuple
 
 from repro.membership.view import LocalView
+from repro.net.message import register_kind
 from repro.net.network import Network
 from repro.sim.engine import Simulator
 from repro.sim.timers import PeriodicTimer
@@ -46,6 +47,8 @@ class ViewEntry:
 
 class ShuffleRequest:
     kind = "shuffle-req"
+    kind_id = register_kind("shuffle-req")
+    __slots__ = ("entries",)
 
     def __init__(self, entries: List[Tuple[int, int]]):
         self.entries = entries
@@ -56,6 +59,8 @@ class ShuffleRequest:
 
 class ShuffleReply:
     kind = "shuffle-rep"
+    kind_id = register_kind("shuffle-rep")
+    __slots__ = ("entries",)
 
     def __init__(self, entries: List[Tuple[int, int]]):
         self.entries = entries
@@ -71,6 +76,10 @@ class PeerSamplingService:
     attribute) that tracks the partial view's membership, so dissemination
     protocols can sample from it exactly as they would from the directory.
     """
+
+    __slots__ = ("_sim", "_net", "node_id", "_rng", "view_size",
+                 "shuffle_length", "_entries", "_pending_sent", "view",
+                 "shuffles_started", "_timer", "_dispatch")
 
     def __init__(self, sim: Simulator, net: Network, node_id: int,
                  rng: random.Random, view_size: int = 20, shuffle_length: int = 8,
@@ -88,6 +97,10 @@ class PeerSamplingService:
         self.view = LocalView(node_id)
         self.shuffles_started = 0
         self._timer = PeriodicTimer(sim, period, self._shuffle)
+        self._dispatch = {
+            ShuffleRequest.kind_id: self._handle_request,
+            ShuffleReply.kind_id: self._handle_reply,
+        }
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -185,9 +198,22 @@ class PeerSamplingService:
     # ------------------------------------------------------------------
     # network plumbing
     # ------------------------------------------------------------------
+    def dispatch_table(self):
+        """Kind-id dispatch for this service's two shuffle kinds.
+
+        Merged into the hosting gossip node's endpoint table by the
+        experiment runner (``GossipNode.register_handlers``), or captured
+        directly when the service is attached as its own endpoint.
+        """
+        return self._dispatch
+
+    def _handle_request(self, envelope) -> None:
+        self.on_shuffle_request(envelope.src, envelope.payload)
+
+    def _handle_reply(self, envelope) -> None:
+        self.on_shuffle_reply(envelope.src, envelope.payload)
+
     def on_message(self, envelope) -> None:
-        payload = envelope.payload
-        if payload.kind == ShuffleRequest.kind:
-            self.on_shuffle_request(envelope.src, payload)
-        elif payload.kind == ShuffleReply.kind:
-            self.on_shuffle_reply(envelope.src, payload)
+        handler = self._dispatch.get(envelope.payload.kind_id)
+        if handler is not None:
+            handler(envelope)

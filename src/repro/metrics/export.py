@@ -70,6 +70,36 @@ def write_result_csv(path: str, result) -> int:
     return write_rows_csv(path, result.headers, result.rows)
 
 
+def write_grid_csv(path: str, grid) -> int:
+    """Write a :class:`~repro.experiments.parallel.GridResult`'s records
+    as long-format CSV for external plotting: one row per (scenario,
+    seed) cell, with scenario identity, run counters and one column per
+    metric.  Rows land in deterministic grid order, so the file is
+    byte-identical for any ``--jobs`` value (``wall_time`` excepted —
+    it's a measurement, flagged as such by its column name)."""
+    headers = (["scenario_index", "scenario_name", "protocol", "n_nodes",
+                "duration_s", "distribution", "seed_index", "seed",
+                "events_executed", "sim_end_time"]
+               + [f"metric:{name}" for name in grid.metric_names]
+               + ["wall_time_s"])
+    count = 0
+    with open(path, "w", newline="", encoding="utf-8") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(headers)
+        for record in grid.records:
+            config = grid.configs[record.scenario_index]
+            writer.writerow(
+                [record.scenario_index, record.scenario_name,
+                 config.protocol, config.n_nodes, f"{config.duration:g}",
+                 config.distribution.name, record.seed_index, record.seed,
+                 record.events_executed, f"{record.sim_end_time:.6f}"]
+                + [f"{record.metrics[name]:.9g}"
+                   for name in grid.metric_names]
+                + [f"{record.wall_time:.4f}"])
+            count += 1
+    return count
+
+
 def write_cdf_csv(path: str, cdfs: Dict[str, Cdf], max_points: int = 500) -> int:
     """Write named CDFs as long-format (series, x, cumulative_fraction).
 

@@ -2,31 +2,54 @@
 
 A node usually runs several protocols over one datagram socket (stream
 gossip, capability aggregation, peer sampling).  :class:`Demux` routes a
-delivered envelope to the handler registered for its payload ``kind``,
-so each protocol stays an independent component.
+delivered envelope to the handler registered for its payload kind.
+Routing happens on interned integer kind-ids (see
+:func:`repro.net.message.register_kind`); string names are accepted at
+registration time for convenience and resolved once.
+
+``Demux`` exposes its handler mapping through ``dispatch_table()``, so a
+demux attached to a :class:`~repro.net.network.Network` is dispatched
+directly by the fabric — registered kinds never pass through
+``on_message`` at all; only unrouted envelopes do (and are counted).
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict
+from typing import Callable, Dict, Union
 
-from repro.net.message import Envelope
+from repro.net.message import Envelope, intern_kind, kind_name
 
 
 class Demux:
-    """Routes envelopes to per-kind handlers."""
+    """Routes envelopes to per-kind handlers, keyed by kind-id."""
+
+    __slots__ = ("_handlers", "unrouted")
 
     def __init__(self) -> None:
-        self._handlers: Dict[str, Callable[[Envelope], None]] = {}
+        self._handlers: Dict[int, Callable[[Envelope], None]] = {}
         self.unrouted = 0
 
-    def register(self, kind: str, handler: Callable[[Envelope], None]) -> None:
-        if kind in self._handlers:
-            raise ValueError(f"handler for kind {kind!r} already registered")
-        self._handlers[kind] = handler
+    def register(self, kind: Union[str, int],
+                 handler: Callable[[Envelope], None]) -> None:
+        """Register ``handler`` for a payload kind (name or kind-id).
+
+        A string name is interned into the global kind registry — prefer
+        registering with the payload class's ``kind_id`` for kinds a
+        protocol module owns, or the module's later ``register_kind``
+        at import time will see its own name as a duplicate.
+        """
+        kind_id = intern_kind(kind) if isinstance(kind, str) else kind
+        if kind_id in self._handlers:
+            raise ValueError(
+                f"handler for kind {kind_name(kind_id)!r} already registered")
+        self._handlers[kind_id] = handler
+
+    def dispatch_table(self) -> Dict[int, Callable[[Envelope], None]]:
+        """The live kind-id -> handler mapping (captured by the network)."""
+        return self._handlers
 
     def on_message(self, envelope: Envelope) -> None:
-        handler = self._handlers.get(envelope.payload.kind)
+        handler = self._handlers.get(envelope.payload.kind_id)
         if handler is None:
             self.unrouted += 1
             return

@@ -1,10 +1,28 @@
-"""Message envelopes and the payload protocol.
+"""Message envelopes, the payload protocol, and the kind-id registry.
 
 A :class:`Payload` is any protocol-level message (propose, request, serve,
 aggregation, ...).  Payloads know their own wire size in bytes; the
 network adds a fixed per-datagram header (UDP/IP) on top.  Sizes drive the
 uplink serialization delay, so getting them right is what makes the
 congestion behaviour realistic.
+
+**Kind ids.**  Every payload class carries two class attributes: ``kind``,
+the human-readable display name (it survives in
+:class:`~repro.net.stats.NetworkStats` breakdowns and reprs), and
+``kind_id``, a small dense integer interned through :func:`register_kind`.
+All routing — the network's per-endpoint dispatch tables, the
+:class:`~repro.net.demux.Demux`, a node's co-hosted protocol handlers —
+happens on the integer, so the per-datagram cost of demultiplexing is one
+list/dict index instead of a chain of string compares.  Protocol modules
+register their kinds at import time::
+
+    class Propose:
+        kind = "propose"
+        kind_id = register_kind("propose")
+
+:func:`register_kind` raises on a duplicate name (two protocols silently
+sharing a kind would cross-deliver), while :func:`intern_kind` is the
+idempotent variant for dynamic callers (tests, ad-hoc tooling).
 
 :class:`Envelope` is also the network's delivery event: the fabric
 enqueues the envelope itself on the simulator's fire-and-forget path and
@@ -17,16 +35,69 @@ opts in (see ``Network(reuse_envelopes=True)``).
 
 from __future__ import annotations
 
-from typing import Protocol
+from typing import Dict, List, Protocol, Tuple
 
 #: UDP (8) + IPv4 (20) header bytes added to every datagram.
 UDP_IP_HEADER_BYTES = 28
+
+# ----------------------------------------------------------------------
+# kind-id registry
+# ----------------------------------------------------------------------
+_KIND_IDS: Dict[str, int] = {}
+_KIND_NAMES: List[str] = []
+
+
+def register_kind(name: str) -> int:
+    """Intern a new payload kind; returns its dense integer id.
+
+    Raises :class:`ValueError` if ``name`` is already registered — two
+    protocols must never share a kind, or their messages would be
+    routed to whichever handler registered last.
+    """
+    if not name:
+        raise ValueError("kind name must be non-empty")
+    if name in _KIND_IDS:
+        raise ValueError(f"payload kind {name!r} is already registered "
+                         f"(id {_KIND_IDS[name]})")
+    kind_id = len(_KIND_NAMES)
+    _KIND_IDS[name] = kind_id
+    _KIND_NAMES.append(name)
+    return kind_id
+
+
+def intern_kind(name: str) -> int:
+    """The id for ``name``, registering it first if needed (idempotent)."""
+    kind_id = _KIND_IDS.get(name)
+    if kind_id is None:
+        kind_id = register_kind(name)
+    return kind_id
+
+
+def kind_id_of(name: str) -> int:
+    """The id of an already-registered kind; raises KeyError if unknown."""
+    return _KIND_IDS[name]
+
+
+def kind_name(kind_id: int) -> str:
+    """The display name behind a kind id."""
+    return _KIND_NAMES[kind_id]
+
+
+def kind_count() -> int:
+    """Number of registered kinds (ids are ``range(kind_count())``)."""
+    return len(_KIND_NAMES)
+
+
+def registered_kinds() -> Tuple[str, ...]:
+    """All registered kind names, in id order."""
+    return tuple(_KIND_NAMES)
 
 
 class Payload(Protocol):
     """Structural interface every protocol message implements."""
 
     kind: str
+    kind_id: int
 
     def wire_size(self) -> int:
         """Size of the serialized payload in bytes (headers excluded)."""

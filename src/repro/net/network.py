@@ -13,21 +13,32 @@ immediately and any datagram that had not finished serializing through
 its uplink by *t* is lost (it was still sitting in the application-level
 queue of the dead process).  Datagrams already on the wire are delivered.
 
-Hot path notes: ``send`` is the most-executed function of a gossip run,
-so it inlines the liveness check, traffic accounting, and loss gate, and
-enqueues the envelope itself as the delivery event on the simulator's
-fire-and-forget path (no per-datagram closure or event handle).
-Deliveries sharing an arrival timestamp drain as one batched bucket in
-the event loop.  With ``reuse_envelopes=True`` delivered envelopes are
-recycled through a free list — only safe when no endpoint or caller
-retains envelopes past the ``on_message`` callback, which holds for every
-protocol in this package; the experiment runner opts in, direct users of
-the fabric (and the tests) keep the allocate-per-datagram default.
+Hot path notes: gossip is intrinsically multicast — every proposal round,
+peer-sampling shuffle and audit fan one payload out to k peers — so the
+fabric exposes :meth:`Network.send_many` next to the unicast
+:meth:`Network.send`.  ``send_many`` computes the wire size once, walks
+the destinations in caller order (per-destination loss and latency draws
+consume the RNG streams exactly as an equivalent ``send`` loop would, so
+seeded traces are bit-identical), and folds the sender-side stats into
+single accumulations instead of k dict updates.
+
+Delivery routes through a **per-endpoint dispatch table** captured at
+:meth:`attach` time: an endpoint that exposes ``dispatch_table()`` (a
+live mapping of interned payload ``kind_id`` to an envelope handler) gets
+its datagrams handed straight to the matching handler — one integer dict
+lookup, no per-message string comparison; kinds missing from the table,
+and endpoints without a table, fall back to ``on_message``.  Deliveries
+sharing an arrival timestamp drain as one batched bucket in the event
+loop.  With ``reuse_envelopes=True`` delivered envelopes are recycled
+through a free list — only safe when no endpoint or caller retains
+envelopes past the handler callback, which holds for every protocol in
+this package; the experiment runner opts in, direct users of the fabric
+(and the tests) keep the allocate-per-datagram default.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional, Protocol
+from typing import Callable, Dict, Iterable, Optional, Protocol
 
 from repro.net.bandwidth import UplinkQueue
 from repro.net.latency import ConstantLatency, LatencyModel
@@ -41,7 +52,14 @@ _POOL_CAP = 512
 
 
 class Endpoint(Protocol):
-    """Anything attachable to the network: must handle delivered envelopes."""
+    """Anything attachable to the network: must handle delivered envelopes.
+
+    Endpoints may additionally expose ``dispatch_table()`` returning a
+    *live* ``{kind_id: handler(envelope)}`` mapping; the network captures
+    it at attach time and routes matching kinds directly (later mutations
+    of the same mapping are honoured).  ``on_message`` remains the
+    fallback for kinds absent from the table.
+    """
 
     def on_message(self, envelope: Envelope) -> None:
         ...
@@ -60,6 +78,9 @@ class Network:
         self._endpoints: Dict[int, Endpoint] = {}
         self._uplinks: Dict[int, UplinkQueue] = {}
         self._crash_time: Dict[int, float] = {}
+        #: node_id -> (endpoint, per-node stats, dispatch table or None,
+        #: uplink): everything send/_deliver need behind one dict lookup.
+        self._delivery: Dict[int, tuple] = {}
         #: Optional observer invoked for every delivered envelope.
         #: While set, envelope recycling is suspended (the observer may
         #: retain envelopes).
@@ -72,21 +93,30 @@ class Network:
     # ------------------------------------------------------------------
     def attach(self, node_id: int, endpoint: Endpoint, upload_capacity_bps: float,
                max_queue_delay: Optional[float] = None) -> UplinkQueue:
-        """Register ``endpoint`` under ``node_id`` with the given uplink."""
+        """Register ``endpoint`` under ``node_id`` with the given uplink.
+
+        If the endpoint exposes ``dispatch_table()``, the returned mapping
+        is captured *by reference* — handlers registered on it after
+        attach (co-hosted protocols wired up later) are dispatched too.
+        """
         if node_id in self._endpoints:
             raise ValueError(f"node {node_id} already attached")
         self._endpoints[node_id] = endpoint
         uplink = UplinkQueue(upload_capacity_bps, max_delay=max_queue_delay)
         self._uplinks[node_id] = uplink
         # Pre-create the per-node counters so send/_deliver can index
-        # stats.per_node without a existence check per datagram.
-        self.stats.node(node_id)
+        # stats.per_node without an existence check per datagram.
+        node_stats = self.stats.node(node_id)
+        table_fn = getattr(endpoint, "dispatch_table", None)
+        table = table_fn() if table_fn is not None else None
+        self._delivery[node_id] = (endpoint, node_stats, table, uplink)
         return uplink
 
     def detach(self, node_id: int) -> None:
         """Remove a node entirely (used when a node leaves gracefully)."""
         self._endpoints.pop(node_id, None)
         self._uplinks.pop(node_id, None)
+        self._delivery.pop(node_id, None)
 
     def crash(self, node_id: int) -> None:
         """Kill a node: it stops sending and receiving at the current time."""
@@ -113,22 +143,26 @@ class Network:
         With ``reuse_envelopes=True`` the returned envelope is only valid
         until it is delivered — don't retain it.
         """
-        if src not in self._endpoints or src in self._crash_time:
+        entry = self._delivery.get(src)
+        if entry is None or (self._crash_time and src in self._crash_time):
             return None
         sim = self._sim
         now = sim._now
         size = payload.wire_size() + UDP_IP_HEADER_BYTES
-        exit_time = self._uplinks[src].enqueue(now, size)
+        node_stats = entry[1]
+        exit_time = entry[3].enqueue(now, size)
         stats = self.stats
         if exit_time is None:
             stats.dropped_queue += 1
             return None
-        kind = payload.kind
+        kind_id = payload.kind_id
         stats.sent += 1
         stats.bytes_sent += size
-        stats.bytes_by_kind[kind] += size
-        stats.count_by_kind[kind] += 1
-        node_stats = stats.per_node[src]
+        by_kind = stats._bytes_by_kind
+        if kind_id >= len(by_kind):
+            stats.kind_slot(kind_id)
+        by_kind[kind_id] += size
+        stats._count_by_kind[kind_id] += 1
         node_stats.bytes_up += size
         node_stats.datagrams_up += 1
         loss = self.loss
@@ -152,6 +186,78 @@ class Network:
         sim.post_at(arrival, envelope)
         return envelope
 
+    def send_many(self, src: int, dsts: Iterable[int], payload: Payload) -> int:
+        """Multicast ``payload`` from ``src`` to every destination in
+        ``dsts`` (walked in caller order).  Returns the number of
+        datagrams that reached the wire.
+
+        Semantically identical to calling :meth:`send` once per
+        destination — per-destination queue/loss/latency behaviour and
+        RNG draws match that loop bit-for-bit — but the wire size is
+        computed once and the sender-side stats land as single batched
+        accumulations instead of per-destination dict updates.
+        """
+        entry = self._delivery.get(src)
+        if entry is None or (self._crash_time and src in self._crash_time):
+            return 0
+        sim = self._sim
+        now = sim._now
+        size = payload.wire_size() + UDP_IP_HEADER_BYTES
+        enqueue = entry[3].enqueue
+        loss = self.loss
+        loss_active = loss.active
+        is_lost = loss.is_lost
+        latency_sample = self.latency.sample
+        pool = self._pool
+        post_at = sim.post_at
+        wired = 0
+        lost = 0
+        dropped = 0
+        for dst in dsts:
+            exit_time = enqueue(now, size)
+            if exit_time is None:
+                # Queue cap hit: this destination's datagram never reaches
+                # the wire (no loss/latency draw, exactly like send()).
+                dropped += 1
+                continue
+            wired += 1
+            if loss_active and is_lost(src, dst):
+                lost += 1
+                continue
+            arrival = exit_time + latency_sample(src, dst)
+            if pool:
+                envelope = pool.pop()
+                envelope.src = src
+                envelope.dst = dst
+                envelope.payload = payload
+                envelope.size_bytes = size
+                envelope.send_time = now
+                envelope.arrival_time = arrival
+            else:
+                envelope = Envelope(src, dst, payload, size, now, arrival)
+                envelope._net = self
+            envelope._exit_time = exit_time
+            post_at(arrival, envelope)
+        stats = self.stats
+        if dropped:
+            stats.dropped_queue += dropped
+        if wired:
+            total = size * wired
+            stats.sent += wired
+            stats.bytes_sent += total
+            kind_id = payload.kind_id
+            by_kind = stats._bytes_by_kind
+            if kind_id >= len(by_kind):
+                stats.kind_slot(kind_id)
+            by_kind[kind_id] += total
+            stats._count_by_kind[kind_id] += wired
+            node_stats = entry[1]
+            node_stats.bytes_up += total
+            node_stats.datagrams_up += wired
+        if lost:
+            stats.lost += lost
+        return wired
+
     def _deliver(self, envelope: Envelope, exit_time: float) -> None:
         crash_time = self._crash_time
         if crash_time:
@@ -163,22 +269,32 @@ class Network:
             if envelope.dst in crash_time:
                 self.stats.dropped_dead += 1
                 return
-        endpoint = self._endpoints.get(envelope.dst)
-        if endpoint is None:
+        entry = self._delivery.get(envelope.dst)
+        if entry is None:
             self.stats.dropped_dead += 1
             return
+        endpoint, node_stats, table, _ = entry
         stats = self.stats
         stats.delivered += 1
-        node_stats = stats.per_node.get(envelope.dst)
-        if node_stats is None:  # delivered to a node attached out-of-band
-            node_stats = stats.node(envelope.dst)
         node_stats.bytes_down += envelope.size_bytes
         node_stats.datagrams_down += 1
         if self.on_deliver is not None:
             self.on_deliver(envelope)
+            if table is not None:
+                handler = table.get(envelope.payload.kind_id)
+                if handler is not None:
+                    handler(envelope)
+                    return
             endpoint.on_message(envelope)
             return  # observer may retain the envelope: never recycle
-        endpoint.on_message(envelope)
+        if table is not None:
+            handler = table.get(envelope.payload.kind_id)
+            if handler is not None:
+                handler(envelope)
+            else:
+                endpoint.on_message(envelope)
+        else:
+            endpoint.on_message(envelope)
         pool = self._pool
         if pool is not None and len(pool) < _POOL_CAP:
             pool.append(envelope)

@@ -4,12 +4,21 @@ Counts datagrams and bytes globally, per message kind, and per node.
 The per-node upload byte counts feed the bandwidth-usage breakdowns of
 Figure 4; the per-kind counters verify the paper's claim that control
 traffic (propose/request/aggregation) is marginal next to serve payloads.
+
+Per-kind counters are accumulated in flat lists indexed by the interned
+``kind_id`` (see :func:`repro.net.message.register_kind`) — the send hot
+path pays one list index instead of hashing a kind string per datagram.
+The string names survive only at the reporting boundary: the
+``bytes_by_kind`` / ``count_by_kind`` views translate ids back to display
+names.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict
+from typing import Dict, List
+
+from repro.net.message import kind_count, kind_name
 
 
 class NodeTrafficStats:
@@ -27,6 +36,9 @@ class NodeTrafficStats:
 class NetworkStats:
     """Fabric-wide traffic counters."""
 
+    __slots__ = ("sent", "delivered", "lost", "dropped_queue", "dropped_dead",
+                 "bytes_sent", "_bytes_by_kind", "_count_by_kind", "per_node")
+
     def __init__(self) -> None:
         self.sent = 0
         self.delivered = 0
@@ -34,9 +46,51 @@ class NetworkStats:
         self.dropped_queue = 0
         self.dropped_dead = 0
         self.bytes_sent = 0
-        self.bytes_by_kind: Dict[str, int] = defaultdict(int)
-        self.count_by_kind: Dict[str, int] = defaultdict(int)
+        #: Flat per-kind accumulators indexed by kind id.  Sized for the
+        #: kinds registered so far; ``kind_slot`` grows them when a kind
+        #: is registered after this stats object was created.
+        self._bytes_by_kind: List[int] = [0] * kind_count()
+        self._count_by_kind: List[int] = [0] * kind_count()
         self.per_node: Dict[int, NodeTrafficStats] = {}
+
+    # ------------------------------------------------------------------
+    # per-kind accounting
+    # ------------------------------------------------------------------
+    def kind_slot(self, kind_id: int) -> int:
+        """Ensure the per-kind lists cover ``kind_id``; returns it.
+
+        The send fast path indexes the lists directly and only calls this
+        when the index is out of range (a kind registered after this
+        stats object was built — possible in tests, never in a scenario
+        run where all protocol modules import first).
+        """
+        grow = kind_id + 1 - len(self._bytes_by_kind)
+        if grow > 0:
+            self._bytes_by_kind.extend([0] * grow)
+            self._count_by_kind.extend([0] * grow)
+        return kind_id
+
+    @property
+    def bytes_by_kind(self) -> Dict[str, int]:
+        """Bytes sent per kind display name (kinds seen on the wire only).
+
+        Returned as a fresh ``defaultdict(int)`` so lookups of kinds that
+        never hit the wire read as 0, matching the historical mapping.
+        """
+        view: Dict[str, int] = defaultdict(int)
+        for kind_id, count in enumerate(self._count_by_kind):
+            if count:
+                view[kind_name(kind_id)] = self._bytes_by_kind[kind_id]
+        return view
+
+    @property
+    def count_by_kind(self) -> Dict[str, int]:
+        """Datagrams sent per kind display name (kinds seen on the wire)."""
+        view: Dict[str, int] = defaultdict(int)
+        for kind_id, count in enumerate(self._count_by_kind):
+            if count:
+                view[kind_name(kind_id)] = count
+        return view
 
     def node(self, node_id: int) -> NodeTrafficStats:
         stats = self.per_node.get(node_id)
@@ -45,14 +99,19 @@ class NetworkStats:
             self.per_node[node_id] = stats
         return stats
 
-    def record_sent(self, src: int, kind: str, size_bytes: int) -> None:
-        self.sent += 1
-        self.bytes_sent += size_bytes
-        self.bytes_by_kind[kind] += size_bytes
-        self.count_by_kind[kind] += 1
+    def record_sent(self, src: int, kind_id: int, size_bytes: int,
+                    count: int = 1) -> None:
+        """Account ``count`` datagrams of one kind leaving ``src``."""
+        self.sent += count
+        total = size_bytes * count
+        self.bytes_sent += total
+        slot = (kind_id if kind_id < len(self._bytes_by_kind)
+                else self.kind_slot(kind_id))
+        self._bytes_by_kind[slot] += total
+        self._count_by_kind[slot] += count
         node = self.node(src)
-        node.bytes_up += size_bytes
-        node.datagrams_up += 1
+        node.bytes_up += total
+        node.datagrams_up += count
 
     def record_delivered(self, dst: int, size_bytes: int) -> None:
         self.delivered += 1

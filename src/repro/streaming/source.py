@@ -17,6 +17,9 @@ from repro.streaming.packets import StreamConfig, StreamPacket
 class StreamSource:
     """Emits the encoded stream, one packet at a time."""
 
+    __slots__ = ("_sim", "config", "_publish", "total_packets",
+                 "packets_published", "_handle", "_stopped")
+
     def __init__(self, sim: Simulator, config: StreamConfig,
                  publish: Callable[[StreamPacket], None],
                  total_packets: Optional[int] = None):

@@ -101,3 +101,77 @@ class TestGridFlags:
         assert main(["table", "table1", "--jobs", "3", "--quiet",
                      "--checkpoint", str(tmp_path / "t.jsonl")]) == 0
         assert vars(current_options()) == before
+
+
+class TestSweepCsv:
+    def test_sweep_csv_exports_one_row_per_cell(self, tmp_path, capsys):
+        csv_path = tmp_path / "grid.csv"
+        assert main(["sweep", "--protocols", "heap,standard", "--nodes", "10",
+                     "--seconds", "2", "--drain", "4", "--num-seeds", "2",
+                     "--quiet", "--csv", str(csv_path)]) == 0
+        import csv as csv_module
+
+        with open(csv_path, newline="") as fh:
+            rows = list(csv_module.reader(fh))
+        header, data = rows[0], rows[1:]
+        assert len(data) == 2 * 2  # protocols x seeds
+        assert "scenario_name" in header and "metric:delivery" in header
+        by_name = [row[header.index("scenario_name")] for row in data]
+        assert by_name == ["heap", "heap", "standard", "standard"]
+        delivery = [float(row[header.index("metric:delivery")])
+                    for row in data]
+        assert all(0.0 <= value <= 1.0 for value in delivery)
+
+
+class TestCheckpointDir:
+    ARGS = ["sweep", "--protocols", "heap", "--nodes", "10", "--seconds", "2",
+            "--drain", "4", "--num-seeds", "2", "--quiet"]
+
+    def test_spent_checkpoint_removed_after_success(self, tmp_path, capsys):
+        ckpt_dir = tmp_path / "ckpts"
+        assert main(self.ARGS + ["--checkpoint-dir", str(ckpt_dir)]) == 0
+        assert list(ckpt_dir.glob("*.jsonl")) == []
+
+    def test_mismatched_checkpoint_gcd_not_fatal(self, tmp_path, capsys):
+        """A stale checkpoint (different grid fingerprint) under
+        --checkpoint-dir is discarded and the run proceeds; with plain
+        --checkpoint the same situation is a hard error."""
+        ckpt_dir = tmp_path / "ckpts"
+        ckpt_dir.mkdir()
+        stale = ckpt_dir / "sweep-ref-691-default.jsonl"
+        stale.write_text('{"format": "repro-grid-checkpoint-v1", '
+                         '"fingerprint": "not-this-grid", "total": 1}\n')
+        assert main(self.ARGS + ["--checkpoint-dir", str(ckpt_dir),
+                                 "--resume"]) == 0
+        out_dir = capsys.readouterr()
+        assert "discarding stale checkpoint" in out_dir.err
+        assert not stale.exists()  # spent after the successful rerun
+        # Same stale file through --checkpoint --resume stays an error.
+        stale.write_text('{"format": "repro-grid-checkpoint-v1", '
+                         '"fingerprint": "not-this-grid", "total": 1}\n')
+        assert main(self.ARGS + ["--checkpoint", str(stale),
+                                 "--resume"]) == 2
+
+    def test_explicit_checkpoint_never_housekept(self, tmp_path, capsys):
+        """--checkpoint PATH keeps fail-loud, keep-the-file semantics
+        even when --checkpoint-dir is also on the command line."""
+        explicit = tmp_path / "mine.jsonl"
+        assert main(self.ARGS + ["--checkpoint", str(explicit),
+                                 "--checkpoint-dir",
+                                 str(tmp_path / "ckpts")]) == 0
+        assert explicit.exists()  # not deleted after success
+        explicit.write_text('{"format": "repro-grid-checkpoint-v1", '
+                            '"fingerprint": "not-this-grid", "total": 1}\n')
+        assert main(self.ARGS + ["--checkpoint", str(explicit),
+                                 "--checkpoint-dir", str(tmp_path / "ckpts"),
+                                 "--resume"]) == 2  # mismatch stays fatal
+
+    def test_kill_resume_roundtrip_via_checkpoint_dir(self, tmp_path, capsys):
+        """A checkpoint-dir run that 'died' (checkpoint left behind by a
+        direct run_grid call) resumes and produces identical output."""
+        ckpt_dir = tmp_path / "ckpts"
+        assert main(self.ARGS + ["--checkpoint-dir", str(ckpt_dir)]) == 0
+        first = capsys.readouterr().out
+        assert main(self.ARGS + ["--checkpoint-dir", str(ckpt_dir),
+                                 "--resume"]) == 0
+        assert capsys.readouterr().out == first

@@ -107,6 +107,50 @@ class TestSummaryCoherence:
         fig5_quality_ref691(TINY)
         assert len(calls) == first
 
+    def test_standard_bundle_enables_cross_figure_reuse_under_pool(self):
+        """At --jobs N workers ship summaries, never full results; the
+        predeclared standard bundle makes a later figure's different
+        reductions of the same scenario pure cache hits anyway.
+
+        Executed cells are counted through the progress callback (worker
+        runs are invisible to in-process monkeypatching)."""
+        from repro.metrics.bandwidth import spec_utilization_by_class
+
+        configs = [scenario_at(TINY, protocol=p, distribution=REF_691)
+                   for p in ("heap", "standard")]
+        first_spec = spec_lag_delivery(0.99)
+        executed = []
+        progress = lambda done, total, record: executed.append(record)  # noqa: E731
+        grid_summaries([(c, (first_spec,)) for c in configs], jobs=2,
+                       start_method="fork", progress=progress)
+        assert len(executed) == 2
+        # The pool path must not have populated the in-process full-result
+        # cache — reuse can only come from the bundle's summaries.
+        assert all(scales.cached_result(c) is None for c in configs)
+        other_spec = spec_utilization_by_class()
+        summaries = grid_summaries([(c, (other_spec,)) for c in configs],
+                                   jobs=2, start_method="fork",
+                                   progress=progress)
+        assert len(executed) == 2  # no re-run: the bundle pre-computed it
+        assert all(other_spec.name in summary for summary in summaries)
+
+    def test_bundle_off_requires_rerun_for_new_specs(self):
+        """Control for the test above: without the bundle, a different
+        reduction of a worker-computed scenario re-runs the cell."""
+        from repro.metrics.bandwidth import spec_utilization_by_class
+
+        configs = [scenario_at(TINY, protocol=p, distribution=REF_691)
+                   for p in ("heap", "standard")]
+        executed = []
+        progress = lambda done, total, record: executed.append(record)  # noqa: E731
+        grid_summaries([(c, (spec_lag_delivery(0.99),)) for c in configs],
+                       jobs=2, start_method="fork", progress=progress,
+                       bundle=False)
+        grid_summaries([(c, (spec_utilization_by_class(),)) for c in configs],
+                       jobs=2, start_method="fork", progress=progress,
+                       bundle=False)
+        assert len(executed) == 4
+
     def test_summary_cache_survives_without_full_results(self, monkeypatch):
         spec = spec_jitter_free_fraction_by_class(10.0)
         cells = [(scenario_at(TINY, protocol="heap",

@@ -3,11 +3,13 @@
 import pytest
 
 from repro.net.demux import Demux
+from repro.net.message import intern_kind
 
 
 class FakeEnvelope:
     def __init__(self, kind):
-        self.payload = type("P", (), {"kind": kind})()
+        self.payload = type("P", (), {"kind": kind,
+                                      "kind_id": intern_kind(kind)})()
 
 
 def test_routes_by_kind():
@@ -17,6 +19,14 @@ def test_routes_by_kind():
     demux.register("b", lambda env: seen.append(("b", env)))
     demux.on_message(FakeEnvelope("b"))
     assert [tag for tag, _ in seen] == ["b"]
+
+
+def test_routes_by_kind_id():
+    demux = Demux()
+    seen = []
+    demux.register(intern_kind("c"), lambda env: seen.append(env))
+    demux.on_message(FakeEnvelope("c"))
+    assert len(seen) == 1
 
 
 def test_unrouted_counted_not_raised():
@@ -30,3 +40,33 @@ def test_duplicate_registration_rejected():
     demux.register("a", lambda env: None)
     with pytest.raises(ValueError):
         demux.register("a", lambda env: None)
+
+
+def test_dispatch_table_is_live_and_network_routes_through_it():
+    """An attached Demux is dispatched by the fabric via its table —
+    registered kinds bypass on_message; unrouted ones still count."""
+    from repro.net.latency import ConstantLatency
+    from repro.net.network import Network
+    from repro.sim.engine import Simulator
+
+    class P:
+        def __init__(self, kind):
+            self.kind = kind
+            self.kind_id = intern_kind(kind)
+
+        def wire_size(self):
+            return 10
+
+    sim = Simulator()
+    net = Network(sim, latency=ConstantLatency(0.0))
+    demux = Demux()
+    seen = []
+    net.attach(1, Demux(), 1e9)
+    net.attach(2, demux, 1e9)
+    # Register *after* attach: the captured table reference is live.
+    demux.register("routed-kind", seen.append)
+    net.send(1, 2, P("routed-kind"))
+    net.send(1, 2, P("unrouted-kind"))
+    sim.run()
+    assert len(seen) == 1
+    assert demux.unrouted == 1

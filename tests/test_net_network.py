@@ -6,7 +6,8 @@ import pytest
 
 from repro.net.latency import ConstantLatency
 from repro.net.loss import BernoulliLoss
-from repro.net.message import UDP_IP_HEADER_BYTES, datagram_size
+from repro.net.message import (UDP_IP_HEADER_BYTES, datagram_size,
+                               intern_kind)
 from repro.net.network import Network
 from repro.sim.engine import Simulator
 
@@ -14,6 +15,7 @@ from repro.sim.engine import Simulator
 class FakePayload:
     def __init__(self, kind="test", size=100):
         self.kind = kind
+        self.kind_id = intern_kind(kind)
         self._size = size
 
     def wire_size(self):
@@ -200,6 +202,123 @@ def test_detach_removes_node():
     net.detach(1)
     assert not net.is_alive(1)
     assert 1 not in set(net.node_ids)
+
+
+# ----------------------------------------------------------------------
+# multicast fast path (send_many)
+# ----------------------------------------------------------------------
+class TestSendMany:
+    def _stats_key(self, net):
+        stats = net.stats
+        return (stats.sent, stats.delivered, stats.lost, stats.dropped_queue,
+                stats.bytes_sent, dict(stats.bytes_by_kind),
+                dict(stats.count_by_kind),
+                {n: (s.bytes_up, s.bytes_down, s.datagrams_up,
+                     s.datagrams_down) for n, s in stats.per_node.items()})
+
+    def _build(self, n, seed, reuse=False):
+        """A fabric with per-destination RNG consumption in both the loss
+        and latency models, so any deviation from caller-order draws shows."""
+        from repro.net.latency import PairwiseLatency
+
+        sim = Simulator()
+        net = Network(sim, latency=PairwiseLatency(random.Random(seed)),
+                      loss=BernoulliLoss(random.Random(seed + 1), 0.2),
+                      reuse_envelopes=reuse)
+        sinks = [Sink() for _ in range(n)]
+        for i, sink in enumerate(sinks):
+            net.attach(i, sink, 1e6)
+        return sim, net, sinks
+
+    @pytest.mark.parametrize("reuse", [False, True])
+    def test_bit_identical_to_send_loop(self, reuse):
+        """send_many == a per-destination send loop: same RNG draws, same
+        arrivals, same stats — the golden-trace contract in miniature."""
+        dsts = [3, 1, 4, 2, 1]  # duplicates and non-monotonic order on purpose
+        payload = FakePayload(kind="fan", size=300)
+
+        sim_a, net_a, sinks_a = self._build(5, seed=7, reuse=reuse)
+        for dst in dsts:
+            net_a.send(0, dst, payload)
+        sim_a.run()
+
+        sim_b, net_b, sinks_b = self._build(5, seed=7, reuse=reuse)
+        wired = net_b.send_many(0, dsts, payload)
+        sim_b.run()
+
+        assert wired == net_b.stats.sent
+        assert self._stats_key(net_a) == self._stats_key(net_b)
+        for sink_a, sink_b in zip(sinks_a, sinks_b):
+            assert ([(e.src, e.dst, e.arrival_time) for e in sink_a.received]
+                    == [(e.src, e.dst, e.arrival_time) for e in sink_b.received])
+
+    def test_wire_cost_computed_once_but_charged_per_destination(self):
+        sim, net = make_net(latency=0.0)
+        net.attach(1, Sink(), 1e9)
+        sinks = [Sink() for _ in range(3)]
+        for i, sink in enumerate(sinks):
+            net.attach(2 + i, sink, 1e9)
+        payload = FakePayload(kind="multi", size=100)
+        sent = net.send_many(1, [2, 3, 4], payload)
+        sim.run()
+        assert sent == 3
+        size = 100 + UDP_IP_HEADER_BYTES
+        assert net.stats.bytes_sent == 3 * size
+        assert net.stats.bytes_by_kind["multi"] == 3 * size
+        assert net.stats.count_by_kind["multi"] == 3
+        assert net.stats.node(1).datagrams_up == 3
+        assert all(len(sink.received) == 1 for sink in sinks)
+
+    def test_dead_or_unattached_sender_sends_nothing(self):
+        sim, net = make_net()
+        net.attach(2, Sink(), 1e9)
+        assert net.send_many(1, [2], FakePayload()) == 0
+        net.attach(1, Sink(), 1e9)
+        net.crash(1)
+        assert net.send_many(1, [2], FakePayload()) == 0
+        assert net.stats.sent == 0
+
+    def test_queue_cap_drops_skip_loss_and_latency_draws(self):
+        """A destination dropped at the queue cap consumes no RNG — the
+        next destination's draws line up with the equivalent send loop."""
+        def run(use_many):
+            sim = Simulator()
+            from repro.net.latency import UniformLatency
+            net = Network(sim, latency=UniformLatency(random.Random(5)))
+            net.attach(1, Sink(), upload_capacity_bps=8000.0,
+                       max_queue_delay=0.5)
+            sink = Sink()
+            net.attach(2, sink, 1e9)
+            payload = FakePayload(size=1000 - UDP_IP_HEADER_BYTES)
+            if use_many:
+                net.send_many(1, [2, 2, 2], payload)
+            else:
+                for _ in range(3):
+                    net.send(1, 2, payload)
+            sim.run()
+            return (net.stats.dropped_queue, net.stats.sent,
+                    [e.arrival_time for e in sink.received])
+
+        assert run(use_many=False) == run(use_many=True)
+        assert run(use_many=True)[0] == 2
+
+    def test_empty_destination_list_is_a_noop(self):
+        sim, net = make_net()
+        net.attach(1, Sink(), 1e9)
+        assert net.send_many(1, [], FakePayload()) == 0
+        assert net.stats.sent == 0
+
+    def test_shared_payload_delivered_to_every_destination(self):
+        sim, net = make_net(latency=0.0)
+        net.attach(1, Sink(), 1e9)
+        sinks = {i: Sink() for i in (2, 3)}
+        for i, sink in sinks.items():
+            net.attach(i, sink, 1e9)
+        payload = FakePayload(kind="shared")
+        net.send_many(1, [2, 3], payload)
+        sim.run()
+        for sink in sinks.values():
+            assert sink.received[0].payload is payload
 
 
 # ----------------------------------------------------------------------
