@@ -110,6 +110,42 @@ def bench_scenario():
     }
 
 
+def bench_sharding():
+    """Single-scenario throughput at 1/2/4 shards (1k-node scenario).
+
+    Also *verifies* the sharded engine's contract while measuring: every
+    shard count must produce byte-identical metric summaries.  Speedup
+    is bounded by the host — on a 1-CPU runner the window barriers and
+    worker processes can only cost, and the section records that
+    honestly (the trend gate tracks the serial events/s, which is
+    host-comparable; the per-shard-count numbers are the trajectory).
+    """
+    from bench_sharded_scenario import (run_serial, run_with_shards,
+                                        summary_blob)
+
+    section = {"n_nodes": 1000, "cpus": os.cpu_count()}
+    started = time.perf_counter()
+    serial = run_serial()
+    serial_wall = time.perf_counter() - started
+    events = serial.sim.events_executed
+    section["events"] = events
+    section["serial_events_per_sec"] = round(events / serial_wall)
+    serial_summaries = summary_blob(serial)
+    identical = True
+    for shards in (2, 4):
+        started = time.perf_counter()
+        result = run_with_shards(shards)
+        wall = time.perf_counter() - started
+        # Events/s is normalized to the *serial* event count: a sharded
+        # run executes the same deliveries but different bucket events,
+        # so the serial count is the comparable work measure.
+        section[f"shards_{shards}_events_per_sec"] = round(events / wall)
+        section[f"shards_{shards}_speedup"] = round(serial_wall / wall, 2)
+        identical = identical and summary_blob(result) == serial_summaries
+    section["summaries_byte_identical"] = identical
+    return section
+
+
 def bench_sweep(jobs: int):
     """8-seed, 2-scenario sweep: serial vs --jobs N, results verified equal."""
     from repro.experiments.multi_seed import metric_offline_delivery
@@ -159,6 +195,7 @@ def main(argv=None) -> int:
         "fanout": bench_fanout(),
         "scenario": bench_scenario(),
         "sweep": bench_sweep(args.jobs),
+        "sharding": bench_sharding(),
     }
     with open(args.out, "w", encoding="utf-8") as fh:
         json.dump(report, fh, indent=2, sort_keys=True)
@@ -166,6 +203,10 @@ def main(argv=None) -> int:
     print(json.dumps(report, indent=2, sort_keys=True))
     if not report["sweep"]["aggregates_byte_identical"]:
         print("FATAL: parallel sweep diverged from the serial run",
+              file=sys.stderr)
+        return 1
+    if not report["sharding"]["summaries_byte_identical"]:
+        print("FATAL: sharded scenario diverged from the serial run",
               file=sys.stderr)
         return 1
     return 0

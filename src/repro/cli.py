@@ -95,6 +95,9 @@ def _cmd_run(args) -> int:
     if args.churn_fraction > 0:
         churn = CatastrophicFailure(fraction=args.churn_fraction,
                                     at_time=args.churn_time)
+    latency_rng = args.latency_rng
+    if args.shards > 1 and latency_rng is None:
+        latency_rng = "per-pair"
     config = ScenarioConfig(
         protocol=args.protocol,
         n_nodes=args.nodes,
@@ -109,7 +112,15 @@ def _cmd_run(args) -> int:
         freerider_fraction=args.freerider_fraction,
         freerider_mode=args.freerider_mode,
         churn=churn,
+        latency_rng=latency_rng if latency_rng is not None else "shared",
+        latency_floor=args.latency_floor,
+        shards=args.shards,
     )
+    try:
+        config.validate()
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     result = run_scenario(config)
     print(f"{args.protocol} | {args.nodes} nodes | {args.seconds:g}s stream | "
           f"{args.distribution} | seed {args.seed}")
@@ -171,6 +182,18 @@ def _cmd_sweep(args) -> int:
     if not seeds:
         print("no seeds given (check --num-seeds)", file=sys.stderr)
         return 2
+    latency_rng = args.latency_rng
+    if args.shards > 1 and latency_rng is None:
+        latency_rng = "per-pair"
+    jobs = args.jobs
+    if args.shards > 1 and jobs > 1:
+        # A sharded cell spawns its own worker processes; running it
+        # inside a (daemonic) pool worker would silently fall back to
+        # the in-process shard driver.  Grid- and intra-scenario
+        # parallelism don't compose yet — prefer the explicit request.
+        print("note: --shards > 1 runs cells serially (--jobs ignored)",
+              file=sys.stderr)
+        jobs = 1
     configs = [ScenarioConfig(
         name=protocol,
         protocol=protocol,
@@ -179,7 +202,16 @@ def _cmd_sweep(args) -> int:
         drain=args.drain,
         distribution=distribution_by_name(args.distribution),
         loss_rate=args.loss,
+        latency_rng=latency_rng if latency_rng is not None else "shared",
+        latency_floor=args.latency_floor,
+        shards=args.shards,
     ) for protocol in protocols]
+    try:
+        for config in configs:
+            config.validate()
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     metrics = {
         "delivery": metric_offline_delivery,
         "lag_s": metric_mean_jitter_free_lag,
@@ -197,7 +229,7 @@ def _cmd_sweep(args) -> int:
 
     checkpoint = _checkpoint_path(args, "sweep", args.distribution)
     try:
-        grid = run_grid(configs, seeds, metrics, jobs=args.jobs,
+        grid = run_grid(configs, seeds, metrics, jobs=jobs,
                         progress=progress,
                         checkpoint=checkpoint, resume=args.resume,
                         checkpoint_gc=_managed_checkpoint(args))
@@ -207,7 +239,7 @@ def _cmd_sweep(args) -> int:
     if not args.quiet:
         print(file=sys.stderr)
         print(f"grid of {len(configs)} scenario(s) x {len(seeds)} seed(s) "
-              f"with --jobs {args.jobs}: {grid.wall_time:.2f}s wall",
+              f"with --jobs {jobs}: {grid.wall_time:.2f}s wall",
               file=sys.stderr)
     if args.csv:
         from repro.metrics.export import write_grid_csv
@@ -267,12 +299,19 @@ def _cmd_render(registry: Dict[str, Callable], command: str, name: str,
         return 2
     saved = vars(gridrun.current_options()).copy()
     jobs = getattr(args, "jobs", None)
+    shards = getattr(args, "shards", 0) or 0
+    if shards > 1 and (jobs or gridrun.default_jobs()) > 1:
+        print("note: --shards > 1 runs cells serially (--jobs ignored)",
+              file=sys.stderr)
+        jobs = 1
     gridrun.configure(
         jobs=jobs if jobs is not None else gridrun.default_jobs(),
         checkpoint=(_checkpoint_path(args, command, name)
                     if hasattr(args, "checkpoint") else None),
         resume=getattr(args, "resume", False),
         checkpoint_gc=_managed_checkpoint(args),
+        shards=shards,
+        latency_floor=getattr(args, "latency_floor", None),
         progress=(None if getattr(args, "quiet", True)
                   else gridrun.stderr_progress))
     try:
@@ -280,8 +319,19 @@ def _cmd_render(registry: Dict[str, Callable], command: str, name: str,
     except CheckpointError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except ValueError as exc:
+        # e.g. --shards on a scenario the sharded engine rejects (churn)
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     finally:
         gridrun.configure(**saved)
+    csv_path = getattr(args, "csv", None)
+    if csv_path:
+        from repro.metrics.export import write_result_csv
+
+        rows = write_result_csv(csv_path, result)
+        if not getattr(args, "quiet", True):
+            print(f"wrote {rows} row(s) to {csv_path}", file=sys.stderr)
     print(result.render())
     return 0
 
@@ -293,6 +343,27 @@ def _cmd_list(args) -> int:
     print("extensions: " + " ".join(sorted(EXTENSIONS)))
     print("scales:     " + " ".join(sorted(_SCALES)))
     return 0
+
+
+def _add_shard_args(parser) -> None:
+    """Sharded-execution knobs shared by ``run`` and ``sweep``."""
+    parser.add_argument("--shards", type=int, default=0,
+                        help="partition the node population across N "
+                             "worker shards (0/1 = in-process; N > 1 "
+                             "implies --latency-rng per-pair and "
+                             "produces results identical to the "
+                             "*per-pair* serial run — not to the "
+                             "default shared-stream mode)")
+    parser.add_argument("--latency-rng", choices=("shared", "per-pair"),
+                        default=None,
+                        help="latency randomness mode: 'shared' (one "
+                             "stream in global send order, the default) "
+                             "or 'per-pair' (independent per-link "
+                             "streams, required for --shards > 1)")
+    parser.add_argument("--latency-floor", type=float, default=0.002,
+                        help="hard lower bound on pairwise latency, "
+                             "seconds; doubles as the sharded lookahead "
+                             "(default 0.002)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -320,6 +391,7 @@ def build_parser() -> argparse.ArgumentParser:
                             default="underclaim")
     run_parser.add_argument("--churn-fraction", type=float, default=0.0)
     run_parser.add_argument("--churn-time", type=float, default=60.0)
+    _add_shard_args(run_parser)
 
     sweep_parser = sub.add_parser(
         "sweep", help="run a protocol x seed grid (parallel with --jobs)")
@@ -354,6 +426,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument("--csv", default=None, metavar="PATH",
                               help="export every (scenario, seed) record "
                                    "as CSV for external plotting")
+    _add_shard_args(sweep_parser)
 
     for command, registry in (("figure", FIGURES), ("table", TABLES),
                               ("ablation", ABLATIONS),
@@ -378,6 +451,18 @@ def build_parser() -> argparse.ArgumentParser:
                        help="resume the grid from its checkpoint")
         p.add_argument("--quiet", action="store_true",
                        help="suppress progress output on stderr")
+        p.add_argument("--csv", default=None, metavar="PATH",
+                       help="export the rendered rows as CSV "
+                            "(mirrors sweep --csv)")
+        p.add_argument("--shards", type=int, default=0,
+                       help="run each scenario under the sharded "
+                            "execution model: per-pair latency streams, "
+                            "partitioned across N worker shards when "
+                            "N > 1 (output is identical for any N >= 1)")
+        p.add_argument("--latency-floor", type=float, default=None,
+                       help="with --shards: override the scenarios' "
+                            "latency floor (= the shard lookahead; "
+                            "larger means fewer window barriers)")
 
     sub.add_parser("list", help="list available experiment ids")
     return parser

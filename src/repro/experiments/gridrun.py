@@ -72,6 +72,20 @@ class GridOptions:
     #: requested specs whenever a cell runs, so later figures reuse
     #: cached summaries instead of re-running the cell at ``--jobs N``.
     bundle: bool = True
+    #: Run every cell's scenario under the sharded execution model (CLI
+    #: ``--shards N``): configs are switched to the order-independent
+    #: ``latency_rng="per-pair"`` mode and, for N > 1, partitioned across
+    #: N shard workers.  0 leaves cells untouched.  Summaries are
+    #: identical for any N >= 1 of the same artifact — N only picks the
+    #: intra-scenario parallelism — but differ from the default
+    #: shared-stream mode, so sharded runs cache/checkpoint under their
+    #: own scenario keys.
+    shards: int = 0
+    #: Override each cell's ``latency_floor`` when the sharded model is
+    #: on (CLI ``--latency-floor``).  The floor doubles as the shard
+    #: lookahead, so raising it cuts window barriers; None keeps each
+    #: scenario's own value.
+    latency_floor: Optional[float] = None
 
 
 _OPTIONS = GridOptions()
@@ -116,6 +130,7 @@ def grid_summaries(cells: Sequence[Cell], *,
                    start_method: Optional[str] = None,
                    progress: Optional[ProgressCallback] = None,
                    bundle: Optional[bool] = None,
+                   shards: Optional[int] = None,
                    ) -> List[Dict[str, object]]:
     """Compute every cell's summaries; one name->value dict per cell,
     in cell order.
@@ -151,6 +166,17 @@ def grid_summaries(cells: Sequence[Cell], *,
     progress = progress if progress is not None else opts.progress
     bundle = bundle if bundle is not None else opts.bundle
     bundle_specs = standard_bundle() if bundle else ()
+    shards = shards if shards is not None else opts.shards
+    if shards:
+        # Sharded execution model: per-pair latency streams (the
+        # order-independent mode sharding requires) and, for N > 1,
+        # intra-scenario partitioning.  Applied before deduplication so
+        # cache keys, checkpoints and runs all agree on the scenario.
+        overrides = {"shards": shards, "latency_rng": "per-pair"}
+        if opts.latency_floor is not None:
+            overrides["latency_floor"] = opts.latency_floor
+        cells = [(config.with_(**overrides), specs)
+                 for config, specs in cells]
 
     # Deduplicate cells into one (config, union-of-specs) per scenario.
     unique: Dict[str, Tuple[ScenarioConfig, Dict[str, MetricSpec]]] = {}

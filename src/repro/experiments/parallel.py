@@ -370,6 +370,9 @@ def run_grid(configs, seeds: Optional[Sequence[int]],
     pool path).  ``summaries`` requests in-worker
     :class:`~repro.metrics.summary.MetricSpec` reductions: either one
     sequence applied to every scenario, or one sequence *per* scenario.
+    Cells whose scenario is *sharded* (``config.shards > 1``) run
+    serially regardless of ``jobs`` — each such cell fans out its own
+    shard worker processes, which a daemonic pool worker may not spawn.
     ``checkpoint`` appends each finished record to a JSONL file;
     ``resume=True`` reloads finished cells from it (validated by grid
     fingerprint) so only the remainder runs.  ``checkpoint_gc=True``
@@ -468,8 +471,12 @@ def run_grid(configs, seeds: Optional[Sequence[int]],
 
     # A pool on a 1-CPU host is pure overhead; run in-process unless the
     # caller pinned a start method (the parity tests do, to force the
-    # pool path regardless of host).
-    serial = (jobs <= 1 or len(pending) <= 1
+    # pool path regardless of host).  Sharded cells (config.shards > 1)
+    # spawn their own worker processes, which daemonic pool workers may
+    # not — grid- and intra-scenario parallelism don't compose, so the
+    # explicit shard request wins and the grid runs serially.
+    sharded_cells = any(p[4].shards > 1 for p in pending)
+    serial = (jobs <= 1 or len(pending) <= 1 or sharded_cells
               or (start_method is None and _available_cpus() <= 1))
     try:
         if serial:

@@ -8,11 +8,22 @@ logs and enough context to compute any of the paper's metrics offline.
 
 Node 0 is always the stream source; nodes 1..n-1 are receivers whose
 upload capacities come from the scenario's capability distribution.
+
+Construction and execution are split: :func:`build_scenario` wires the
+full system and starts its active components, :func:`run_scenario` then
+drives the event loop to the horizon.  The split exists for the sharded
+execution engine (:mod:`repro.net.shard`): a shard worker builds the
+*entire* scenario — setup must consume every shared random stream in
+exactly the serial order, so the values assigned to its own nodes match
+the serial run — but passes ``owned`` so only its partition's nodes,
+samplers, probers and (for shard 0) the stream source actually start.
+With ``config.shards > 1``, :func:`run_scenario` transparently delegates
+to the sharded engine and returns a merged result.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Set
 
 from repro.baselines.tree import StaticTreeNode, build_kary_tree
 from repro.core.discovery import CapabilityProber
@@ -23,11 +34,12 @@ from repro.freeriders.nodes import NonServingNode, UnderclaimingNode
 from repro.membership.directory import MembershipDirectory
 from repro.membership.peer_sampling import PeerSamplingService
 from repro.membership.selector import CapabilityBiasedSelector
-from repro.net.latency import PairwiseLatency
+from repro.net.latency import PairwiseLatency, PerPairLatency
 from repro.net.loss import BernoulliLoss
 from repro.net.network import Network
+from repro.net.router import Router
 from repro.sim.engine import Simulator
-from repro.sim.rng import RngRegistry
+from repro.sim.rng import RngRegistry, derive_seed
 from repro.streaming.player import PlaybackAnalyzer
 from repro.streaming.receiver import ReceiverLog
 from repro.streaming.source import StreamSource
@@ -164,24 +176,78 @@ def _build_tree_nodes(config: ScenarioConfig, sim: Simulator, net: Network,
             for node_id in range(config.n_nodes)]
 
 
-def run_scenario(config: ScenarioConfig,
-                 until: Optional[float] = None) -> ExperimentResult:
-    """Run one scenario to completion and collect its result.
+class ScenarioBuild:
+    """A fully wired, started scenario that has not yet been run.
 
-    ``until`` overrides the horizon (rarely needed; tests use it).
+    Holds every substrate :func:`run_scenario` needs to drive the event
+    loop and assemble the :class:`ExperimentResult`; shard workers hold
+    one per shard and drive the loop in windows instead.
+    """
+
+    def __init__(self, config: ScenarioConfig, sim: Simulator, net: Network,
+                 directory: MembershipDirectory, nodes: List,
+                 publish_times: List[float], capacities: List[float],
+                 labels: List[str], crash_times: Dict[int, float],
+                 freerider_ids: List[int], detectors: Dict, samplers: Dict):
+        self.config = config
+        self.sim = sim
+        self.net = net
+        self.directory = directory
+        self.nodes = nodes
+        self.publish_times = publish_times
+        self.capacities = capacities
+        self.labels = labels
+        self.crash_times = crash_times
+        self.freerider_ids = freerider_ids
+        self.detectors = detectors
+        self.samplers = samplers
+
+    def result(self) -> ExperimentResult:
+        return ExperimentResult(self.config, self.sim, self.net,
+                                self.directory, self.nodes,
+                                self.publish_times, self.capacities,
+                                self.labels, self.crash_times,
+                                freerider_ids=self.freerider_ids,
+                                detectors=self.detectors,
+                                samplers=self.samplers)
+
+
+def build_scenario(config: ScenarioConfig, *,
+                   owned: Optional[Set[int]] = None,
+                   router: Optional[Router] = None) -> ScenarioBuild:
+    """Wire a scenario and start its active components.
+
+    ``owned=None`` (the in-process default) starts everything.  A shard
+    worker passes its node partition: the *whole* system is still built
+    — all shared setup randomness (capability assignment, bootstrap
+    views, discovery phases, freerider picks) is consumed in the serial
+    order, so every shard assigns identical values — but timers, stream
+    source and co-protocols start only for owned nodes.  ``router``
+    replaces the network's default in-process delivery router.
     """
     config.validate()
     sim = Simulator()
     registry = RngRegistry(config.seed)
 
-    latency = PairwiseLatency(registry.stream("latency"),
-                              median_base=config.latency_median,
-                              jitter=config.latency_jitter)
+    def owns(node_id: int) -> bool:
+        return owned is None or node_id in owned
+
+    if config.latency_rng == "per-pair":
+        latency = PerPairLatency(derive_seed(config.seed, "latency-pairs"),
+                                 median_base=config.latency_median,
+                                 jitter=config.latency_jitter,
+                                 floor=config.latency_floor)
+    else:
+        latency = PairwiseLatency(registry.stream("latency"),
+                                  median_base=config.latency_median,
+                                  jitter=config.latency_jitter,
+                                  floor=config.latency_floor)
     loss = (BernoulliLoss(registry.stream("loss"), config.loss_rate)
             if config.loss_rate > 0 else None)
     # Envelope recycling is safe here: every endpoint the runner builds
     # drops the envelope when on_message returns.
-    net = Network(sim, latency=latency, loss=loss, reuse_envelopes=True)
+    net = Network(sim, latency=latency, loss=loss, reuse_envelopes=True,
+                  router=router)
 
     directory = MembershipDirectory(sim, registry.stream("detection"),
                                     mean_detection_delay=config.mean_detection_delay)
@@ -248,7 +314,8 @@ def run_scenario(config: ScenarioConfig,
         for node_id, node in enumerate(nodes):
             sampler = samplers[node_id]
             node.register_handlers(sampler.dispatch_table())
-            sampler.start()
+            if owns(node_id):
+                sampler.start()
     # Capability discovery: HEAP receivers start from a low advertised
     # capability and slow-start toward their physical uplink (§2.2).
     probers: Dict[int, CapabilityProber] = {}
@@ -256,12 +323,17 @@ def run_scenario(config: ScenarioConfig,
         for node_id in range(1, config.n_nodes):
             node = nodes[node_id]
             node.capability_bps = config.discovery_initial_bps
+            # The phase draw is consumed for *every* node (shared
+            # stream), so owned nodes see their serial-run phases.
+            phase = registry.stream("discovery").uniform(0.0, 1.0)
+            if not owns(node_id):
+                continue
             prober = CapabilityProber(
                 sim, net.uplink(node_id),
                 initial_bps=config.discovery_initial_bps,
                 ceiling_bps=capacities[node_id],
                 on_change=lambda bps, n=node: setattr(n, "capability_bps", bps))
-            prober.start(phase=registry.stream("discovery").uniform(0.0, 1.0))
+            prober.start(phase=phase)
             probers[node_id] = prober
         # Discovery is a join-time mechanism: freeze advertisements when
         # the stream ends so drain-phase silence does not erode them.
@@ -288,8 +360,9 @@ def run_scenario(config: ScenarioConfig,
             uplink = net.uplink(node_id)
             uplink.set_capacity(uplink.capacity_bps * config.degraded_factor)
 
-    for node in nodes:
-        node.start()
+    for node_id, node in enumerate(nodes):
+        if owns(node_id):
+            node.start()
 
     # The stream.
     publish_times: List[float] = []
@@ -298,9 +371,10 @@ def run_scenario(config: ScenarioConfig,
         publish_times.append(packet.publish_time)
         nodes[SOURCE_ID].publish(packet)
 
-    source = StreamSource(sim, config.stream, publish,
-                          total_packets=config.total_packets)
-    source.start(delay=config.stream_start)
+    if owns(SOURCE_ID):
+        source = StreamSource(sim, config.stream, publish,
+                              total_packets=config.total_packets)
+        source.start(delay=config.stream_start)
 
     # Churn.
     crash_times: Dict[int, float] = {}
@@ -320,9 +394,25 @@ def run_scenario(config: ScenarioConfig,
         config.churn.schedule(sim, directory, registry.stream("churn"),
                               crash_node, protect=[SOURCE_ID])
 
-    sim.run(until=until if until is not None else config.end_time)
+    return ScenarioBuild(config, sim, net, directory, nodes, publish_times,
+                         capacities, labels, crash_times,
+                         freerider_ids=freerider_ids, detectors=detectors,
+                         samplers=samplers)
 
-    return ExperimentResult(config, sim, net, directory, nodes,
-                            publish_times, capacities, labels, crash_times,
-                            freerider_ids=freerider_ids, detectors=detectors,
-                            samplers=samplers)
+
+def run_scenario(config: ScenarioConfig,
+                 until: Optional[float] = None) -> ExperimentResult:
+    """Run one scenario to completion and collect its result.
+
+    ``until`` overrides the horizon (rarely needed; tests use it).  With
+    ``config.shards > 1`` the run is delegated to the sharded execution
+    engine — same scenario, same metric summaries, partitioned across
+    worker shards (see :mod:`repro.net.shard`).
+    """
+    if config.shards > 1:
+        from repro.net.shard import run_sharded
+
+        return run_sharded(config, until=until)
+    build = build_scenario(config)
+    build.sim.run(until=until if until is not None else config.end_time)
+    return build.result()

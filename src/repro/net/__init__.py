@@ -11,7 +11,11 @@ depends on:
   for UDP drops on the real Internet;
 * a :class:`~repro.net.network.Network` fabric that wires endpoints
   together, applies the three models in order (queue -> loss -> latency)
-  and records traffic statistics per node and per message kind.
+  and records traffic statistics per node and per message kind;
+* pluggable **delivery routers** (:mod:`repro.net.router`): the default
+  in-process router with batched arrival buckets, and the sharded
+  router (:mod:`repro.net.shard`) that partitions one large scenario
+  across worker processes.
 """
 
 from repro.net.bandwidth import UplinkQueue
@@ -20,11 +24,13 @@ from repro.net.latency import (
     LatencyModel,
     LogNormalLatency,
     PairwiseLatency,
+    PerPairLatency,
     UniformLatency,
 )
 from repro.net.loss import BernoulliLoss, GilbertElliottLoss, LossModel, NoLoss
 from repro.net.message import Envelope, Payload
 from repro.net.network import Endpoint, Network
+from repro.net.router import InprocRouter, Router
 from repro.net.stats import NetworkStats, NodeTrafficStats
 
 __all__ = [
@@ -33,6 +39,7 @@ __all__ = [
     "Endpoint",
     "Envelope",
     "GilbertElliottLoss",
+    "InprocRouter",
     "LatencyModel",
     "LogNormalLatency",
     "LossModel",
@@ -41,7 +48,9 @@ __all__ = [
     "NoLoss",
     "NodeTrafficStats",
     "PairwiseLatency",
+    "PerPairLatency",
     "Payload",
+    "Router",
     "UniformLatency",
     "UplinkQueue",
 ]

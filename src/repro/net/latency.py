@@ -28,6 +28,17 @@ class LatencyModel(ABC):
         """Approximate mean one-way delay (used in docs/diagnostics)."""
         raise NotImplementedError
 
+    def lower_bound(self) -> float:
+        """A hard lower bound on any sampled delay, in seconds.
+
+        Sharded execution uses this as its conservative lookahead: a
+        datagram sent at time *t* can never arrive before ``t +
+        lower_bound()``, so shards may safely advance in windows of that
+        width between cross-shard message exchanges.  Models that cannot
+        guarantee a positive bound return 0.0 (which disables sharding).
+        """
+        return 0.0
+
 
 class ConstantLatency(LatencyModel):
     """Every message takes exactly ``delay`` seconds.  Useful in tests."""
@@ -41,6 +52,9 @@ class ConstantLatency(LatencyModel):
         return self.delay
 
     def mean(self) -> float:
+        return self.delay
+
+    def lower_bound(self) -> float:
         return self.delay
 
 
@@ -59,6 +73,9 @@ class UniformLatency(LatencyModel):
 
     def mean(self) -> float:
         return (self.low + self.high) / 2
+
+    def lower_bound(self) -> float:
+        return self.low
 
 
 class LogNormalLatency(LatencyModel):
@@ -83,6 +100,9 @@ class LogNormalLatency(LatencyModel):
 
     def mean(self) -> float:
         return math.exp(self._mu + self.sigma ** 2 / 2)
+
+    def lower_bound(self) -> float:
+        return self.floor
 
 
 class PairwiseLatency(LatencyModel):
@@ -128,3 +148,78 @@ class PairwiseLatency(LatencyModel):
 
     def mean(self) -> float:
         return math.exp(self._mu + self.sigma ** 2 / 2) + self.jitter / 2
+
+    def lower_bound(self) -> float:
+        return self.floor
+
+
+class PerPairLatency(LatencyModel):
+    """Pairwise latency with *order-independent* random draws.
+
+    Statistically the same shape as :class:`PairwiseLatency` — a stable
+    lognormal base per unordered pair plus uniform per-message jitter —
+    but every random value is drawn from a stream derived purely from
+    the model seed and the pair identity:
+
+    * the base delay of pair ``{a, b}`` comes from a dedicated generator
+      seeded by ``(seed, "base", a, b)``;
+    * the k-th message on the *directed* link ``src -> dst`` draws its
+      jitter from a dedicated generator seeded by
+      ``(seed, "jitter", src, dst)``.
+
+    :class:`PairwiseLatency` consumes one shared stream in global send
+    order, which couples every node's arrivals to the total order of
+    events across the whole system.  Here draws depend only on each
+    sender's own per-destination send sequence, so a run partitioned
+    across shards (where global order is not reproducible) samples
+    exactly the same delays as the serial run.  This is the latency mode
+    sharded execution requires (``ScenarioConfig.latency_rng ==
+    "per-pair"``).
+    """
+
+    def __init__(self, seed: int, median_base: float = 0.05,
+                 sigma: float = 0.6, jitter: float = 0.01, floor: float = 0.002):
+        if median_base <= 0:
+            raise ValueError(f"median must be positive, got {median_base!r}")
+        self._seed = seed
+        self.median_base = median_base
+        self.sigma = sigma
+        self.jitter = jitter
+        self.floor = floor
+        self._mu = math.log(median_base)
+        self._bases: Dict[Tuple[int, int], float] = {}
+        #: Directed-pair jitter streams, created lazily on first send.
+        self._jitter_rngs: Dict[Tuple[int, int], random.Random] = {}
+
+    def _derive(self, *parts) -> int:
+        from repro.sim.rng import derive_seed
+
+        return derive_seed(self._seed, ":".join(str(p) for p in parts))
+
+    def base(self, src: int, dst: int) -> float:
+        """The stable base latency for the unordered pair {src, dst}."""
+        key = (src, dst) if src <= dst else (dst, src)
+        value = self._bases.get(key)
+        if value is None:
+            rng = random.Random(self._derive("base", key[0], key[1]))
+            value = max(self.floor, rng.lognormvariate(self._mu, self.sigma))
+            self._bases[key] = value
+        return value
+
+    def sample(self, src: int, dst: int) -> float:
+        if self.jitter > 0:
+            key = (src, dst)
+            rng = self._jitter_rngs.get(key)
+            if rng is None:
+                rng = random.Random(self._derive("jitter", src, dst))
+                self._jitter_rngs[key] = rng
+            jitter = self.jitter * rng.random()
+        else:
+            jitter = 0.0
+        return self.base(src, dst) + jitter
+
+    def mean(self) -> float:
+        return math.exp(self._mu + self.sigma ** 2 / 2) + self.jitter / 2
+
+    def lower_bound(self) -> float:
+        return self.floor

@@ -24,13 +24,14 @@ register their kinds at import time::
 sharing a kind would cross-deliver), while :func:`intern_kind` is the
 idempotent variant for dynamic callers (tests, ad-hoc tooling).
 
-:class:`Envelope` is also the network's delivery event: the fabric
-enqueues the envelope itself on the simulator's fire-and-forget path and
-the event loop *calls* it at arrival time (``__call__`` hands it back to
-the network).  That removes a closure and an event-handle allocation per
-datagram — the single hottest allocation site in gossip-scale runs — and
-lets the network recycle envelopes through a free list when the caller
-opts in (see ``Network(reuse_envelopes=True)``).
+:class:`Envelope` doubles as a schedulable delivery event: ``__call__``
+hands it back to its network fabric.  The default delivery router
+batches same-timestamp envelopes behind a single arrival-bucket event
+(see :mod:`repro.net.router`), but direct callers can still post an
+envelope on the simulator's fire-and-forget path themselves — no
+closure, no event-handle allocation — and the fabric recycles delivered
+envelopes through a free list when the caller opts in (see
+``Network(reuse_envelopes=True)``).
 """
 
 from __future__ import annotations

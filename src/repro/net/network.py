@@ -27,9 +27,18 @@ Delivery routes through a **per-endpoint dispatch table** captured at
 live mapping of interned payload ``kind_id`` to an envelope handler) gets
 its datagrams handed straight to the matching handler — one integer dict
 lookup, no per-message string comparison; kinds missing from the table,
-and endpoints without a table, fall back to ``on_message``.  Deliveries
-sharing an arrival timestamp drain as one batched bucket in the event
-loop.  With ``reuse_envelopes=True`` delivered envelopes are recycled
+and endpoints without a table, fall back to ``on_message``.
+
+Delivery itself is delegated to a pluggable :class:`~repro.net.router.Router`
+(default: :class:`~repro.net.router.InprocRouter`): the send pipeline
+hands every surviving datagram to ``router.route``, and the router
+schedules arrival, drains same-timestamp arrival buckets through one
+``deliver_bucket`` call (receiver-side stats accumulate per kind group,
+not per envelope), and applies crash/dispatch/recycling semantics.  The
+sharded execution engine (:mod:`repro.net.shard`) swaps in a router that
+forwards remote-shard destinations across process boundaries.
+
+With ``reuse_envelopes=True`` delivered envelopes are recycled
 through a free list — only safe when no endpoint or caller retains
 envelopes past the handler callback, which holds for every protocol in
 this package; the experiment runner opts in, direct users of the fabric
@@ -44,11 +53,9 @@ from repro.net.bandwidth import UplinkQueue
 from repro.net.latency import ConstantLatency, LatencyModel
 from repro.net.loss import LossModel, NoLoss
 from repro.net.message import UDP_IP_HEADER_BYTES, Envelope, Payload
+from repro.net.router import InprocRouter, Router
 from repro.net.stats import NetworkStats
 from repro.sim.engine import Simulator
-
-#: Upper bound on the envelope free list (reuse_envelopes=True).
-_POOL_CAP = 512
 
 
 class Endpoint(Protocol):
@@ -70,7 +77,8 @@ class Network:
 
     def __init__(self, sim: Simulator, latency: Optional[LatencyModel] = None,
                  loss: Optional[LossModel] = None,
-                 reuse_envelopes: bool = False):
+                 reuse_envelopes: bool = False,
+                 router: Optional[Router] = None):
         self._sim = sim
         self.latency = latency if latency is not None else ConstantLatency(0.05)
         self.loss = loss if loss is not None else NoLoss()
@@ -79,7 +87,8 @@ class Network:
         self._uplinks: Dict[int, UplinkQueue] = {}
         self._crash_time: Dict[int, float] = {}
         #: node_id -> (endpoint, per-node stats, dispatch table or None,
-        #: uplink): everything send/_deliver need behind one dict lookup.
+        #: uplink): everything the send/delivery paths need behind one
+        #: dict lookup.
         self._delivery: Dict[int, tuple] = {}
         #: Optional observer invoked for every delivered envelope.
         #: While set, envelope recycling is suspended (the observer may
@@ -87,6 +96,10 @@ class Network:
         self.on_deliver: Optional[Callable[[Envelope], None]] = None
         #: Free list of delivered envelopes, or None when reuse is off.
         self._pool: Optional[list] = [] if reuse_envelopes else None
+        #: The delivery router.  Bound here, aliased for the hot path.
+        self.router: Router = router if router is not None else InprocRouter()
+        self.router.bind(self)
+        self._route = self.router.route
 
     # ------------------------------------------------------------------
     # membership of the fabric
@@ -183,7 +196,7 @@ class Network:
             envelope = Envelope(src, dst, payload, size, now, arrival)
             envelope._net = self
         envelope._exit_time = exit_time
-        sim.post_at(arrival, envelope)
+        self._route(envelope)
         return envelope
 
     def send_many(self, src: int, dsts: Iterable[int], payload: Payload) -> int:
@@ -209,7 +222,7 @@ class Network:
         is_lost = loss.is_lost
         latency_sample = self.latency.sample
         pool = self._pool
-        post_at = sim.post_at
+        route = self._route
         wired = 0
         lost = 0
         dropped = 0
@@ -237,7 +250,7 @@ class Network:
                 envelope = Envelope(src, dst, payload, size, now, arrival)
                 envelope._net = self
             envelope._exit_time = exit_time
-            post_at(arrival, envelope)
+            route(envelope)
         stats = self.stats
         if dropped:
             stats.dropped_queue += dropped
@@ -259,42 +272,12 @@ class Network:
         return wired
 
     def _deliver(self, envelope: Envelope, exit_time: float) -> None:
-        crash_time = self._crash_time
-        if crash_time:
-            src_crash = crash_time.get(envelope.src)
-            if src_crash is not None and exit_time > src_crash:
-                # The datagram was still queued in the sender's dead process.
-                self.stats.dropped_dead += 1
-                return
-            if envelope.dst in crash_time:
-                self.stats.dropped_dead += 1
-                return
-        entry = self._delivery.get(envelope.dst)
-        if entry is None:
-            self.stats.dropped_dead += 1
-            return
-        endpoint, node_stats, table, _ = entry
-        stats = self.stats
-        stats.delivered += 1
-        node_stats.bytes_down += envelope.size_bytes
-        node_stats.datagrams_down += 1
-        if self.on_deliver is not None:
-            self.on_deliver(envelope)
-            if table is not None:
-                handler = table.get(envelope.payload.kind_id)
-                if handler is not None:
-                    handler(envelope)
-                    return
-            endpoint.on_message(envelope)
-            return  # observer may retain the envelope: never recycle
-        if table is not None:
-            handler = table.get(envelope.payload.kind_id)
-            if handler is not None:
-                handler(envelope)
-            else:
-                endpoint.on_message(envelope)
-        else:
-            endpoint.on_message(envelope)
-        pool = self._pool
-        if pool is not None and len(pool) < _POOL_CAP:
-            pool.append(envelope)
+        """Compatibility shim: deliver one envelope immediately.
+
+        Historical direct-delivery entry point (still the target of
+        ``Envelope.__call__`` for callers that schedule envelopes as
+        events themselves); the actual semantics live in the router's
+        ``deliver_bucket``.
+        """
+        envelope._exit_time = exit_time
+        self.router.deliver_bucket((envelope,))

@@ -1,0 +1,207 @@
+"""The delivery routing layer of the network fabric.
+
+PR 3 made the *send* side of the protocol↔network API batched and
+table-driven; this module does the same to the *delivery* side by making
+it a first-class, pluggable object.  A :class:`Router` owns everything
+that happens between "the datagram left the wire pipeline" and "an
+endpoint handler ran":
+
+* **arrival scheduling** — placing the envelope in the event loop at its
+  arrival time;
+* **arrival-time bucketing** — envelopes sharing one exact arrival
+  timestamp drain through a single :meth:`Router.deliver_bucket` call,
+  so receiver-side :class:`~repro.net.stats.NetworkStats` accumulate
+  once per kind group of a bucket instead of once per envelope;
+* **delivery semantics** — crash checks, kind-id dispatch-table lookup,
+  the ``on_deliver`` observer, and envelope recycling.
+
+Two implementations ship:
+
+* :class:`InprocRouter` (the default) delivers within the owning
+  process and reproduces the historical ``Network._deliver`` behaviour
+  bit-for-bit: same arrival times, same handler order, same stats.
+* :class:`~repro.net.shard.ShardRouter` partitions the node population
+  across shards: envelopes for locally-owned destinations take exactly
+  the in-process path, envelopes for remote destinations are serialized
+  into kind-id-tagged wire tuples and exchanged at conservative
+  time-window boundaries (see :mod:`repro.net.shard`).
+
+The split point matters: senders (``Network.send``/``send_many``) decide
+*whether and when* a datagram arrives — uplink serialization, loss,
+latency all draw on the sender's side — so a router never consumes RNG.
+Routing is therefore free to move a delivery across process boundaries
+without perturbing any random stream, which is what makes sharded
+execution deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, List, Protocol, runtime_checkable
+
+from repro.net.message import Envelope
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.network import Network
+
+#: Upper bound on the envelope free list (reuse_envelopes=True).
+POOL_CAP = 512
+
+
+@runtime_checkable
+class Router(Protocol):
+    """What the network fabric requires of a delivery router."""
+
+    def bind(self, net: "Network") -> None:
+        """Attach to a fabric.  Called once from ``Network.__init__``."""
+        ...
+
+    def route(self, envelope: Envelope) -> None:
+        """Accept one datagram that survived the send pipeline.
+
+        The router must arrange for the envelope to be delivered at
+        ``envelope.arrival_time`` (or dropped, if the destination is
+        dead/unknown by then).
+        """
+        ...
+
+    def deliver_bucket(self, envelopes: List[Envelope]) -> None:
+        """Deliver one arrival bucket (envelopes sharing a timestamp),
+        in order, with receiver stats accumulated per kind group."""
+        ...
+
+
+class _ArrivalBucket:
+    """One pending arrival timestamp: the event-loop entry that drains
+    every envelope routed to that instant through ``deliver_bucket``.
+
+    The bucket object *is* the scheduled event (mirroring how envelopes
+    themselves used to be), so coalescing costs one small object per
+    distinct arrival timestamp instead of one event per datagram.
+    """
+
+    __slots__ = ("router", "envelopes")
+
+    def __init__(self, router: "InprocRouter", envelope: Envelope):
+        self.router = router
+        self.envelopes = [envelope]
+
+    def __call__(self) -> None:
+        self.router.deliver_bucket(self.envelopes)
+
+
+class InprocRouter:
+    """Default router: in-process delivery with arrival-time bucketing.
+
+    Scheduling piggybacks on the simulator's calendar-queue buckets: when
+    an envelope's arrival timestamp already ends with this router's
+    arrival bucket, the envelope joins it; otherwise a fresh bucket is
+    posted on the fire-and-forget path.  Same-timestamp deliveries
+    therefore drain through one ``deliver_bucket`` call — receiver-side
+    stats accumulate once per kind group — while distinct timestamps pay
+    exactly one event each, as before.
+
+    Ordering note: an envelope only joins an existing bucket when no
+    other event was enqueued at that timestamp in between, so the
+    historical (time, enqueue order) total order is preserved.
+    """
+
+    __slots__ = ("_net", "_sim")
+
+    def __init__(self) -> None:
+        self._net: "Network" = None  # type: ignore[assignment]
+        self._sim = None
+
+    # ------------------------------------------------------------------
+    # Router protocol
+    # ------------------------------------------------------------------
+    def bind(self, net: "Network") -> None:
+        self._net = net
+        self._sim = net._sim
+
+    def route(self, envelope: Envelope) -> None:
+        """Schedule ``envelope`` for delivery at its arrival time.
+
+        Peeks at the engine's pending buckets (``Simulator._buckets``,
+        whose docstring names this dependency): the run loop pops a
+        bucket before draining it, so a bucket reachable there is
+        entirely in the future and appending to its tail arrival bucket
+        is always sound.
+        """
+        sim = self._sim
+        arrival = envelope.arrival_time
+        bucket = sim._buckets.get(arrival)
+        if bucket is not None:
+            last = bucket[-1]
+            if last.__class__ is _ArrivalBucket and last.router is self:
+                # Coalesce: no event was enqueued at this timestamp since
+                # the bucket formed, so appending preserves total order.
+                last.envelopes.append(envelope)
+                return
+        sim.post_at(arrival, _ArrivalBucket(self, envelope))
+
+    def deliver_bucket(self, envelopes: Iterable[Envelope]) -> None:
+        """Deliver every envelope of one arrival bucket, in order.
+
+        Receiver-side global stats land as one bulk accumulation per
+        kind group (``NetworkStats.add_received``) instead of one update
+        per envelope; per-node counters are inherently per-envelope.
+        """
+        net = self._net
+        crash_time = net._crash_time
+        delivery = net._delivery
+        stats = net.stats
+        on_deliver = net.on_deliver
+        pool = net._pool if on_deliver is None else None
+        dropped = 0
+        # Per-kind receive accumulator.  Buckets are overwhelmingly
+        # single-kind (often single-envelope), so track one open group
+        # and flush on kind change instead of building a dict.
+        acc_kind = -1
+        acc_count = 0
+        acc_bytes = 0
+        add_received = stats.add_received
+        for envelope in envelopes:
+            if crash_time:
+                src_crash = crash_time.get(envelope.src)
+                if src_crash is not None and envelope._exit_time > src_crash:
+                    # Still queued in the sender's dead process.
+                    dropped += 1
+                    continue
+                if envelope.dst in crash_time:
+                    dropped += 1
+                    continue
+            entry = delivery.get(envelope.dst)
+            if entry is None:
+                dropped += 1
+                continue
+            endpoint, node_stats, table, _ = entry
+            size = envelope.size_bytes
+            node_stats.bytes_down += size
+            node_stats.datagrams_down += 1
+            kind_id = envelope.payload.kind_id
+            if kind_id != acc_kind:
+                if acc_count:
+                    add_received(acc_kind, acc_count, acc_bytes)
+                acc_kind = kind_id
+                acc_count = 1
+                acc_bytes = size
+            else:
+                acc_count += 1
+                acc_bytes += size
+            if on_deliver is not None:
+                on_deliver(envelope)
+            if table is not None:
+                handler = table.get(kind_id)
+                if handler is not None:
+                    handler(envelope)
+                else:
+                    endpoint.on_message(envelope)
+            else:
+                endpoint.on_message(envelope)
+            # Observer may retain the envelope: never recycle then.
+            if pool is not None and len(pool) < POOL_CAP:
+                pool.append(envelope)
+        if acc_count:
+            add_received(acc_kind, acc_count, acc_bytes)
+        if dropped:
+            stats.dropped_dead += dropped

@@ -1,0 +1,452 @@
+"""Sharded single-scenario execution: one large run across worker shards.
+
+The parallel grid engine (PR 1) scales *across* runs; this module scales
+*within* one.  The node population is partitioned round-robin over
+``config.shards`` shards.  Every shard builds the **entire** scenario —
+setup is cheap and must consume the shared setup streams in serial order
+so each shard assigns the same capacities, views and phases — but starts
+only the nodes it owns.  Delivery is where the partition becomes real: a
+:class:`ShardRouter` (the pluggable delivery router of
+:mod:`repro.net.router`) keeps owned-destination datagrams on the exact
+in-process path and serializes remote-destination datagrams into
+kind-id-tagged wire tuples collected in per-target-shard outboxes.
+
+**Time synchronization** is conservative, with the latency model's lower
+bound as lookahead: a datagram sent at time *t* cannot arrive before
+``t + lookahead``, so shards run in lockstep windows of that width and
+exchange outboxes at every boundary — any message a shard receives at a
+barrier is scheduled strictly inside a *future* window, never a past
+one.  No rollback, no speculation.
+
+**Determinism.** A sharded run produces byte-identical metric summaries
+to the serial run of the same scenario, because nothing observable
+depends on the global event order that sharding gives up:
+
+* all protocol randomness is drawn from per-node forked streams;
+* network randomness must be order-independent, which is why sharded
+  scenarios require ``latency_rng="per-pair"`` (per-link streams) and
+  no loss model (``ScenarioConfig.validate`` enforces both);
+* receiver-side stats are commutative counters, merged per shard.
+
+Scenario features whose *state* crosses the partition (churn's crash
+propagation, the freerider audit's conviction sets) are rejected by
+validation until they are taught to shard.
+
+The wire format of a cross-shard envelope is::
+
+    (src, dst, kind_id, size_bytes, send_time, exit_time, arrival_time,
+     payload_blob)
+
+with the interned integer kind id (PR 3's dispatch currency) as the
+routing tag and the payload pickled alongside; workers handshake their
+kind-id registries at startup so an id means the same payload class in
+every process.
+"""
+
+from __future__ import annotations
+
+import pickle
+import traceback
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.net.message import Envelope, kind_name, registered_kinds
+from repro.net.router import InprocRouter, POOL_CAP
+from repro.net.stats import NetworkStats
+from repro.workloads.scenario import ScenarioConfig
+
+#: A cross-shard envelope on the wire (see module docstring).
+WireEnvelope = Tuple[int, int, int, int, float, float, float, bytes]
+
+
+def shard_of(node_id: int, shards: int) -> int:
+    """The shard owning ``node_id`` (round-robin keeps capability classes
+    balanced across shards, since assignment order is index-driven)."""
+    return node_id % shards
+
+
+def partition(n_nodes: int, shards: int, shard_index: int) -> Set[int]:
+    """The node ids owned by one shard."""
+    return set(range(shard_index, n_nodes, shards))
+
+
+def encode_envelope(envelope: Envelope, kind_id: int) -> WireEnvelope:
+    """Serialize an envelope for the cross-shard exchange."""
+    return (envelope.src, envelope.dst, kind_id, envelope.size_bytes,
+            envelope.send_time, envelope._exit_time, envelope.arrival_time,
+            pickle.dumps(envelope.payload, protocol=pickle.HIGHEST_PROTOCOL))
+
+
+def decode_envelope(wire: WireEnvelope) -> Envelope:
+    """Rebuild an envelope from its wire tuple, validating the kind tag."""
+    src, dst, kind_id, size, send_time, exit_time, arrival, blob = wire
+    payload = pickle.loads(blob)
+    if payload.kind_id != kind_id:
+        raise ValueError(
+            f"cross-shard kind mismatch: wire tag {kind_id} "
+            f"({kind_name(kind_id)!r}) vs payload {payload.kind_id} "
+            f"({payload.kind!r}) — worker kind registries diverged")
+    envelope = Envelope(src, dst, payload, size, send_time, arrival)
+    envelope._exit_time = exit_time
+    return envelope
+
+
+class ShardRouter(InprocRouter):
+    """Delivery router for one shard of a partitioned population.
+
+    Owned destinations take the inherited in-process path (arrival
+    bucketing, batched receiver stats — identical semantics to a serial
+    run).  Remote destinations are encoded into the per-target-shard
+    outbox, to be exchanged at the next window barrier; the sending
+    side's stats were already accounted by ``Network.send``, so a
+    forwarded envelope costs the receiver shard exactly what a local
+    delivery would.
+    """
+
+    __slots__ = ("owned", "shards", "_outboxes", "_recycle")
+
+    def __init__(self, owned: Set[int], shards: int):
+        super().__init__()
+        self.owned = owned
+        self.shards = shards
+        self._outboxes: List[List[WireEnvelope]] = [[] for _ in range(shards)]
+        #: Remote-destination envelopes awaiting recycling: they never
+        #: come back through a local delivery, so without this the free
+        #: list would drain.  Recycled at the window barrier, which
+        #: honours ``Network.send``'s contract that the returned
+        #: envelope stays readable until delivery could have happened.
+        self._recycle: List[Envelope] = []
+
+    def route(self, envelope: Envelope) -> None:
+        dst = envelope.dst
+        if dst in self.owned:
+            InprocRouter.route(self, envelope)
+            return
+        self._outboxes[dst % self.shards].append(
+            encode_envelope(envelope, envelope.payload.kind_id))
+        if self._net._pool is not None:
+            self._recycle.append(envelope)
+
+    def take_outboxes(self) -> List[List[WireEnvelope]]:
+        """Drain and return the per-target-shard outboxes.
+
+        Called at a window barrier; envelopes serialized during the
+        window are returned to the free list here (no caller can hold
+        them past their send event's window under ``send``'s contract).
+        """
+        out = self._outboxes
+        self._outboxes = [[] for _ in range(self.shards)]
+        pending = self._recycle
+        if pending:
+            pool = self._net._pool
+            if pool is not None:
+                room = POOL_CAP - len(pool)
+                if room > 0:
+                    pool.extend(pending[:room])
+            self._recycle = []
+        return out
+
+    def inject(self, wires: Iterable[WireEnvelope]) -> None:
+        """Schedule envelopes received from other shards.
+
+        Called at a window barrier; the conservative lookahead
+        guarantees every arrival time lies strictly beyond the shard's
+        current clock.
+        """
+        for wire in wires:
+            InprocRouter.route(self, decode_envelope(wire))
+
+
+# ----------------------------------------------------------------------
+# per-shard execution (used by both the serial and the process driver)
+# ----------------------------------------------------------------------
+class _ShardRun:
+    """One shard's build plus its windowed-execution state."""
+
+    def __init__(self, config: ScenarioConfig, shard_index: int):
+        from repro.experiments.runner import build_scenario
+
+        self.shard_index = shard_index
+        self.owned = partition(config.n_nodes, config.shards, shard_index)
+        self.router = ShardRouter(self.owned, config.shards)
+        self.build = build_scenario(config, owned=self.owned,
+                                    router=self.router)
+
+    def run_window(self, until: float) -> List[List[WireEnvelope]]:
+        self.build.sim.run(until=until)
+        return self.router.take_outboxes()
+
+    def harvest(self) -> dict:
+        """Everything the coordinator needs from this shard, picklable."""
+        build = self.build
+        return {
+            "shard": self.shard_index,
+            "logs": {i: build.nodes[i].log for i in sorted(self.owned)},
+            "uplinks": {i: build.net.uplink(i) for i in sorted(self.owned)},
+            "stats": build.net.stats,
+            "publish_times": build.publish_times,
+            "labels": build.labels,
+            "capacities": build.capacities,
+            "freerider_ids": build.freerider_ids,
+            "events_executed": build.sim.events_executed,
+            "now": build.sim.now,
+        }
+
+
+def _windows(end: float, lookahead: float) -> Iterable[float]:
+    """The window boundaries 0 < t_1 < t_2 <= ... ending exactly at ``end``."""
+    t = 0.0
+    while t < end:
+        t = min(t + lookahead, end)
+        yield t
+
+
+def _lookahead(config: ScenarioConfig) -> float:
+    lookahead = config.latency_floor
+    if lookahead <= 0:
+        raise ValueError("sharded execution needs a positive latency_floor")
+    return lookahead
+
+
+# ----------------------------------------------------------------------
+# serial driver: the whole windowed protocol in one process
+# ----------------------------------------------------------------------
+def _run_serial_shards(config: ScenarioConfig, end: float) -> List[dict]:
+    """Drive every shard in-process, round-robin per window.
+
+    Functionally identical to the process driver (same windows, same
+    exchange order), without IPC: used on 1-CPU hosts, inside daemonic
+    pool workers (which may not fork children), and by tests that pin
+    down the windowed algorithm itself.
+    """
+    runs = [_ShardRun(config, i) for i in range(config.shards)]
+    lookahead = _lookahead(config)
+    for t in _windows(end, lookahead):
+        outboxes = [run.run_window(t) for run in runs]
+        for target, run in enumerate(runs):
+            for source in range(config.shards):
+                run.router.inject(outboxes[source][target])
+    return [run.harvest() for run in runs]
+
+
+# ----------------------------------------------------------------------
+# process driver: one worker process per shard, coordinator as message hub
+# ----------------------------------------------------------------------
+def _shard_worker(conn, config: ScenarioConfig, shard_index: int,
+                  end: float) -> None:
+    """Worker entry point (module-level: importable under spawn)."""
+    try:
+        run = _ShardRun(config, shard_index)
+        conn.send(("hello", registered_kinds()))
+        lookahead = _lookahead(config)
+        for t in _windows(end, lookahead):
+            conn.send(("window", t, run.run_window(t)))
+            tag, inbound = conn.recv()
+            if tag != "deliver":  # pragma: no cover - protocol error
+                raise RuntimeError(f"unexpected coordinator message {tag!r}")
+            run.router.inject(inbound)
+        conn.send(("done", run.harvest()))
+    except Exception:
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except (OSError, ValueError):  # pragma: no cover - pipe gone
+            pass
+    finally:
+        conn.close()
+
+
+def _check_kind_registries(hellos: Sequence[Tuple[str, ...]]) -> None:
+    """All workers must agree on the kind-id registry, and each worker's
+    registry must be a prefix of the coordinator's (the coordinator may
+    have interned extra ad-hoc kinds after import time, e.g. in tests;
+    workers spawned fresh only hold the import-time kinds)."""
+    first = hellos[0]
+    for i, kinds in enumerate(hellos[1:], start=1):
+        if kinds != first:
+            raise RuntimeError(
+                f"shard 0 and shard {i} registered different payload "
+                f"kinds; cross-shard kind ids would be ambiguous")
+    mine = registered_kinds()
+    if mine[:len(first)] != first:
+        raise RuntimeError(
+            "worker kind-id registry is not a prefix of the "
+            "coordinator's; merged per-kind stats would be mislabelled")
+
+
+def _run_process_shards(config: ScenarioConfig, end: float,
+                        start_method: Optional[str]) -> List[dict]:
+    """Spawn one worker per shard and relay their window exchanges."""
+    import multiprocessing
+
+    if start_method is None:
+        start_method = ("fork" if "fork"
+                        in multiprocessing.get_all_start_methods()
+                        else "spawn")
+    ctx = multiprocessing.get_context(start_method)
+    shards = config.shards
+    conns = []
+    workers = []
+    harvests: List[Optional[dict]] = [None] * shards
+
+    def _fail(message: str) -> None:
+        for worker in workers:
+            worker.terminate()
+        raise RuntimeError(message)
+
+    try:
+        for i in range(shards):
+            parent, child = ctx.Pipe()
+            worker = ctx.Process(target=_shard_worker,
+                                 args=(child, config, i, end),
+                                 name=f"repro-shard-{i}")
+            worker.start()
+            child.close()
+            conns.append(parent)
+            workers.append(worker)
+
+        def recv(i):
+            msg = conns[i].recv()
+            if msg[0] == "error":
+                _fail(f"shard {i} failed:\n{msg[1]}")
+            return msg
+
+        _check_kind_registries([recv(i)[1] for i in range(shards)])
+        while any(h is None for h in harvests):
+            msgs = [recv(i) for i in range(shards)]
+            tags = {msg[0] for msg in msgs}
+            if tags == {"window"}:
+                # Deterministic relay: every target receives the union
+                # of outboxes in shard order, each preserving its
+                # sender's event order — the same order the serial
+                # driver injects in.
+                inbound: List[List[WireEnvelope]] = [[] for _ in range(shards)]
+                for _, _, outboxes in msgs:
+                    for target in range(shards):
+                        inbound[target].extend(outboxes[target])
+                for target in range(shards):
+                    conns[target].send(("deliver", inbound[target]))
+            elif tags == {"done"}:
+                for i, msg in enumerate(msgs):
+                    harvests[i] = msg[1]
+            else:  # pragma: no cover - lockstep violation
+                _fail(f"shards desynchronized: saw message tags {tags}")
+    finally:
+        for conn in conns:
+            conn.close()
+        for worker in workers:
+            worker.join(timeout=30)
+            if worker.is_alive():  # pragma: no cover - hung worker
+                worker.terminate()
+                worker.join()
+    return harvests  # type: ignore[return-value]
+
+
+# ----------------------------------------------------------------------
+# merge: per-shard harvests -> one ExperimentResult
+# ----------------------------------------------------------------------
+class _MergedSim:
+    """Result-facade over the per-shard simulators' final counters."""
+
+    __slots__ = ("events_executed", "now")
+
+    def __init__(self, events_executed: int, now: float):
+        self.events_executed = events_executed
+        self.now = now
+
+
+class _MergedNet:
+    """Result-facade exposing merged stats and the owned-shard uplinks."""
+
+    __slots__ = ("stats", "_uplinks")
+
+    def __init__(self, stats: NetworkStats, uplinks: Dict[int, object]):
+        self.stats = stats
+        self._uplinks = uplinks
+
+    def uplink(self, node_id: int):
+        return self._uplinks[node_id]
+
+    @property
+    def node_ids(self):
+        return self._uplinks.keys()
+
+
+class _LogHolder:
+    """Stands in for a protocol node in a merged result: metrics only
+    ever reach for ``node.log``."""
+
+    __slots__ = ("log",)
+
+    def __init__(self, log):
+        self.log = log
+
+
+def merge_harvests(config: ScenarioConfig, harvests: List[dict]):
+    """Assemble one :class:`~repro.experiments.runner.ExperimentResult`
+    from per-shard harvests.
+
+    Logs and uplinks are disjoint by ownership; traffic stats are
+    commutative sums.  ``events_executed`` is the sum over shards — a
+    sharded run executes the same deliveries but different bucket events,
+    so it is an activity measure, not a determinism key.
+    """
+    from repro.experiments.runner import ExperimentResult
+
+    logs: Dict[int, object] = {}
+    uplinks: Dict[int, object] = {}
+    stats = NetworkStats()
+    events = 0
+    now = 0.0
+    for harvest in harvests:
+        logs.update(harvest["logs"])
+        uplinks.update(harvest["uplinks"])
+        stats.merge_from(harvest["stats"])
+        events += harvest["events_executed"]
+        now = max(now, harvest["now"])
+    nodes = [_LogHolder(logs[node_id]) for node_id in range(config.n_nodes)]
+    source_shard = harvests[shard_of(0, config.shards)]
+    return ExperimentResult(
+        config,
+        _MergedSim(events, now),
+        _MergedNet(stats, uplinks),
+        directory=None,
+        nodes=nodes,
+        publish_times=source_shard["publish_times"],
+        capacities=harvests[0]["capacities"],
+        labels=harvests[0]["labels"],
+        crash_times={},
+        freerider_ids=harvests[0]["freerider_ids"],
+    )
+
+
+def run_sharded(config: ScenarioConfig, until: Optional[float] = None,
+                start_method: Optional[str] = None,
+                processes: Optional[bool] = None):
+    """Run one scenario partitioned across ``config.shards`` shards.
+
+    Returns a merged ``ExperimentResult`` whose metric summaries are
+    byte-identical to the serial run of the same scenario.
+
+    ``processes=None`` picks worker processes when the platform allows
+    (and falls back to the in-process serial driver inside daemonic
+    workers, which may not spawn children, or on single-CPU hosts where
+    extra processes can only add overhead).  ``start_method`` pins the
+    multiprocessing start method (tests use ``"spawn"`` to prove the
+    workers' builds are import-clean).
+    """
+    config.validate()
+    if config.shards <= 1:
+        raise ValueError("run_sharded needs config.shards > 1")
+    end = until if until is not None else config.end_time
+    if processes is None:
+        import multiprocessing
+
+        from repro.experiments.parallel import _available_cpus
+
+        daemon = multiprocessing.current_process().daemon
+        processes = not daemon and (_available_cpus() > 1
+                                    or start_method is not None)
+    if processes:
+        harvests = _run_process_shards(config, end, start_method)
+    else:
+        harvests = _run_serial_shards(config, end)
+    return merge_harvests(config, harvests)

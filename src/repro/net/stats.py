@@ -11,6 +11,13 @@ path pays one list index instead of hashing a kind string per datagram.
 The string names survive only at the reporting boundary: the
 ``bytes_by_kind`` / ``count_by_kind`` views translate ids back to display
 names.
+
+Both directions are counted: the send paths accumulate per envelope (the
+loss/queue pipeline forks per destination anyway), while the delivery
+side accumulates per *arrival bucket* — the router hands every kind group
+of a same-timestamp bucket to :meth:`NetworkStats.add_received` as one
+bulk accumulation instead of one update per envelope.  Sharded runs merge
+per-worker instances with :meth:`NetworkStats.merge_from`.
 """
 
 from __future__ import annotations
@@ -37,7 +44,9 @@ class NetworkStats:
     """Fabric-wide traffic counters."""
 
     __slots__ = ("sent", "delivered", "lost", "dropped_queue", "dropped_dead",
-                 "bytes_sent", "_bytes_by_kind", "_count_by_kind", "per_node")
+                 "bytes_sent", "bytes_received", "_bytes_by_kind",
+                 "_count_by_kind", "_recv_bytes_by_kind",
+                 "_recv_count_by_kind", "per_node")
 
     def __init__(self) -> None:
         self.sent = 0
@@ -46,11 +55,14 @@ class NetworkStats:
         self.dropped_queue = 0
         self.dropped_dead = 0
         self.bytes_sent = 0
+        self.bytes_received = 0
         #: Flat per-kind accumulators indexed by kind id.  Sized for the
         #: kinds registered so far; ``kind_slot`` grows them when a kind
         #: is registered after this stats object was created.
         self._bytes_by_kind: List[int] = [0] * kind_count()
         self._count_by_kind: List[int] = [0] * kind_count()
+        self._recv_bytes_by_kind: List[int] = [0] * kind_count()
+        self._recv_count_by_kind: List[int] = [0] * kind_count()
         self.per_node: Dict[int, NodeTrafficStats] = {}
 
     # ------------------------------------------------------------------
@@ -68,7 +80,27 @@ class NetworkStats:
         if grow > 0:
             self._bytes_by_kind.extend([0] * grow)
             self._count_by_kind.extend([0] * grow)
+        grow = kind_id + 1 - len(self._recv_bytes_by_kind)
+        if grow > 0:
+            self._recv_bytes_by_kind.extend([0] * grow)
+            self._recv_count_by_kind.extend([0] * grow)
         return kind_id
+
+    def add_received(self, kind_id: int, count: int, total_bytes: int) -> None:
+        """Account ``count`` delivered datagrams of one kind, totalling
+        ``total_bytes``, as a single bulk accumulation.
+
+        This is the receive-side twin of the batched send accounting:
+        the router calls it once per kind group of an arrival bucket, so
+        a bucket of n same-kind deliveries costs one update, not n.  The
+        result is defined to equal n single-datagram accumulations.
+        """
+        self.delivered += count
+        self.bytes_received += total_bytes
+        slot = (kind_id if kind_id < len(self._recv_bytes_by_kind)
+                else self.kind_slot(kind_id))
+        self._recv_bytes_by_kind[slot] += total_bytes
+        self._recv_count_by_kind[slot] += count
 
     @property
     def bytes_by_kind(self) -> Dict[str, int]:
@@ -92,41 +124,64 @@ class NetworkStats:
                 view[kind_name(kind_id)] = count
         return view
 
+    @property
+    def received_bytes_by_kind(self) -> Dict[str, int]:
+        """Bytes *delivered* per kind display name (kinds actually received)."""
+        view: Dict[str, int] = defaultdict(int)
+        for kind_id, count in enumerate(self._recv_count_by_kind):
+            if count:
+                view[kind_name(kind_id)] = self._recv_bytes_by_kind[kind_id]
+        return view
+
+    @property
+    def received_count_by_kind(self) -> Dict[str, int]:
+        """Datagrams *delivered* per kind display name."""
+        view: Dict[str, int] = defaultdict(int)
+        for kind_id, count in enumerate(self._recv_count_by_kind):
+            if count:
+                view[kind_name(kind_id)] = count
+        return view
+
+    def merge_from(self, other: "NetworkStats") -> None:
+        """Fold another instance's counters into this one.
+
+        Used by sharded execution: each worker accounts its own shard's
+        traffic (sender-side counters accrue in the sender's shard,
+        receiver-side in the receiver's), and the coordinator merges the
+        per-worker instances.  All counters are sums, so merging is
+        order-independent.
+        """
+        self.sent += other.sent
+        self.delivered += other.delivered
+        self.lost += other.lost
+        self.dropped_queue += other.dropped_queue
+        self.dropped_dead += other.dropped_dead
+        self.bytes_sent += other.bytes_sent
+        self.bytes_received += other.bytes_received
+        top = max(len(other._bytes_by_kind), len(other._recv_bytes_by_kind))
+        if top:
+            self.kind_slot(top - 1)
+        for kind_id, value in enumerate(other._bytes_by_kind):
+            self._bytes_by_kind[kind_id] += value
+        for kind_id, value in enumerate(other._count_by_kind):
+            self._count_by_kind[kind_id] += value
+        for kind_id, value in enumerate(other._recv_bytes_by_kind):
+            self._recv_bytes_by_kind[kind_id] += value
+        for kind_id, value in enumerate(other._recv_count_by_kind):
+            self._recv_count_by_kind[kind_id] += value
+        for node_id, node in other.per_node.items():
+            mine = self.node(node_id)
+            mine.bytes_up += node.bytes_up
+            mine.bytes_down += node.bytes_down
+            mine.datagrams_up += node.datagrams_up
+            mine.datagrams_down += node.datagrams_down
+
     def node(self, node_id: int) -> NodeTrafficStats:
         stats = self.per_node.get(node_id)
         if stats is None:
             stats = NodeTrafficStats()
             self.per_node[node_id] = stats
         return stats
-
-    def record_sent(self, src: int, kind_id: int, size_bytes: int,
-                    count: int = 1) -> None:
-        """Account ``count`` datagrams of one kind leaving ``src``."""
-        self.sent += count
-        total = size_bytes * count
-        self.bytes_sent += total
-        slot = (kind_id if kind_id < len(self._bytes_by_kind)
-                else self.kind_slot(kind_id))
-        self._bytes_by_kind[slot] += total
-        self._count_by_kind[slot] += count
-        node = self.node(src)
-        node.bytes_up += total
-        node.datagrams_up += count
-
-    def record_delivered(self, dst: int, size_bytes: int) -> None:
-        self.delivered += 1
-        node = self.node(dst)
-        node.bytes_down += size_bytes
-        node.datagrams_down += 1
-
-    def record_lost(self) -> None:
-        self.lost += 1
-
-    def record_dropped_queue(self) -> None:
-        self.dropped_queue += 1
-
-    def record_dropped_dead(self) -> None:
-        self.dropped_dead += 1
 
     def delivery_ratio(self) -> float:
         """Fraction of sent datagrams that were delivered."""

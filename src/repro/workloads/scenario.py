@@ -60,6 +60,17 @@ class ScenarioConfig:
     latency_median: float = 0.05
     #: Per-message uniform jitter on top of the base latency, seconds.
     latency_jitter: float = 0.01
+    #: Hard lower bound (floor) of the base latency, seconds.  Doubles
+    #: as the conservative lookahead of sharded execution: shards
+    #: synchronize every ``latency_floor`` simulated seconds, so larger
+    #: floors mean fewer cross-shard barriers.
+    latency_floor: float = 0.002
+    #: How latency/jitter randomness is drawn: "shared" consumes one
+    #: stream in global send order (the historical behaviour, pinned by
+    #: the golden traces); "per-pair" derives an independent stream per
+    #: link, making arrivals a pure function of each sender's own send
+    #: sequence — the mode sharded execution requires.
+    latency_rng: str = "shared"
     #: Optional catastrophic failure (Section 3.6).
     churn: Optional[CatastrophicFailure] = None
 
@@ -98,6 +109,15 @@ class ScenarioConfig:
     capability_discovery: bool = False
     discovery_initial_bps: float = 128 * KBPS
 
+    #: Partition the node population across this many worker shards and
+    #: run them in parallel with conservative time-window synchronization
+    #: (see :mod:`repro.net.shard`).  0 or 1 runs in-process.  Sharding
+    #: is an execution strategy, not an experiment parameter: a sharded
+    #: run produces byte-identical metric summaries to the serial run of
+    #: the same scenario (it requires ``latency_rng="per-pair"`` so that
+    #: random draws do not depend on global event order).
+    shards: int = 0
+
     # ------------------------------------------------------------------
     def validate(self) -> None:
         if self.protocol not in PROTOCOLS:
@@ -135,6 +155,34 @@ class ScenarioConfig:
             raise ValueError("freeriders are modelled for the heap protocol")
         if self.discovery_initial_bps <= 0:
             raise ValueError("discovery initial capability must be positive")
+        if self.latency_floor < 0:
+            raise ValueError("latency floor must be >= 0")
+        if self.latency_rng not in ("shared", "per-pair"):
+            raise ValueError(f"unknown latency_rng {self.latency_rng!r}; "
+                             f"known: 'shared', 'per-pair'")
+        if self.shards < 0:
+            raise ValueError("shards must be >= 0")
+        if self.shards > 1:
+            if self.shards >= self.n_nodes:
+                raise ValueError("need at least one node per shard")
+            if self.latency_rng != "per-pair":
+                raise ValueError(
+                    "sharded execution needs order-independent latency "
+                    "draws; set latency_rng='per-pair'")
+            if self.loss_rate > 0:
+                raise ValueError(
+                    "sharded execution does not support loss yet (the "
+                    "loss model consumes one shared stream in global "
+                    "send order)")
+            if self.latency_floor <= 0:
+                raise ValueError("sharded execution needs a positive "
+                                 "latency_floor (it is the lookahead)")
+            if self.churn is not None:
+                raise ValueError("sharded execution does not support churn "
+                                 "(crash propagation is not sharded yet)")
+            if self.audit:
+                raise ValueError("sharded execution does not support the "
+                                 "freerider audit yet")
         self.stream.validate()
         self.gossip.validate()
 
@@ -167,6 +215,13 @@ def scenario_key(config: ScenarioConfig) -> str:
 
     parts = []
     for field_ in dataclasses.fields(config):
+        if field_.name == "shards":
+            # Sharding is an execution strategy, not an experiment
+            # parameter: a sharded run is byte-identical to the serial
+            # run of the same scenario (tests/test_sharded_scenario.py),
+            # so shard counts share one cache/checkpoint identity —
+            # `figure --shards 4` reuses cells `--shards 1` computed.
+            continue
         value = getattr(config, field_.name)
         if field_.name == "distribution":
             value = value.name

@@ -175,3 +175,98 @@ class TestCheckpointDir:
         assert main(self.ARGS + ["--checkpoint-dir", str(ckpt_dir),
                                  "--resume"]) == 0
         assert capsys.readouterr().out == first
+
+
+class TestArtifactCsv:
+    """Satellite: figure/table/ablation grow --csv mirroring sweep --csv."""
+
+    def _read(self, path):
+        import csv as csv_module
+
+        with open(path, newline="") as fh:
+            return list(csv_module.reader(fh))
+
+    def test_table_csv_matches_rendered_rows(self, tmp_path, capsys):
+        csv_path = tmp_path / "table1.csv"
+        assert main(["table", "table1", "--csv", str(csv_path)]) == 0
+        rows = self._read(csv_path)
+        out = capsys.readouterr().out
+        assert len(rows) > 1
+        from repro.experiments.tables import table1_distributions
+
+        result = table1_distributions()
+        assert rows[0] == [str(h) for h in result.headers]
+        assert len(rows) - 1 == len(result.rows)
+
+    def test_figure_csv_written(self, tmp_path, capsys):
+        csv_path = tmp_path / "fig5.csv"
+        assert main(["figure", "fig5", "--scale", "quick", "--quiet",
+                     "--csv", str(csv_path)]) == 0
+        rows = self._read(csv_path)
+        assert rows[0][0] == "distribution"
+        assert len(rows) > 1
+
+    def test_ablation_csv_written(self, tmp_path, capsys):
+        csv_path = tmp_path / "ablation.csv"
+        assert main(["ablation", "aggregation", "--scale", "quick", "--quiet",
+                     "--csv", str(csv_path)]) == 0
+        assert len(self._read(csv_path)) > 1
+
+    def test_parser_accepts_csv_everywhere(self):
+        for command, name in (("figure", "fig5"), ("table", "table3"),
+                              ("ablation", "aggregation")):
+            args = build_parser().parse_args([command, name, "--csv", "x.csv"])
+            assert args.csv == "x.csv"
+
+
+class TestShardsCli:
+    """--shards plumbs the sharded execution model through every grid."""
+
+    def test_run_shards_matches_serial_run(self, capsys):
+        base = ["run", "--nodes", "30", "--seconds", "3", "--drain", "6",
+                "--latency-rng", "per-pair", "--latency-floor", "0.02"]
+        assert main(base) == 0
+        serial = capsys.readouterr().out
+        assert main(base + ["--shards", "2"]) == 0
+        sharded = capsys.readouterr().out
+        # Identical metrics; only the events counter (an activity
+        # measure summed over shards) may differ.
+        strip = lambda text: [line for line in text.splitlines()  # noqa: E731
+                              if not line.startswith("events:")]
+        assert strip(sharded) == strip(serial)
+
+    def test_sweep_shards_matches_serial_sweep(self, capsys):
+        base = ["sweep", "--protocols", "heap", "--nodes", "20",
+                "--seconds", "2", "--drain", "4", "--num-seeds", "2",
+                "--quiet", "--latency-rng", "per-pair",
+                "--latency-floor", "0.02"]
+        assert main(base) == 0
+        serial = capsys.readouterr().out
+        assert main(base + ["--shards", "2"]) == 0
+        sharded = capsys.readouterr().out
+        assert sharded == serial
+
+    def test_shards_require_per_pair_latency(self, capsys):
+        assert main(["sweep", "--protocols", "heap", "--nodes", "20",
+                     "--seconds", "2", "--drain", "4", "--num-seeds", "1",
+                     "--quiet", "--shards", "2",
+                     "--latency-rng", "shared"]) == 2
+        assert "per-pair" in capsys.readouterr().err
+
+    def test_figure_shards_rejected_for_churn(self, capsys):
+        assert main(["figure", "fig10a", "--scale", "quick", "--quiet",
+                     "--shards", "2"]) == 2
+        assert "churn" in capsys.readouterr().err
+
+    def test_table_shards_output_stable_across_shard_counts(self, capsys):
+        from repro.experiments.scales import clear_cache
+
+        clear_cache()
+        assert main(["table", "table3", "--scale", "quick", "--quiet",
+                     "--shards", "1"]) == 0
+        one = capsys.readouterr().out
+        clear_cache()
+        assert main(["table", "table3", "--scale", "quick", "--quiet",
+                     "--shards", "2"]) == 0
+        two = capsys.readouterr().out
+        assert one == two
