@@ -34,17 +34,24 @@ import json
 import os
 import sys
 
-#: (json path, human label) of every gated throughput metric.
+#: (json path, human label) of every gated higher-is-better metric.
 #: Metrics absent from the reference (e.g. a section added by a newer
-#: benchmark version, like ``sharding``) are skipped until the committed
-#: baseline or the history carries them — a brand-new metric must never
-#: trip the gate on its first run.
+#: benchmark version, like ``sharding`` or its ``wire_batching``
+#: subsection) are skipped until the committed baseline or the history
+#: carries them — a brand-new metric must never trip the gate on its
+#: first run against a reference that predates it.
 TRACKED = [
     (("engine", "post_events_per_sec"), "engine post() events/s"),
     (("engine", "schedule_events_per_sec"), "engine schedule() events/s"),
     (("fanout", "send_many_events_per_sec"), "fanout send_many events/s"),
     (("scenario", "events_per_sec"), "scenario events/s"),
     (("sharding", "serial_events_per_sec"), "1k-node scenario events/s"),
+    (("sharding", "wire_batching", "batched_events_per_sec"),
+     "2-shard batched events/s"),
+    # Deterministic (counter-derived, not wall-clock): serialized-byte
+    # reduction of the packed window exchange vs the per-envelope path.
+    (("sharding", "wire_batching", "bytes_reduction"),
+     "wire batching bytes reduction"),
 ]
 
 

@@ -1,0 +1,96 @@
+"""CI gate for the cross-shard wire-batching contract.
+
+Runs one sharded scenario twice over real worker processes — packed
+window buffers (the default) and the per-envelope escape hatch
+(``batch_wire=False``) — and fails (exit 1) unless:
+
+* both runs' metric summaries are byte-identical (batching is a pure
+  wire-encoding change);
+* the ``NetworkStats`` cross-shard wire counters are present and
+  populated (buffers, envelopes, serialized bytes, payload bytes
+  before/after interning);
+* batching shipped strictly fewer serialized bytes than the
+  per-envelope path on the same traffic.
+
+Byte counters are deterministic, so this is a hard equality/inequality
+gate, not a wall-clock threshold::
+
+    PYTHONPATH=src python benchmarks/check_wire_batching.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--nodes", type=int, default=120)
+    parser.add_argument("--seconds", type=float, default=3.0)
+    parser.add_argument("--drain", type=float, default=6.0)
+    parser.add_argument("--shards", type=int, default=2)
+    parser.add_argument("--serial-driver", action="store_true",
+                        help="use the in-process windowed driver instead "
+                             "of worker processes (1-CPU hosts)")
+    args = parser.parse_args(argv)
+
+    from repro.metrics.summary import standard_bundle, summarize
+    from repro.net.shard import run_sharded, window_count
+    from repro.workloads.distributions import REF_691
+    from repro.workloads.scenario import ScenarioConfig
+
+    config = ScenarioConfig(protocol="heap", n_nodes=args.nodes,
+                            duration=args.seconds, drain=args.drain,
+                            seed=7, distribution=REF_691,
+                            latency_rng="per-pair", latency_floor=0.02,
+                            shards=args.shards)
+    processes = not args.serial_driver
+
+    def blob(result) -> str:
+        return json.dumps(summarize(result, standard_bundle()),
+                          sort_keys=True)
+
+    batched = run_sharded(config, processes=processes)
+    escape = run_sharded(config, processes=processes, batch_wire=False)
+    b, e = batched.net.stats.wire_summary(), escape.net.stats.wire_summary()
+    windows = window_count(config)
+
+    print(f"{'counter':<32} {'batched':>12} {'per-envelope':>12}")
+    for key in b:
+        print(f"{key:<32} {b[key]:>12,} {e[key]:>12,}")
+    print(f"{'bytes per window':<32} {round(b['bytes'] / windows):>12,} "
+          f"{round(e['bytes'] / windows):>12,}")
+
+    failures = []
+    if blob(batched) != blob(escape):
+        failures.append("summaries diverged between batched and "
+                        "per-envelope wire paths")
+    for name, summary in (("batched", b), ("per-envelope", e)):
+        for key, value in summary.items():
+            if value <= 0:
+                failures.append(f"{name} wire counter {key!r} is not "
+                                f"populated (= {value})")
+    if b["envelopes"] != e["envelopes"]:
+        failures.append(f"paths shipped different envelope counts "
+                        f"({b['envelopes']} vs {e['envelopes']})")
+    if b["bytes"] >= e["bytes"]:
+        failures.append(f"batching did not reduce serialized bytes "
+                        f"({b['bytes']:,} >= {e['bytes']:,})")
+    if (b["payload_bytes_after_interning"]
+            >= b["payload_bytes_before_interning"]):
+        failures.append("interning did not deduplicate any payload bytes")
+
+    if failures:
+        print("\nFAIL:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print(f"\nwire batching ok: {e['bytes'] / b['bytes']:.2f}x fewer "
+          f"serialized bytes over {windows} windows")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

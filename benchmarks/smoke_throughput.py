@@ -119,9 +119,16 @@ def bench_sharding():
     worker processes can only cost, and the section records that
     honestly (the trend gate tracks the serial events/s, which is
     host-comparable; the per-shard-count numbers are the trajectory).
+
+    The ``wire_batching`` subsection measures the cross-shard data plane
+    at 2 shards: the packed-buffer exchange (one buffer per window per
+    peer shard, multicast payloads interned) against the per-envelope
+    escape hatch, in serialized bytes per window and events/s.  The
+    byte numbers come from the ``NetworkStats`` wire counters, so they
+    are deterministic — unlike the wall-clock numbers around them.
     """
-    from bench_sharded_scenario import (run_serial, run_with_shards,
-                                        summary_blob)
+    from bench_sharded_scenario import (n_windows, run_serial,
+                                        run_with_shards, summary_blob)
 
     section = {"n_nodes": 1000, "cpus": os.cpu_count()}
     started = time.perf_counter()
@@ -132,6 +139,8 @@ def bench_sharding():
     section["serial_events_per_sec"] = round(events / serial_wall)
     serial_summaries = summary_blob(serial)
     identical = True
+    batched_stats = None
+    batched_wall = None
     for shards in (2, 4):
         started = time.perf_counter()
         result = run_with_shards(shards)
@@ -142,6 +151,41 @@ def bench_sharding():
         section[f"shards_{shards}_events_per_sec"] = round(events / wall)
         section[f"shards_{shards}_speedup"] = round(serial_wall / wall, 2)
         identical = identical and summary_blob(result) == serial_summaries
+        if shards == 2:
+            batched_stats = result.net.stats
+    # Time the two wire formats back to back (escape hatch first): the
+    # shards loop above leaves the process maximally warm, so adjacent
+    # runs are the fair wall-clock comparison on a noisy host.  The byte
+    # counters are deterministic and independent of this ordering.
+    started = time.perf_counter()
+    escape = run_with_shards(2, batch_wire=False)
+    escape_wall = time.perf_counter() - started
+    identical = identical and summary_blob(escape) == serial_summaries
+    escape_stats = escape.net.stats
+    started = time.perf_counter()
+    rebatched = run_with_shards(2)
+    batched_wall = time.perf_counter() - started
+    identical = identical and summary_blob(rebatched) == serial_summaries
+    windows = n_windows()
+    section["wire_batching"] = {
+        "shards": 2,
+        "windows": windows,
+        "wire_envelopes": batched_stats.wire_envelopes,
+        "batched_buffers": batched_stats.wire_buffers,
+        "batched_wire_bytes": batched_stats.wire_bytes,
+        "batched_bytes_per_window": round(batched_stats.wire_bytes
+                                          / windows),
+        "batched_events_per_sec": round(events / batched_wall),
+        "payload_bytes_before_interning":
+            batched_stats.wire_payload_bytes_before,
+        "payload_bytes_after_interning": batched_stats.wire_payload_bytes,
+        "per_envelope_wire_bytes": escape_stats.wire_bytes,
+        "per_envelope_bytes_per_window": round(escape_stats.wire_bytes
+                                               / windows),
+        "per_envelope_events_per_sec": round(events / escape_wall),
+        "bytes_reduction": round(escape_stats.wire_bytes
+                                 / batched_stats.wire_bytes, 2),
+    }
     section["summaries_byte_identical"] = identical
     return section
 

@@ -95,7 +95,15 @@ def registered_kinds() -> Tuple[str, ...]:
 
 
 class Payload(Protocol):
-    """Structural interface every protocol message implements."""
+    """Structural interface every protocol message implements.
+
+    Payloads must be treated as immutable once sent: the fabric may hold
+    a reference past the ``send`` call (a multicast shares one payload
+    object across destinations, and the sharded wire batcher interns the
+    object until the next window barrier before serializing it once per
+    peer shard) — mutating a sent payload would corrupt datagrams still
+    in flight.  Every in-tree payload freezes its fields at construction.
+    """
 
     kind: str
     kind_id: int
@@ -123,6 +131,21 @@ class Envelope:
         # ride the simulator's fire-and-forget path.
         self._net = None
         self._exit_time = 0.0
+
+    @classmethod
+    def arrived(cls, src: int, dst: int, payload: Payload, size_bytes: int,
+                send_time: float, exit_time: float,
+                arrival_time: float) -> "Envelope":
+        """Rebuild a fully-timed envelope (wire decode entry point).
+
+        The cross-shard wire paths reconstruct envelopes whose uplink
+        exit time was decided on the sending shard; this constructor
+        restores it in one call instead of leaving ``_exit_time`` for
+        the caller to patch.
+        """
+        envelope = cls(src, dst, payload, size_bytes, send_time, arrival_time)
+        envelope._exit_time = exit_time
+        return envelope
 
     def __call__(self) -> None:
         """Arrival event: hand the envelope back to its network fabric."""

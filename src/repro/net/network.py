@@ -36,7 +36,11 @@ schedules arrival, drains same-timestamp arrival buckets through one
 ``deliver_bucket`` call (receiver-side stats accumulate per kind group,
 not per envelope), and applies crash/dispatch/recycling semantics.  The
 sharded execution engine (:mod:`repro.net.shard`) swaps in a router that
-forwards remote-shard destinations across process boundaries.
+forwards remote-shard destinations across process boundaries — and
+because ``send_many`` hands the *same* payload object to every
+per-destination envelope, that router can intern multicast payloads by
+identity and ship one blob per peer shard per window instead of one per
+remote destination.
 
 With ``reuse_envelopes=True`` delivered envelopes are recycled
 through a free list — only safe when no endpoint or caller retains

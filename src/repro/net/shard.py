@@ -32,30 +32,74 @@ Scenario features whose *state* crosses the partition (churn's crash
 propagation, the freerider audit's conviction sets) are rejected by
 validation until they are taught to shard.
 
-The wire format of a cross-shard envelope is::
+**Wire format.**  By default a whole window's outbox to one peer shard is
+*batched* into a single packed buffer::
+
+    (WIRE_BATCH_TAG, n_rows,
+     header_table,    # n_rows struct-packed rows of
+                      #   (kind_id, src, dst, size_bytes, payload_ref,
+                      #    send_time, exit_time, arrival_time)
+     payload_pool)    # ONE pickle of the list of distinct payloads
+
+so serialization is paid once per (window, peer shard) instead of once
+per datagram, and *multicast payloads are interned*: a ``send_many``
+fan-out whose destinations cross a shard boundary ships its payload
+object once per peer shard — each header row references it by pool index
+— not once per destination.  The pool pickle also shares class/global
+references across same-kind payloads, which individual per-envelope
+pickles re-encode every time.  Interning keys on object identity, which
+is safe because payloads are immutable once sent (see
+:class:`repro.net.message.Payload`) and the pool holds them alive until
+the barrier packs the buffer.
+
+The pre-batching format — one wire tuple per envelope, its payload
+pickled per datagram::
 
     (src, dst, kind_id, size_bytes, send_time, exit_time, arrival_time,
      payload_blob)
 
-with the interned integer kind id (PR 3's dispatch currency) as the
-routing tag and the payload pickled alongside; workers handshake their
-kind-id registries at startup so an id means the same payload class in
-every process.
+survives behind ``ShardRouter(batch_wire=False)`` as the escape hatch
+the parity tests and the byte-reduction benchmark compare against.
+Either way the interned integer kind id (PR 3's dispatch currency) is
+the routing tag; workers handshake their kind-id registries at startup
+so an id means the same payload class in every process, and both decode
+paths validate the tag against the unpickled payload.
+
+What crosses the wire is accounted in the
+:class:`~repro.net.stats.NetworkStats` ``wire_*`` counters (buffers,
+envelopes, serialized bytes, payload bytes before/after interning), so
+the barrier's cost is a measurable number instead of a wall-clock
+mystery.
 """
 
 from __future__ import annotations
 
 import pickle
+import struct
 import traceback
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.net.message import Envelope, kind_name, registered_kinds
 from repro.net.router import InprocRouter, POOL_CAP
 from repro.net.stats import NetworkStats
 from repro.workloads.scenario import ScenarioConfig
 
-#: A cross-shard envelope on the wire (see module docstring).
+#: A cross-shard envelope on the wire (escape-hatch format).
 WireEnvelope = Tuple[int, int, int, int, float, float, float, bytes]
+
+#: First element of a packed window buffer; distinguishes it from a
+#: per-envelope wire tuple, whose first element is a node id (>= 0).
+WIRE_BATCH_TAG = -1
+
+#: One header-table row of a packed buffer:
+#: (kind_id, src, dst, size_bytes, payload_ref, send_time, exit_time,
+#: arrival_time).
+_ROW = struct.Struct("<iiiiiddd")
+
+#: A packed window buffer: (WIRE_BATCH_TAG, n_rows, header_table, pool_blob).
+WireBatch = Tuple[int, int, bytes, bytes]
+
+_PICKLE = pickle.HIGHEST_PROTOCOL
 
 
 def shard_of(node_id: int, shards: int) -> int:
@@ -76,18 +120,45 @@ def encode_envelope(envelope: Envelope, kind_id: int) -> WireEnvelope:
             pickle.dumps(envelope.payload, protocol=pickle.HIGHEST_PROTOCOL))
 
 
-def decode_envelope(wire: WireEnvelope) -> Envelope:
-    """Rebuild an envelope from its wire tuple, validating the kind tag."""
-    src, dst, kind_id, size, send_time, exit_time, arrival, blob = wire
-    payload = pickle.loads(blob)
+def _check_kind(payload, kind_id: int) -> None:
+    """Validate an unpickled payload against its wire kind tag."""
     if payload.kind_id != kind_id:
         raise ValueError(
             f"cross-shard kind mismatch: wire tag {kind_id} "
             f"({kind_name(kind_id)!r}) vs payload {payload.kind_id} "
             f"({payload.kind!r}) — worker kind registries diverged")
-    envelope = Envelope(src, dst, payload, size, send_time, arrival)
-    envelope._exit_time = exit_time
-    return envelope
+
+
+def decode_envelope(wire: WireEnvelope) -> Envelope:
+    """Rebuild an envelope from its wire tuple, validating the kind tag."""
+    src, dst, kind_id, size, send_time, exit_time, arrival, blob = wire
+    payload = pickle.loads(blob)
+    _check_kind(payload, kind_id)
+    return Envelope.arrived(src, dst, payload, size, send_time, exit_time,
+                            arrival)
+
+
+def _decode_batch(batch: WireBatch) -> Iterator[Envelope]:
+    """Decode a packed window buffer into envelopes, in row order.
+
+    One ``pickle.loads`` rebuilds the payload pool; every header row then
+    costs a struct unpack plus one envelope construction — no per-row
+    pickling, no per-row scheduling (the caller feeds this straight into
+    :meth:`~repro.net.router.InprocRouter.route_many`, which groups
+    same-arrival rows into one arrival bucket).
+    """
+    _tag, n_rows, header, blob = batch
+    if len(header) != n_rows * _ROW.size:
+        raise ValueError(
+            f"corrupt cross-shard buffer: {n_rows} rows declared but "
+            f"{len(header)} header bytes ({_ROW.size} per row)")
+    payloads = pickle.loads(blob)
+    arrived = Envelope.arrived
+    for (kind_id, src, dst, size, ref, send_time, exit_time,
+         arrival) in _ROW.iter_unpack(header):
+        payload = payloads[ref]
+        _check_kind(payload, kind_id)
+        yield arrived(src, dst, payload, size, send_time, exit_time, arrival)
 
 
 class ShardRouter(InprocRouter):
@@ -95,20 +166,41 @@ class ShardRouter(InprocRouter):
 
     Owned destinations take the inherited in-process path (arrival
     bucketing, batched receiver stats — identical semantics to a serial
-    run).  Remote destinations are encoded into the per-target-shard
-    outbox, to be exchanged at the next window barrier; the sending
-    side's stats were already accounted by ``Network.send``, so a
-    forwarded envelope costs the receiver shard exactly what a local
-    delivery would.
+    run).  Remote destinations accumulate in per-target-shard outboxes
+    exchanged at the next window barrier; the sending side's stats were
+    already accounted by ``Network.send``, so a forwarded envelope costs
+    the receiver shard exactly what a local delivery would.
+
+    With ``batch_wire=True`` (the default) a window's outbox to one peer
+    shard is packed into a single buffer — struct rows at route time,
+    one payload-pool pickle at the barrier, multicast payloads interned
+    by object identity (see the module docstring).  ``batch_wire=False``
+    is the pre-batching per-envelope escape hatch, kept for the parity
+    tests and the byte-reduction benchmark that quantify the batching
+    win; it pickles every payload per datagram.
     """
 
-    __slots__ = ("owned", "shards", "_outboxes", "_recycle")
+    __slots__ = ("owned", "shards", "batch_wire", "_outboxes", "_rows",
+                 "_pools", "_interned", "_refcounts", "_recycle")
 
-    def __init__(self, owned: Set[int], shards: int):
+    def __init__(self, owned: Set[int], shards: int,
+                 batch_wire: bool = True):
         super().__init__()
         self.owned = owned
         self.shards = shards
+        self.batch_wire = batch_wire
+        #: Escape hatch: per-target-shard lists of per-envelope tuples.
         self._outboxes: List[List[WireEnvelope]] = [[] for _ in range(shards)]
+        #: Batched path, all per target shard: packed header rows, the
+        #: distinct payloads in first-reference order, the identity
+        #: intern map id(payload) -> pool index (the pool's strong
+        #: reference pins the id until the barrier clears both), and the
+        #: per-pool-entry reference counts feeding the before-interning
+        #: byte counter.
+        self._rows: List[List[bytes]] = [[] for _ in range(shards)]
+        self._pools: List[list] = [[] for _ in range(shards)]
+        self._interned: List[Dict[int, int]] = [{} for _ in range(shards)]
+        self._refcounts: List[List[int]] = [[] for _ in range(shards)]
         #: Remote-destination envelopes awaiting recycling: they never
         #: come back through a local delivery, so without this the free
         #: list would drain.  Recycled at the window barrier, which
@@ -121,20 +213,86 @@ class ShardRouter(InprocRouter):
         if dst in self.owned:
             InprocRouter.route(self, envelope)
             return
-        self._outboxes[dst % self.shards].append(
-            encode_envelope(envelope, envelope.payload.kind_id))
+        shard = dst % self.shards
+        if self.batch_wire:
+            payload = envelope.payload
+            interned = self._interned[shard]
+            key = id(payload)
+            ref = interned.get(key)
+            if ref is None:
+                pool = self._pools[shard]
+                ref = len(pool)
+                interned[key] = ref
+                pool.append(payload)
+                self._refcounts[shard].append(1)
+            else:
+                self._refcounts[shard][ref] += 1
+            self._rows[shard].append(_ROW.pack(
+                payload.kind_id, envelope.src, dst, envelope.size_bytes, ref,
+                envelope.send_time, envelope._exit_time,
+                envelope.arrival_time))
+        else:
+            wire = encode_envelope(envelope, envelope.payload.kind_id)
+            stats = self._net.stats
+            stats.wire_buffers += 1
+            stats.wire_envelopes += 1
+            blob_len = len(wire[7])
+            stats.wire_payload_bytes_before += blob_len
+            stats.wire_payload_bytes += blob_len
+            # What IPC actually ships for this envelope: the whole tuple.
+            stats.wire_bytes += len(pickle.dumps(wire, protocol=_PICKLE))
+            self._outboxes[shard].append(wire)
         if self._net._pool is not None:
             self._recycle.append(envelope)
 
-    def take_outboxes(self) -> List[List[WireEnvelope]]:
+    def _pack_outboxes(self) -> List[List[WireBatch]]:
+        """Freeze the window's accumulated rows/pools into wire buffers."""
+        dumps = pickle.dumps
+        out: List[List[WireBatch]] = []
+        for shard in range(self.shards):
+            rows = self._rows[shard]
+            if not rows:
+                out.append([])
+                continue
+            stats = self._net.stats
+            pool = self._pools[shard]
+            header = b"".join(rows)
+            blob = dumps(pool, protocol=_PICKLE)
+            stats.wire_buffers += 1
+            stats.wire_envelopes += len(rows)
+            stats.wire_bytes += len(header) + len(blob)
+            stats.wire_payload_bytes += len(blob)
+            # What the per-envelope path would have shipped: every
+            # reference pickled individually.  Identical payloads pickle
+            # to identical blobs, so refcount * individual size is exact.
+            # Costs one extra dumps per *distinct* payload per window —
+            # a small fraction of a window's simulation work, and the
+            # price of the counter being a measurement, not an estimate.
+            stats.wire_payload_bytes_before += sum(
+                count * len(dumps(payload, protocol=_PICKLE))
+                for payload, count in zip(pool, self._refcounts[shard]))
+            out.append([(WIRE_BATCH_TAG, len(rows), header, blob)])
+            self._rows[shard] = []
+            self._pools[shard] = []
+            self._interned[shard] = {}
+            self._refcounts[shard] = []
+        return out
+
+    def take_outboxes(self) -> List[list]:
         """Drain and return the per-target-shard outboxes.
 
-        Called at a window barrier; envelopes serialized during the
-        window are returned to the free list here (no caller can hold
-        them past their send event's window under ``send``'s contract).
+        Called at a window barrier.  Batched mode returns at most one
+        packed buffer per target shard (this is where the pool pickle
+        and the wire counters are paid); the escape hatch returns the
+        per-envelope tuples.  Envelopes serialized during the window are
+        returned to the free list here (no caller can hold them past
+        their send event's window under ``send``'s contract).
         """
-        out = self._outboxes
-        self._outboxes = [[] for _ in range(self.shards)]
+        if self.batch_wire:
+            out: List[list] = self._pack_outboxes()
+        else:
+            out = self._outboxes
+            self._outboxes = [[] for _ in range(self.shards)]
         pending = self._recycle
         if pending:
             pool = self._net._pool
@@ -145,15 +303,21 @@ class ShardRouter(InprocRouter):
             self._recycle = []
         return out
 
-    def inject(self, wires: Iterable[WireEnvelope]) -> None:
+    def inject(self, wires: Iterable) -> None:
         """Schedule envelopes received from other shards.
 
         Called at a window barrier; the conservative lookahead
         guarantees every arrival time lies strictly beyond the shard's
-        current clock.
+        current clock.  Accepts packed window buffers and per-envelope
+        tuples alike (the tag distinguishes them), so both wire formats
+        — and mixtures, during a future migration — decode through one
+        entry point.
         """
         for wire in wires:
-            InprocRouter.route(self, decode_envelope(wire))
+            if wire[0] == WIRE_BATCH_TAG:
+                self.route_many(_decode_batch(wire))
+            else:
+                InprocRouter.route(self, decode_envelope(wire))
 
 
 # ----------------------------------------------------------------------
@@ -162,16 +326,18 @@ class ShardRouter(InprocRouter):
 class _ShardRun:
     """One shard's build plus its windowed-execution state."""
 
-    def __init__(self, config: ScenarioConfig, shard_index: int):
+    def __init__(self, config: ScenarioConfig, shard_index: int,
+                 batch_wire: bool = True):
         from repro.experiments.runner import build_scenario
 
         self.shard_index = shard_index
         self.owned = partition(config.n_nodes, config.shards, shard_index)
-        self.router = ShardRouter(self.owned, config.shards)
+        self.router = ShardRouter(self.owned, config.shards,
+                                  batch_wire=batch_wire)
         self.build = build_scenario(config, owned=self.owned,
                                     router=self.router)
 
-    def run_window(self, until: float) -> List[List[WireEnvelope]]:
+    def run_window(self, until: float) -> List[list]:
         self.build.sim.run(until=until)
         return self.router.take_outboxes()
 
@@ -207,10 +373,23 @@ def _lookahead(config: ScenarioConfig) -> float:
     return lookahead
 
 
+def window_count(config: ScenarioConfig, until: Optional[float] = None) -> int:
+    """Number of window barriers a sharded run of ``config`` crosses.
+
+    The benchmark divides the wire counters by this to report
+    bytes-per-window; counting the actual boundary sequence sidesteps
+    the float-accumulation drift a ``ceil(end / lookahead)`` estimate
+    is exposed to.
+    """
+    end = until if until is not None else config.end_time
+    return sum(1 for _ in _windows(end, _lookahead(config)))
+
+
 # ----------------------------------------------------------------------
 # serial driver: the whole windowed protocol in one process
 # ----------------------------------------------------------------------
-def _run_serial_shards(config: ScenarioConfig, end: float) -> List[dict]:
+def _run_serial_shards(config: ScenarioConfig, end: float,
+                       batch_wire: bool = True) -> List[dict]:
     """Drive every shard in-process, round-robin per window.
 
     Functionally identical to the process driver (same windows, same
@@ -218,7 +397,7 @@ def _run_serial_shards(config: ScenarioConfig, end: float) -> List[dict]:
     pool workers (which may not fork children), and by tests that pin
     down the windowed algorithm itself.
     """
-    runs = [_ShardRun(config, i) for i in range(config.shards)]
+    runs = [_ShardRun(config, i, batch_wire) for i in range(config.shards)]
     lookahead = _lookahead(config)
     for t in _windows(end, lookahead):
         outboxes = [run.run_window(t) for run in runs]
@@ -232,10 +411,10 @@ def _run_serial_shards(config: ScenarioConfig, end: float) -> List[dict]:
 # process driver: one worker process per shard, coordinator as message hub
 # ----------------------------------------------------------------------
 def _shard_worker(conn, config: ScenarioConfig, shard_index: int,
-                  end: float) -> None:
+                  end: float, batch_wire: bool = True) -> None:
     """Worker entry point (module-level: importable under spawn)."""
     try:
-        run = _ShardRun(config, shard_index)
+        run = _ShardRun(config, shard_index, batch_wire)
         conn.send(("hello", registered_kinds()))
         lookahead = _lookahead(config)
         for t in _windows(end, lookahead):
@@ -273,7 +452,8 @@ def _check_kind_registries(hellos: Sequence[Tuple[str, ...]]) -> None:
 
 
 def _run_process_shards(config: ScenarioConfig, end: float,
-                        start_method: Optional[str]) -> List[dict]:
+                        start_method: Optional[str],
+                        batch_wire: bool = True) -> List[dict]:
     """Spawn one worker per shard and relay their window exchanges."""
     import multiprocessing
 
@@ -296,7 +476,7 @@ def _run_process_shards(config: ScenarioConfig, end: float,
         for i in range(shards):
             parent, child = ctx.Pipe()
             worker = ctx.Process(target=_shard_worker,
-                                 args=(child, config, i, end),
+                                 args=(child, config, i, end, batch_wire),
                                  name=f"repro-shard-{i}")
             worker.start()
             child.close()
@@ -318,7 +498,7 @@ def _run_process_shards(config: ScenarioConfig, end: float,
                 # of outboxes in shard order, each preserving its
                 # sender's event order — the same order the serial
                 # driver injects in.
-                inbound: List[List[WireEnvelope]] = [[] for _ in range(shards)]
+                inbound: List[list] = [[] for _ in range(shards)]
                 for _, _, outboxes in msgs:
                     for target in range(shards):
                         inbound[target].extend(outboxes[target])
@@ -420,7 +600,8 @@ def merge_harvests(config: ScenarioConfig, harvests: List[dict]):
 
 def run_sharded(config: ScenarioConfig, until: Optional[float] = None,
                 start_method: Optional[str] = None,
-                processes: Optional[bool] = None):
+                processes: Optional[bool] = None,
+                batch_wire: bool = True):
     """Run one scenario partitioned across ``config.shards`` shards.
 
     Returns a merged ``ExperimentResult`` whose metric summaries are
@@ -431,7 +612,9 @@ def run_sharded(config: ScenarioConfig, until: Optional[float] = None,
     workers, which may not spawn children, or on single-CPU hosts where
     extra processes can only add overhead).  ``start_method`` pins the
     multiprocessing start method (tests use ``"spawn"`` to prove the
-    workers' builds are import-clean).
+    workers' builds are import-clean).  ``batch_wire=False`` selects the
+    per-envelope wire escape hatch (parity tests and the byte-reduction
+    benchmark only; summaries are byte-identical either way).
     """
     config.validate()
     if config.shards <= 1:
@@ -446,7 +629,7 @@ def run_sharded(config: ScenarioConfig, until: Optional[float] = None,
         processes = not daemon and (_available_cpus() > 1
                                     or start_method is not None)
     if processes:
-        harvests = _run_process_shards(config, end, start_method)
+        harvests = _run_process_shards(config, end, start_method, batch_wire)
     else:
-        harvests = _run_serial_shards(config, end)
+        harvests = _run_serial_shards(config, end, batch_wire)
     return merge_harvests(config, harvests)

@@ -18,6 +18,25 @@ side accumulates per *arrival bucket* — the router hands every kind group
 of a same-timestamp bucket to :meth:`NetworkStats.add_received` as one
 bulk accumulation instead of one update per envelope.  Sharded runs merge
 per-worker instances with :meth:`NetworkStats.merge_from`.
+
+**Cross-shard wire counters.**  Sharded execution additionally accounts
+what actually crosses a process boundary, so the cost of the window
+barrier is visible instead of folded into wall time:
+
+* ``wire_buffers`` — packed window buffers shipped (on the per-envelope
+  escape-hatch path every envelope is its own pickled unit, so there it
+  counts shipped envelopes);
+* ``wire_envelopes`` — cross-shard envelopes shipped;
+* ``wire_bytes`` — total serialized bytes shipped (header tables plus
+  payload blobs for the batched path; whole pickled wire tuples for the
+  per-envelope path);
+* ``wire_payload_bytes_before`` / ``wire_payload_bytes`` — payload blob
+  bytes before and after multicast interning (a ``send_many`` payload
+  crossing to a peer shard ships once per peer shard, not once per
+  destination; without batching the two counters are equal).
+
+All five are commutative sums and merge across shards like every other
+counter; :meth:`NetworkStats.wire_summary` bundles them for reports.
 """
 
 from __future__ import annotations
@@ -46,7 +65,9 @@ class NetworkStats:
     __slots__ = ("sent", "delivered", "lost", "dropped_queue", "dropped_dead",
                  "bytes_sent", "bytes_received", "_bytes_by_kind",
                  "_count_by_kind", "_recv_bytes_by_kind",
-                 "_recv_count_by_kind", "per_node")
+                 "_recv_count_by_kind", "per_node", "wire_buffers",
+                 "wire_envelopes", "wire_bytes", "wire_payload_bytes_before",
+                 "wire_payload_bytes")
 
     def __init__(self) -> None:
         self.sent = 0
@@ -56,6 +77,12 @@ class NetworkStats:
         self.dropped_dead = 0
         self.bytes_sent = 0
         self.bytes_received = 0
+        # Cross-shard wire accounting (zero outside sharded runs).
+        self.wire_buffers = 0
+        self.wire_envelopes = 0
+        self.wire_bytes = 0
+        self.wire_payload_bytes_before = 0
+        self.wire_payload_bytes = 0
         #: Flat per-kind accumulators indexed by kind id.  Sized for the
         #: kinds registered so far; ``kind_slot`` grows them when a kind
         #: is registered after this stats object was created.
@@ -158,6 +185,11 @@ class NetworkStats:
         self.dropped_dead += other.dropped_dead
         self.bytes_sent += other.bytes_sent
         self.bytes_received += other.bytes_received
+        self.wire_buffers += other.wire_buffers
+        self.wire_envelopes += other.wire_envelopes
+        self.wire_bytes += other.wire_bytes
+        self.wire_payload_bytes_before += other.wire_payload_bytes_before
+        self.wire_payload_bytes += other.wire_payload_bytes
         top = max(len(other._bytes_by_kind), len(other._recv_bytes_by_kind))
         if top:
             self.kind_slot(top - 1)
@@ -175,6 +207,16 @@ class NetworkStats:
             mine.bytes_down += node.bytes_down
             mine.datagrams_up += node.datagrams_up
             mine.datagrams_down += node.datagrams_down
+
+    def wire_summary(self) -> Dict[str, int]:
+        """The cross-shard wire counters as one report-ready mapping."""
+        return {
+            "buffers": self.wire_buffers,
+            "envelopes": self.wire_envelopes,
+            "bytes": self.wire_bytes,
+            "payload_bytes_before_interning": self.wire_payload_bytes_before,
+            "payload_bytes_after_interning": self.wire_payload_bytes,
+        }
 
     def node(self, node_id: int) -> NodeTrafficStats:
         stats = self.per_node.get(node_id)

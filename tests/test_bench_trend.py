@@ -86,6 +86,29 @@ def test_reference_is_median_of_baseline_and_history(tmp_path):
     assert result.returncode == 0, result.stderr
 
 
+def test_wire_batching_keys_skipped_when_reference_predates_them(tmp_path):
+    """A fresh report carrying the ``sharding.wire_batching`` subsection
+    must pass cleanly against a committed baseline (and history) from
+    before wire batching existed — and start gating once history has
+    recorded the new nested keys."""
+    fresh = _report()
+    fresh["sharding"] = {"serial_events_per_sec": 30_000,
+                         "wire_batching": {"batched_events_per_sec": 16_000,
+                                           "bytes_reduction": 3.0}}
+    history = tmp_path / "history.jsonl"
+    result = _run(tmp_path, _report(), fresh, "--history", str(history))
+    assert result.returncode == 0, result.stderr
+    # The passing run recorded the nested metrics ...
+    record = json.loads(history.read_text().splitlines()[-1])
+    assert record["metrics"]["sharding.wire_batching.bytes_reduction"] == 3.0
+    # ... so a later collapse of the reduction factor now fails the gate.
+    regressed = json.loads(json.dumps(fresh))
+    regressed["sharding"]["wire_batching"]["bytes_reduction"] = 1.0
+    result = _run(tmp_path, _report(), regressed, "--history", str(history))
+    assert result.returncode == 1
+    assert "bytes reduction" in result.stderr
+
+
 def test_metric_missing_from_baseline_gated_via_history(tmp_path):
     """A metric the committed baseline predates (e.g. the fanout bench)
     is skipped until history exists, then gated against history alone."""

@@ -303,8 +303,9 @@ class TestShardRouterLocalParts:
     """ShardRouter mechanics that do not need a full sharded run."""
 
     def test_remote_destination_lands_in_target_outbox(self):
+        # Escape hatch: the pre-batching per-envelope wire tuples.
         sim = Simulator()
-        router = ShardRouter(owned={0, 2}, shards=2)
+        router = ShardRouter(owned={0, 2}, shards=2, batch_wire=False)
         net = Network(sim, latency=ConstantLatency(0.01), router=router)
         net.attach(0, Sink(), 1e9)
         remote_sink = Sink()
@@ -319,6 +320,30 @@ class TestShardRouterLocalParts:
         assert (src, dst) == (0, 1)
         assert kind_id == FakePayload("remote").kind_id
         assert size == 50 + UDP_IP_HEADER_BYTES
+
+    def test_remote_destination_lands_in_packed_buffer(self):
+        # Default: the window's outbox to a peer shard is one packed
+        # buffer (tagged tuple), not per-envelope tuples.
+        from repro.net.shard import WIRE_BATCH_TAG
+
+        sim = Simulator()
+        router = ShardRouter(owned={0, 2}, shards=2)
+        net = Network(sim, latency=ConstantLatency(0.01), router=router)
+        net.attach(0, Sink(), 1e9)
+        net.attach(1, Sink(), 1e9)  # owned by shard 1
+        net.send(0, 1, FakePayload(kind="packed", size=50))
+        net.send(0, 1, FakePayload(kind="packed", size=50))
+        sim.run()
+        outboxes = router.take_outboxes()
+        assert outboxes[0] == []
+        assert len(outboxes[1]) == 1  # ONE buffer for two envelopes
+        tag, n_rows, header, blob = outboxes[1][0]
+        assert tag == WIRE_BATCH_TAG and n_rows == 2
+        assert isinstance(header, bytes) and isinstance(blob, bytes)
+        assert router.take_outboxes() == [[], []]  # drained
+        assert net.stats.wire_buffers == 1
+        assert net.stats.wire_envelopes == 2
+        assert net.stats.wire_bytes == len(header) + len(blob)
 
     def test_wire_round_trip_preserves_envelope(self):
         payload = FakePayload(kind="wire", size=64)
