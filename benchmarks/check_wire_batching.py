@@ -8,7 +8,9 @@ window buffers (the default) and the per-envelope escape hatch
   wire-encoding change);
 * the ``NetworkStats`` cross-shard wire counters are present and
   populated (buffers, envelopes, serialized bytes, payload bytes
-  before/after interning);
+  before/after interning, membership control rows — the scenario
+  includes a mid-stream catastrophic failure so crash announcements
+  actually ride the buffers);
 * batching shipped strictly fewer serialized bytes than the
   per-envelope path on the same traffic.
 
@@ -38,14 +40,17 @@ def main(argv=None) -> int:
 
     from repro.metrics.summary import standard_bundle, summarize
     from repro.net.shard import run_sharded, window_count
+    from repro.workloads.churn import CatastrophicFailure
     from repro.workloads.distributions import REF_691
     from repro.workloads.scenario import ScenarioConfig
 
+    churn = CatastrophicFailure(fraction=0.1,
+                                at_time=2.0 + args.seconds / 2)
     config = ScenarioConfig(protocol="heap", n_nodes=args.nodes,
                             duration=args.seconds, drain=args.drain,
                             seed=7, distribution=REF_691,
                             latency_rng="per-pair", latency_floor=0.02,
-                            shards=args.shards)
+                            churn=churn, shards=args.shards)
     processes = not args.serial_driver
 
     def blob(result) -> str:
@@ -75,6 +80,12 @@ def main(argv=None) -> int:
     if b["envelopes"] != e["envelopes"]:
         failures.append(f"paths shipped different envelope counts "
                         f"({b['envelopes']} vs {e['envelopes']})")
+    expected_controls = len(batched.crash_times) * (args.shards - 1)
+    if b["control_rows"] != expected_controls:
+        failures.append(
+            f"expected {expected_controls} control rows "
+            f"({len(batched.crash_times)} victims x {args.shards - 1} peer "
+            f"shards), counted {b['control_rows']}")
     if b["bytes"] >= e["bytes"]:
         failures.append(f"batching did not reduce serialized bytes "
                         f"({b['bytes']:,} >= {e['bytes']:,})")

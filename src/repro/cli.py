@@ -96,8 +96,12 @@ def _cmd_run(args) -> int:
         churn = CatastrophicFailure(fraction=args.churn_fraction,
                                     at_time=args.churn_time)
     latency_rng = args.latency_rng
-    if args.shards > 1 and latency_rng is None:
-        latency_rng = "per-pair"
+    loss_rng = args.loss_rng
+    if args.shards > 1:
+        if latency_rng is None:
+            latency_rng = "per-pair"
+        if loss_rng is None:
+            loss_rng = "per-pair"
     config = ScenarioConfig(
         protocol=args.protocol,
         n_nodes=args.nodes,
@@ -113,6 +117,7 @@ def _cmd_run(args) -> int:
         freerider_mode=args.freerider_mode,
         churn=churn,
         latency_rng=latency_rng if latency_rng is not None else "shared",
+        loss_rng=loss_rng if loss_rng is not None else "shared",
         latency_floor=args.latency_floor,
         shards=args.shards,
     )
@@ -183,8 +188,12 @@ def _cmd_sweep(args) -> int:
         print("no seeds given (check --num-seeds)", file=sys.stderr)
         return 2
     latency_rng = args.latency_rng
-    if args.shards > 1 and latency_rng is None:
-        latency_rng = "per-pair"
+    loss_rng = args.loss_rng
+    if args.shards > 1:
+        if latency_rng is None:
+            latency_rng = "per-pair"
+        if loss_rng is None:
+            loss_rng = "per-pair"
     jobs = args.jobs
     if args.shards > 1 and jobs > 1:
         # A sharded cell spawns its own worker processes; running it
@@ -203,6 +212,7 @@ def _cmd_sweep(args) -> int:
         distribution=distribution_by_name(args.distribution),
         loss_rate=args.loss,
         latency_rng=latency_rng if latency_rng is not None else "shared",
+        loss_rng=loss_rng if loss_rng is not None else "shared",
         latency_floor=args.latency_floor,
         shards=args.shards,
     ) for protocol in protocols]
@@ -320,7 +330,7 @@ def _cmd_render(registry: Dict[str, Callable], command: str, name: str,
         print(f"error: {exc}", file=sys.stderr)
         return 2
     except ValueError as exc:
-        # e.g. --shards on a scenario the sharded engine rejects (churn)
+        # e.g. an invalid scenario override reaching validation
         print(f"error: {exc}", file=sys.stderr)
         return 2
     finally:
@@ -350,8 +360,8 @@ def _add_shard_args(parser) -> None:
     parser.add_argument("--shards", type=int, default=0,
                         help="partition the node population across N "
                              "worker shards (0/1 = in-process; N > 1 "
-                             "implies --latency-rng per-pair and "
-                             "produces results identical to the "
+                             "implies --latency-rng/--loss-rng per-pair "
+                             "and produces results identical to the "
                              "*per-pair* serial run — not to the "
                              "default shared-stream mode)")
     parser.add_argument("--latency-rng", choices=("shared", "per-pair"),
@@ -360,6 +370,13 @@ def _add_shard_args(parser) -> None:
                              "stream in global send order, the default) "
                              "or 'per-pair' (independent per-link "
                              "streams, required for --shards > 1)")
+    parser.add_argument("--loss-rng", choices=("shared", "per-pair"),
+                        default=None,
+                        help="loss randomness mode: 'shared' (one "
+                             "stream in global send order, the default) "
+                             "or 'per-pair' (independent per-link "
+                             "Bernoulli trials, required for "
+                             "--shards > 1 with --loss > 0)")
     parser.add_argument("--latency-floor", type=float, default=0.002,
                         help="hard lower bound on pairwise latency, "
                              "seconds; doubles as the sharded lookahead "
@@ -456,9 +473,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "(mirrors sweep --csv)")
         p.add_argument("--shards", type=int, default=0,
                        help="run each scenario under the sharded "
-                            "execution model: per-pair latency streams, "
-                            "partitioned across N worker shards when "
-                            "N > 1 (output is identical for any N >= 1)")
+                            "execution model: per-pair latency and loss "
+                            "streams, partitioned across N worker "
+                            "shards when N > 1 (output is identical "
+                            "for any N >= 1)")
         p.add_argument("--latency-floor", type=float, default=None,
                        help="with --shards: override the scenarios' "
                             "latency floor (= the shard lookahead; "

@@ -74,8 +74,9 @@ class GridOptions:
     bundle: bool = True
     #: Run every cell's scenario under the sharded execution model (CLI
     #: ``--shards N``): configs are switched to the order-independent
-    #: ``latency_rng="per-pair"`` mode and, for N > 1, partitioned across
-    #: N shard workers.  0 leaves cells untouched.  Summaries are
+    #: ``latency_rng="per-pair"`` / ``loss_rng="per-pair"`` modes and,
+    #: for N > 1, partitioned across N shard workers.  0 leaves cells
+    #: untouched.  Summaries are
     #: identical for any N >= 1 of the same artifact — N only picks the
     #: intra-scenario parallelism — but differ from the default
     #: shared-stream mode, so sharded runs cache/checkpoint under their
@@ -168,11 +169,13 @@ def grid_summaries(cells: Sequence[Cell], *,
     bundle_specs = standard_bundle() if bundle else ()
     shards = shards if shards is not None else opts.shards
     if shards:
-        # Sharded execution model: per-pair latency streams (the
-        # order-independent mode sharding requires) and, for N > 1,
-        # intra-scenario partitioning.  Applied before deduplication so
-        # cache keys, checkpoints and runs all agree on the scenario.
-        overrides = {"shards": shards, "latency_rng": "per-pair"}
+        # Sharded execution model: per-pair latency and loss streams
+        # (the order-independent modes sharding requires) and, for
+        # N > 1, intra-scenario partitioning.  Applied before
+        # deduplication so cache keys, checkpoints and runs all agree
+        # on the scenario.
+        overrides = {"shards": shards, "latency_rng": "per-pair",
+                     "loss_rng": "per-pair"}
         if opts.latency_floor is not None:
             overrides["latency_floor"] = opts.latency_floor
         cells = [(config.with_(**overrides), specs)

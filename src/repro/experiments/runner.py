@@ -35,7 +35,7 @@ from repro.membership.directory import MembershipDirectory
 from repro.membership.peer_sampling import PeerSamplingService
 from repro.membership.selector import CapabilityBiasedSelector
 from repro.net.latency import PairwiseLatency, PerPairLatency
-from repro.net.loss import BernoulliLoss
+from repro.net.loss import BernoulliLoss, PerPairLoss
 from repro.net.network import Network
 from repro.net.router import Router
 from repro.sim.engine import Simulator
@@ -242,8 +242,13 @@ def build_scenario(config: ScenarioConfig, *,
                                   median_base=config.latency_median,
                                   jitter=config.latency_jitter,
                                   floor=config.latency_floor)
-    loss = (BernoulliLoss(registry.stream("loss"), config.loss_rate)
-            if config.loss_rate > 0 else None)
+    if config.loss_rate <= 0:
+        loss = None
+    elif config.loss_rng == "per-pair":
+        loss = PerPairLoss(derive_seed(config.seed, "loss-pairs"),
+                           config.loss_rate)
+    else:
+        loss = BernoulliLoss(registry.stream("loss"), config.loss_rate)
     # Envelope recycling is safe here: every endpoint the runner builds
     # drops the envelope when on_message returns.
     net = Network(sim, latency=latency, loss=loss, reuse_envelopes=True,
@@ -342,13 +347,18 @@ def build_scenario(config: ScenarioConfig, *,
 
     if config.audit and config.protocol != "tree":
         for node_id, node in enumerate(nodes):
+            # Built for every node (the audit stream is a per-node fork,
+            # so skipping draws is safe) but started only when owned: a
+            # node's detector lives wholly on its owner shard and its
+            # evidence is harvested into the merged result.
             detector = FreeriderDetector(
                 sim, net, node_id, views[node_id],
                 registry.fork(f"audit-{node_id}").stream("audit"))
             node.register_handlers(detector.dispatch_table())
             node.on_request_sent = detector.record_request
             node.on_serve_received = detector.record_serve
-            detector.start()
+            if owns(node_id):
+                detector.start()
             detectors[node_id] = detector
 
     # Degraded nodes: advertised capability unchanged, effective uplink cut.
@@ -380,6 +390,15 @@ def build_scenario(config: ScenarioConfig, *,
     crash_times: Dict[int, float] = {}
 
     if config.churn is not None:
+        # Churn is *replicated* under sharding: every shard draws the
+        # same victims from its copy of the churn/detection streams and
+        # crashes them locally, so membership state stays serial-exact on
+        # every shard.  A membership-aware router (the shard router) is
+        # additionally notified so the victim's owner can announce the
+        # event as a control row that peer shards verify against their
+        # replica (see repro.net.shard).
+        on_membership = getattr(net.router, "on_membership_event", None)
+
         def crash_node(victim: int) -> None:
             crash_times[victim] = sim.now
             net.crash(victim)
@@ -390,6 +409,10 @@ def build_scenario(config: ScenarioConfig, *,
                 detectors[victim].stop()
             if victim in probers:
                 probers[victim].stop()
+            if on_membership is not None:
+                from repro.net.shard import EVENT_CRASH
+
+                on_membership(EVENT_CRASH, victim, sim.now)
 
         config.churn.schedule(sim, directory, registry.stream("churn"),
                               crash_node, protect=[SOURCE_ID])

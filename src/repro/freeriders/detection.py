@@ -207,10 +207,63 @@ class FreeriderDetector:
                  min_samples: int = 30,
                  min_reporters: int = 3) -> Set[int]:
         """Peers this node would convict of request-dropping."""
-        flagged = set()
-        for peer, score in self._global.items():
-            if (score.asked >= min_samples
-                    and len(score.reporters) >= min_reporters
-                    and score.ratio() < ratio_threshold):
-                flagged.add(peer)
-        return flagged
+        return _suspects(self._global, ratio_threshold, min_samples,
+                         min_reporters)
+
+    def snapshot(self) -> "FrozenDetector":
+        """A picklable copy of this detector's evidence and verdicts.
+
+        The live detector holds simulator/network/timer references and
+        cannot cross a process boundary; sharded execution harvests
+        snapshots instead, so merged results answer the same verdict
+        queries (:meth:`suspects`, :meth:`score_of`) the serial result's
+        live detectors do.
+        """
+        return FrozenDetector(self.node_id, self.reports_sent,
+                              self.reports_received,
+                              {peer: list(entry)
+                               for peer, entry in self._local.items()},
+                              dict(self._global))
+
+
+class FrozenDetector:
+    """Verdict-capable, picklable snapshot of a :class:`FreeriderDetector`.
+
+    Carries the evidence tables (:class:`PeerScore` is plain slotted
+    state) and the report counters, and answers the post-run analysis
+    surface — :meth:`suspects` / :meth:`score_of` with the same logic as
+    the live detector — without the simulation wiring.
+    """
+
+    __slots__ = ("node_id", "reports_sent", "reports_received", "_local",
+                 "_global")
+
+    def __init__(self, node_id: int, reports_sent: int,
+                 reports_received: int, local: Dict[int, List[int]],
+                 global_scores: Dict[int, PeerScore]):
+        self.node_id = node_id
+        self.reports_sent = reports_sent
+        self.reports_received = reports_received
+        self._local = local
+        self._global = global_scores
+
+    def score_of(self, peer: int) -> Optional[PeerScore]:
+        return self._global.get(peer)
+
+    def suspects(self, ratio_threshold: float = 0.5,
+                 min_samples: int = 30,
+                 min_reporters: int = 3) -> Set[int]:
+        return _suspects(self._global, ratio_threshold, min_samples,
+                         min_reporters)
+
+
+def _suspects(scores: Dict[int, PeerScore], ratio_threshold: float,
+              min_samples: int, min_reporters: int) -> Set[int]:
+    """The conviction rule shared by live detectors and snapshots."""
+    flagged = set()
+    for peer, score in scores.items():
+        if (score.asked >= min_samples
+                and len(score.reporters) >= min_reporters
+                and score.ratio() < ratio_threshold):
+            flagged.add(peer)
+    return flagged

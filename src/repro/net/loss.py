@@ -4,14 +4,17 @@ The paper copes with loss through retransmission timers (Algorithm 2) and
 observes that "when running simulations without message loss, 100% of the
 nodes received the full stream" — our :class:`NoLoss` default reproduces
 that; the loss benches use :class:`BernoulliLoss` and the bursty
-:class:`GilbertElliottLoss`.
+:class:`GilbertElliottLoss`.  :class:`PerPairLoss` is the
+order-independent Bernoulli variant sharded execution requires
+(``ScenarioConfig.loss_rng="per-pair"``), mirroring
+:class:`~repro.net.latency.PerPairLatency`.
 """
 
 from __future__ import annotations
 
 import random
 from abc import ABC, abstractmethod
-from typing import Dict
+from typing import Dict, Tuple
 
 
 class LossModel(ABC):
@@ -47,6 +50,44 @@ class BernoulliLoss(LossModel):
 
     def is_lost(self, src: int, dst: int) -> bool:
         return self._rng.random() < self.rate
+
+
+class PerPairLoss(LossModel):
+    """Bernoulli loss with *order-independent* random draws.
+
+    Statistically identical to :class:`BernoulliLoss` — every datagram is
+    dropped independently with probability ``rate`` — but the k-th
+    datagram on the *directed* link ``src -> dst`` draws its trial from a
+    dedicated generator seeded by ``(seed, src, dst)``, never from a
+    stream shared across links.
+
+    :class:`BernoulliLoss` consumes one shared stream in global send
+    order, which couples every link's drop decisions to the total order
+    of sends across the whole system.  Here a link's decisions are a pure
+    function of the model seed, the link identity, and the sender's own
+    per-destination send sequence — so a run partitioned across shards
+    (where global order is not reproducible) drops exactly the same
+    datagrams as the serial run.  This is the loss mode sharded execution
+    requires (``ScenarioConfig.loss_rng == "per-pair"``).
+    """
+
+    def __init__(self, seed: int, rate: float):
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"loss rate must be in [0, 1], got {rate!r}")
+        self._seed = seed
+        self.rate = rate
+        #: Directed-link trial streams, created lazily on first send.
+        self._rngs: Dict[Tuple[int, int], random.Random] = {}
+
+    def is_lost(self, src: int, dst: int) -> bool:
+        key = (src, dst)
+        rng = self._rngs.get(key)
+        if rng is None:
+            from repro.sim.rng import derive_seed
+
+            rng = random.Random(derive_seed(self._seed, f"{src}->{dst}"))
+            self._rngs[key] = rng
+        return rng.random() < self.rate
 
 
 class GilbertElliottLoss(LossModel):

@@ -24,13 +24,30 @@ depends on the global event order that sharding gives up:
 
 * all protocol randomness is drawn from per-node forked streams;
 * network randomness must be order-independent, which is why sharded
-  scenarios require ``latency_rng="per-pair"`` (per-link streams) and
-  no loss model (``ScenarioConfig.validate`` enforces both);
+  scenarios require ``latency_rng="per-pair"`` (per-link streams) and,
+  when lossy, ``loss_rng="per-pair"`` (per-link Bernoulli trials —
+  ``ScenarioConfig.validate`` enforces both);
 * receiver-side stats are commutative counters, merged per shard.
 
-Scenario features whose *state* crosses the partition (churn's crash
-propagation, the freerider audit's conviction sets) are rejected by
-validation until they are taught to shard.
+**Membership churn** is *replicated*: every shard builds the whole
+scenario, so every shard holds an identical copy of the churn and
+detection streams and draws the same victims, the same detection delays,
+at the same simulated times — crash state (``Network._crash_time``, the
+directory's alive set, survivors' views) stays serial-exact on every
+shard without any crash needing to cross the partition for correctness.
+What *does* cross is verification: the victim's owner shard announces
+each crash as a **control row** riding the packed window buffer
+(``EVENT_CRASH`` in the ``kind_id`` field, which is negative precisely
+because payload kind ids are not), and every peer shard checks the
+announcement against its replica at the barrier, raising loudly if the
+replicas ever diverged instead of silently computing garbage.
+
+**The freerider audit** shards by ownership: a node's detector runs
+wholly on its owner shard (audit randomness comes from per-node forked
+streams, and the reports it merges are ordinary datagrams that already
+cross the partition), and each shard's harvest carries picklable
+detector snapshots so merged results compute convictions from the full
+population's evidence, not per-shard fragments.
 
 **Wire format.**  By default a whole window's outbox to one peer shard is
 *batched* into a single packed buffer::
@@ -91,6 +108,24 @@ WireEnvelope = Tuple[int, int, int, int, float, float, float, bytes]
 #: per-envelope wire tuple, whose first element is a node id (>= 0).
 WIRE_BATCH_TAG = -1
 
+#: First element of a control wire tuple on the per-envelope escape
+#: hatch: (WIRE_CONTROL_TAG, event, node_id, origin_shard, event_time).
+WIRE_CONTROL_TAG = -2
+
+#: Ownership-level membership events.  On the batched path they ride the
+#: packed buffer's header table in the ``kind_id`` field — payload kind
+#: ids are non-negative, so a negative id marks the row as control, not
+#: datagram: (event, node_id, origin_shard, 0, _NO_PAYLOAD, event_time,
+#: 0.0, 0.0).
+EVENT_CRASH = -2
+#: Reserved for a join protocol (nodes entering mid-run).
+EVENT_JOIN = -3
+
+_EVENT_NAMES = {EVENT_CRASH: "crash", EVENT_JOIN: "join"}
+
+#: ``payload_ref`` of a control row: references no pool entry.
+_NO_PAYLOAD = -1
+
 #: One header-table row of a packed buffer:
 #: (kind_id, src, dst, size_bytes, payload_ref, send_time, exit_time,
 #: arrival_time).
@@ -138,7 +173,7 @@ def decode_envelope(wire: WireEnvelope) -> Envelope:
                             arrival)
 
 
-def _decode_batch(batch: WireBatch) -> Iterator[Envelope]:
+def _decode_batch(batch: WireBatch, on_control=None) -> Iterator[Envelope]:
     """Decode a packed window buffer into envelopes, in row order.
 
     One ``pickle.loads`` rebuilds the payload pool; every header row then
@@ -146,6 +181,11 @@ def _decode_batch(batch: WireBatch) -> Iterator[Envelope]:
     pickling, no per-row scheduling (the caller feeds this straight into
     :meth:`~repro.net.router.InprocRouter.route_many`, which groups
     same-arrival rows into one arrival bucket).
+
+    Control rows (negative ``kind_id``) are not envelopes: they are
+    handed to ``on_control(event, node_id, origin_shard, event_time)``
+    in row order and never yielded.  A buffer containing control rows
+    decoded without a handler is a protocol error.
     """
     _tag, n_rows, header, blob = batch
     if len(header) != n_rows * _ROW.size:
@@ -156,6 +196,14 @@ def _decode_batch(batch: WireBatch) -> Iterator[Envelope]:
     arrived = Envelope.arrived
     for (kind_id, src, dst, size, ref, send_time, exit_time,
          arrival) in _ROW.iter_unpack(header):
+        if kind_id < 0:
+            if on_control is None:
+                raise ValueError(
+                    f"control row ({_EVENT_NAMES.get(kind_id, kind_id)!r} "
+                    f"of node {src}) in a buffer decoded without a "
+                    f"control handler")
+            on_control(kind_id, src, dst, send_time)
+            continue
         payload = payloads[ref]
         _check_kind(payload, kind_id)
         yield arrived(src, dst, payload, size, send_time, exit_time, arrival)
@@ -180,15 +228,22 @@ class ShardRouter(InprocRouter):
     win; it pickles every payload per datagram.
     """
 
-    __slots__ = ("owned", "shards", "batch_wire", "_outboxes", "_rows",
-                 "_pools", "_interned", "_refcounts", "_recycle")
+    __slots__ = ("owned", "shards", "shard_index", "batch_wire", "_outboxes",
+                 "_rows", "_pools", "_interned", "_refcounts", "_recycle",
+                 "_membership_seen", "_row_controls")
 
     def __init__(self, owned: Set[int], shards: int,
                  batch_wire: bool = True):
         super().__init__()
         self.owned = owned
         self.shards = shards
+        #: This shard's index, recovered from the round-robin partition.
+        self.shard_index = shard_of(min(owned), shards) if owned else 0
         self.batch_wire = batch_wire
+        #: Membership events this shard's *replica* produced:
+        #: (event, node_id) -> event time.  Owner announcements arriving
+        #: at a barrier are verified against this record.
+        self._membership_seen: Dict[Tuple[int, int], float] = {}
         #: Escape hatch: per-target-shard lists of per-envelope tuples.
         self._outboxes: List[List[WireEnvelope]] = [[] for _ in range(shards)]
         #: Batched path, all per target shard: packed header rows, the
@@ -201,6 +256,10 @@ class ShardRouter(InprocRouter):
         self._pools: List[list] = [[] for _ in range(shards)]
         self._interned: List[Dict[int, int]] = [{} for _ in range(shards)]
         self._refcounts: List[List[int]] = [[] for _ in range(shards)]
+        #: Control rows among ``_rows`` this window, per target shard
+        #: (they ride the header table but are not envelopes, so the
+        #: wire_envelopes counter must not include them).
+        self._row_controls: List[int] = [0] * shards
         #: Remote-destination envelopes awaiting recycling: they never
         #: come back through a local delivery, so without this the free
         #: list would drain.  Recycled at the window barrier, which
@@ -245,6 +304,51 @@ class ShardRouter(InprocRouter):
         if self._net._pool is not None:
             self._recycle.append(envelope)
 
+    def on_membership_event(self, event: int, node_id: int,
+                            event_time: float) -> None:
+        """Record a replicated membership change; announce it if owned.
+
+        Called by the scenario's churn machinery on *every* shard (churn
+        is replicated, see the module docstring).  Each shard records the
+        event as what its replica computed; the shard owning ``node_id``
+        additionally emits a control row to every peer shard, which peers
+        verify against their own record at the barrier.
+        """
+        self._membership_seen[(event, node_id)] = event_time
+        if node_id not in self.owned:
+            return
+        stats = self._net.stats
+        for shard in range(self.shards):
+            if shard == self.shard_index:
+                continue
+            if self.batch_wire:
+                self._rows[shard].append(_ROW.pack(
+                    event, node_id, self.shard_index, 0, _NO_PAYLOAD,
+                    event_time, 0.0, 0.0))
+                self._row_controls[shard] += 1
+            else:
+                wire = (WIRE_CONTROL_TAG, event, node_id, self.shard_index,
+                        event_time)
+                stats.wire_buffers += 1
+                stats.wire_bytes += len(pickle.dumps(wire, protocol=_PICKLE))
+                self._outboxes[shard].append(wire)
+            stats.wire_control_rows += 1
+
+    def _check_membership(self, event: int, node_id: int, origin_shard: int,
+                          event_time: float) -> None:
+        """Verify an owner shard's announcement against our replica."""
+        recorded = self._membership_seen.get((event, node_id))
+        if recorded == event_time:
+            return
+        name = _EVENT_NAMES.get(event, repr(event))
+        local = ("never produced it" if recorded is None
+                 else f"produced it at t={recorded}")
+        raise RuntimeError(
+            f"membership divergence: shard {origin_shard} announced "
+            f"{name} of node {node_id} at t={event_time}, but shard "
+            f"{self.shard_index}'s replica {local} — replicated churn "
+            f"streams are out of sync")
+
     def _pack_outboxes(self) -> List[List[WireBatch]]:
         """Freeze the window's accumulated rows/pools into wire buffers."""
         dumps = pickle.dumps
@@ -259,7 +363,7 @@ class ShardRouter(InprocRouter):
             header = b"".join(rows)
             blob = dumps(pool, protocol=_PICKLE)
             stats.wire_buffers += 1
-            stats.wire_envelopes += len(rows)
+            stats.wire_envelopes += len(rows) - self._row_controls[shard]
             stats.wire_bytes += len(header) + len(blob)
             stats.wire_payload_bytes += len(blob)
             # What the per-envelope path would have shipped: every
@@ -276,6 +380,7 @@ class ShardRouter(InprocRouter):
             self._pools[shard] = []
             self._interned[shard] = {}
             self._refcounts[shard] = []
+            self._row_controls[shard] = 0
         return out
 
     def take_outboxes(self) -> List[list]:
@@ -308,14 +413,21 @@ class ShardRouter(InprocRouter):
 
         Called at a window barrier; the conservative lookahead
         guarantees every arrival time lies strictly beyond the shard's
-        current clock.  Accepts packed window buffers and per-envelope
-        tuples alike (the tag distinguishes them), so both wire formats
-        — and mixtures, during a future migration — decode through one
-        entry point.
+        current clock.  Accepts packed window buffers, per-envelope
+        tuples and control tuples alike (the tag distinguishes them), so
+        all wire formats — and mixtures, during a future migration —
+        decode through one entry point.  Membership control rows are
+        verified against this shard's replica, never re-applied (the
+        replica already applied the change — see the module docstring).
         """
         for wire in wires:
-            if wire[0] == WIRE_BATCH_TAG:
-                self.route_many(_decode_batch(wire))
+            tag = wire[0]
+            if tag == WIRE_BATCH_TAG:
+                self.route_many(_decode_batch(wire, self._check_membership))
+            elif tag == WIRE_CONTROL_TAG:
+                _, event, node_id, origin_shard, event_time = wire
+                self._check_membership(event, node_id, origin_shard,
+                                       event_time)
             else:
                 InprocRouter.route(self, decode_envelope(wire))
 
@@ -348,6 +460,14 @@ class _ShardRun:
             "shard": self.shard_index,
             "logs": {i: build.nodes[i].log for i in sorted(self.owned)},
             "uplinks": {i: build.net.uplink(i) for i in sorted(self.owned)},
+            "served": {i: getattr(build.nodes[i], "packets_served", 0)
+                       for i in sorted(self.owned)},
+            "detectors": {i: build.detectors[i].snapshot()
+                          for i in sorted(self.owned)
+                          if i in build.detectors},
+            # Replicated state: identical on every shard by construction;
+            # the merge verifies that instead of assuming it.
+            "crash_times": dict(build.crash_times),
             "stats": build.net.stats,
             "publish_times": build.publish_times,
             "labels": build.labels,
@@ -551,21 +671,29 @@ class _MergedNet:
 
 
 class _LogHolder:
-    """Stands in for a protocol node in a merged result: metrics only
-    ever reach for ``node.log``."""
+    """Stands in for a protocol node in a merged result: metrics reach
+    for ``node.log``; the freerider analysis additionally for
+    ``packets_served`` and ``delivered_count()``."""
 
-    __slots__ = ("log",)
+    __slots__ = ("log", "packets_served")
 
-    def __init__(self, log):
+    def __init__(self, log, packets_served: int = 0):
         self.log = log
+        self.packets_served = packets_served
+
+    def delivered_count(self) -> int:
+        return len(self.log)
 
 
 def merge_harvests(config: ScenarioConfig, harvests: List[dict]):
     """Assemble one :class:`~repro.experiments.runner.ExperimentResult`
     from per-shard harvests.
 
-    Logs and uplinks are disjoint by ownership; traffic stats are
-    commutative sums.  ``events_executed`` is the sum over shards — a
+    Logs, uplinks, served counts and detector snapshots are disjoint by
+    ownership; traffic stats are commutative sums; crash times are
+    replicated state, verified equal across shards here (a mismatch
+    means the replicated churn streams diverged — fail loudly rather
+    than pick one).  ``events_executed`` is the sum over shards — a
     sharded run executes the same deliveries but different bucket events,
     so it is an activity measure, not a determinism key.
     """
@@ -573,16 +701,27 @@ def merge_harvests(config: ScenarioConfig, harvests: List[dict]):
 
     logs: Dict[int, object] = {}
     uplinks: Dict[int, object] = {}
+    served: Dict[int, int] = {}
+    detectors: Dict[int, object] = {}
     stats = NetworkStats()
     events = 0
     now = 0.0
+    crash_times = harvests[0]["crash_times"]
     for harvest in harvests:
         logs.update(harvest["logs"])
         uplinks.update(harvest["uplinks"])
+        served.update(harvest.get("served", {}))
+        detectors.update(harvest.get("detectors", {}))
         stats.merge_from(harvest["stats"])
         events += harvest["events_executed"]
         now = max(now, harvest["now"])
-    nodes = [_LogHolder(logs[node_id]) for node_id in range(config.n_nodes)]
+        if harvest["crash_times"] != crash_times:
+            raise RuntimeError(
+                f"membership divergence: shard {harvest['shard']} "
+                f"recorded crash times {harvest['crash_times']} but "
+                f"shard {harvests[0]['shard']} recorded {crash_times}")
+    nodes = [_LogHolder(logs[node_id], served.get(node_id, 0))
+             for node_id in range(config.n_nodes)]
     source_shard = harvests[shard_of(0, config.shards)]
     return ExperimentResult(
         config,
@@ -593,8 +732,9 @@ def merge_harvests(config: ScenarioConfig, harvests: List[dict]):
         publish_times=source_shard["publish_times"],
         capacities=harvests[0]["capacities"],
         labels=harvests[0]["labels"],
-        crash_times={},
+        crash_times=dict(crash_times),
         freerider_ids=harvests[0]["freerider_ids"],
+        detectors=detectors,
     )
 
 

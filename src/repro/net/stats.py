@@ -33,9 +33,12 @@ barrier is visible instead of folded into wall time:
 * ``wire_payload_bytes_before`` / ``wire_payload_bytes`` — payload blob
   bytes before and after multicast interning (a ``send_many`` payload
   crossing to a peer shard ships once per peer shard, not once per
-  destination; without batching the two counters are equal).
+  destination; without batching the two counters are equal);
+* ``wire_control_rows`` — ownership-level membership events (churn
+  crash/join announcements) shipped as control rows riding the window
+  buffers, counted at the emitting (owner) shard.
 
-All five are commutative sums and merge across shards like every other
+All six are commutative sums and merge across shards like every other
 counter; :meth:`NetworkStats.wire_summary` bundles them for reports.
 """
 
@@ -67,7 +70,7 @@ class NetworkStats:
                  "_count_by_kind", "_recv_bytes_by_kind",
                  "_recv_count_by_kind", "per_node", "wire_buffers",
                  "wire_envelopes", "wire_bytes", "wire_payload_bytes_before",
-                 "wire_payload_bytes")
+                 "wire_payload_bytes", "wire_control_rows")
 
     def __init__(self) -> None:
         self.sent = 0
@@ -83,6 +86,7 @@ class NetworkStats:
         self.wire_bytes = 0
         self.wire_payload_bytes_before = 0
         self.wire_payload_bytes = 0
+        self.wire_control_rows = 0
         #: Flat per-kind accumulators indexed by kind id.  Sized for the
         #: kinds registered so far; ``kind_slot`` grows them when a kind
         #: is registered after this stats object was created.
@@ -190,6 +194,7 @@ class NetworkStats:
         self.wire_bytes += other.wire_bytes
         self.wire_payload_bytes_before += other.wire_payload_bytes_before
         self.wire_payload_bytes += other.wire_payload_bytes
+        self.wire_control_rows += other.wire_control_rows
         top = max(len(other._bytes_by_kind), len(other._recv_bytes_by_kind))
         if top:
             self.kind_slot(top - 1)
@@ -216,6 +221,7 @@ class NetworkStats:
             "bytes": self.wire_bytes,
             "payload_bytes_before_interning": self.wire_payload_bytes_before,
             "payload_bytes_after_interning": self.wire_payload_bytes,
+            "control_rows": self.wire_control_rows,
         }
 
     def node(self, node_id: int) -> NodeTrafficStats:

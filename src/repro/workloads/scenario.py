@@ -56,6 +56,12 @@ class ScenarioConfig:
     mean_detection_delay: float = 10.0
     #: Bernoulli datagram loss rate (0 disables the loss model).
     loss_rate: float = 0.0
+    #: How loss randomness is drawn: "shared" consumes one stream in
+    #: global send order (the historical behaviour, golden-pinned);
+    #: "per-pair" derives an independent stream per directed link, making
+    #: drop decisions a pure function of each sender's own send sequence
+    #: — the mode sharded execution requires when ``loss_rate > 0``.
+    loss_rng: str = "shared"
     #: Median of the pairwise base latency distribution, seconds.
     latency_median: float = 0.05
     #: Per-message uniform jitter on top of the base latency, seconds.
@@ -114,8 +120,9 @@ class ScenarioConfig:
     #: (see :mod:`repro.net.shard`).  0 or 1 runs in-process.  Sharding
     #: is an execution strategy, not an experiment parameter: a sharded
     #: run produces byte-identical metric summaries to the serial run of
-    #: the same scenario (it requires ``latency_rng="per-pair"`` so that
-    #: random draws do not depend on global event order).
+    #: the same scenario (it requires ``latency_rng="per-pair"`` — and
+    #: ``loss_rng="per-pair"`` when lossy — so that random draws do not
+    #: depend on global event order).
     shards: int = 0
 
     # ------------------------------------------------------------------
@@ -160,6 +167,9 @@ class ScenarioConfig:
         if self.latency_rng not in ("shared", "per-pair"):
             raise ValueError(f"unknown latency_rng {self.latency_rng!r}; "
                              f"known: 'shared', 'per-pair'")
+        if self.loss_rng not in ("shared", "per-pair"):
+            raise ValueError(f"unknown loss_rng {self.loss_rng!r}; "
+                             f"known: 'shared', 'per-pair'")
         if self.shards < 0:
             raise ValueError("shards must be >= 0")
         if self.shards > 1:
@@ -169,20 +179,14 @@ class ScenarioConfig:
                 raise ValueError(
                     "sharded execution needs order-independent latency "
                     "draws; set latency_rng='per-pair'")
-            if self.loss_rate > 0:
+            if self.loss_rate > 0 and self.loss_rng != "per-pair":
                 raise ValueError(
-                    "sharded execution does not support loss yet (the "
-                    "loss model consumes one shared stream in global "
-                    "send order)")
+                    "sharded execution needs order-independent loss "
+                    "draws; set loss_rng='per-pair' (the 'shared' model "
+                    "consumes one stream in global send order)")
             if self.latency_floor <= 0:
                 raise ValueError("sharded execution needs a positive "
                                  "latency_floor (it is the lookahead)")
-            if self.churn is not None:
-                raise ValueError("sharded execution does not support churn "
-                                 "(crash propagation is not sharded yet)")
-            if self.audit:
-                raise ValueError("sharded execution does not support the "
-                                 "freerider audit yet")
         self.stream.validate()
         self.gossip.validate()
 

@@ -253,10 +253,29 @@ class TestShardsCli:
                      "--latency-rng", "shared"]) == 2
         assert "per-pair" in capsys.readouterr().err
 
-    def test_figure_shards_rejected_for_churn(self, capsys):
+    def test_figure_shards_runs_churn(self, capsys):
+        from repro.experiments.scales import clear_cache
+
+        # The churn figure used to be rejected under --shards; it now
+        # runs sharded with output identical to --shards 1.  fig10
+        # forces 45 s streams, so the lookahead override keeps the
+        # window count sane at quick scale.
+        clear_cache()
         assert main(["figure", "fig10a", "--scale", "quick", "--quiet",
-                     "--shards", "2"]) == 2
-        assert "churn" in capsys.readouterr().err
+                     "--shards", "1", "--latency-floor", "0.1"]) == 0
+        one = capsys.readouterr().out
+        clear_cache()
+        assert main(["figure", "fig10a", "--scale", "quick", "--quiet",
+                     "--shards", "2", "--latency-floor", "0.1"]) == 0
+        two = capsys.readouterr().out
+        assert one == two
+
+    def test_sweep_shards_require_per_pair_loss(self, capsys):
+        assert main(["sweep", "--protocols", "heap", "--nodes", "20",
+                     "--seconds", "2", "--drain", "4", "--num-seeds", "1",
+                     "--quiet", "--shards", "2", "--loss", "0.05",
+                     "--loss-rng", "shared"]) == 2
+        assert "loss_rng" in capsys.readouterr().err
 
     def test_table_shards_output_stable_across_shard_counts(self, capsys):
         from repro.experiments.scales import clear_cache

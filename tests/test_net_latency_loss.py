@@ -1,5 +1,7 @@
 """Unit tests for latency and loss models."""
 
+import hashlib
+import json
 import random
 
 import pytest
@@ -10,7 +12,7 @@ from repro.net.latency import (
     PairwiseLatency,
     UniformLatency,
 )
-from repro.net.loss import BernoulliLoss, GilbertElliottLoss, NoLoss
+from repro.net.loss import BernoulliLoss, GilbertElliottLoss, NoLoss, PerPairLoss
 
 
 class TestLatencyModels:
@@ -108,3 +110,71 @@ class TestLossModels:
     def test_steady_state_bad_fraction_degenerate(self):
         model = GilbertElliottLoss(random.Random(1), p_good_to_bad=0.0, p_bad_to_good=0.0)
         assert model.steady_state_bad_fraction() == 0.0
+
+
+class TestPerPairLoss:
+    """The order-independent loss model sharded execution relies on."""
+
+    def test_send_order_does_not_change_decisions(self):
+        """The property sharding needs: drop decisions are a pure
+        function of each directed link's own send sequence, so two
+        executions that interleave links differently (a serial run vs a
+        sharded one) draw identical per-link loss patterns."""
+        links = [(0, 1), (0, 2), (3, 1), (2, 0)]
+        forward = PerPairLoss(seed=11, rate=0.3)
+        decisions = {link: [forward.is_lost(*link) for _ in range(50)]
+                     for link in links}
+        permuted = PerPairLoss(seed=11, rate=0.3)
+        replayed = {link: [] for link in links}
+        for round_ in range(50):
+            for link in reversed(links):  # a different global interleaving
+                replayed[link].append(permuted.is_lost(*link))
+        assert replayed == decisions
+
+    def test_links_are_independent_and_directed(self):
+        model = PerPairLoss(seed=12, rate=0.5)
+        a = [model.is_lost(0, 1) for _ in range(64)]
+        b = [model.is_lost(1, 0) for _ in range(64)]
+        c = [model.is_lost(0, 2) for _ in range(64)]
+        assert a != b  # direction matters: (0,1) and (1,0) are distinct
+        assert a != c
+
+    def test_rate_statistical(self):
+        model = PerPairLoss(seed=13, rate=0.2)
+        losses = sum(model.is_lost(0, 1) for _ in range(5000))
+        assert 800 < losses < 1200
+
+    def test_rate_zero_and_one(self):
+        assert not any(PerPairLoss(seed=1, rate=0.0).is_lost(0, 1)
+                       for _ in range(100))
+        assert all(PerPairLoss(seed=1, rate=1.0).is_lost(0, 1)
+                   for _ in range(100))
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            PerPairLoss(seed=1, rate=1.5)
+
+
+class TestSharedLossGoldenPin:
+    """The historical shared-stream loss model must not move.
+
+    ``loss_rng="per-pair"`` is a new, opt-in mode; the default
+    ``"shared"`` mode (one stream consumed in global send order) is
+    pinned here so the per-pair plumbing provably left it untouched.
+    """
+
+    def test_default_mode_traffic_is_bit_identical(self):
+        from repro.experiments.runner import run_scenario
+        from repro.metrics.summary import standard_bundle, summarize
+        from repro.workloads.scenario import ScenarioConfig
+
+        config = ScenarioConfig(protocol="heap", n_nodes=40, duration=2.0,
+                                drain=4.0, seed=3, loss_rate=0.1)
+        assert config.loss_rng == "shared"
+        result = run_scenario(config)
+        assert result.net.stats.lost == 1333
+        assert result.net.stats.sent == 13713
+        blob = json.dumps(summarize(result, standard_bundle()),
+                          sort_keys=True)
+        assert hashlib.sha256(blob.encode()).hexdigest() == (
+            "7fe2e94f860d71fa2b592d29b280af0f1b5bac140354067438aa7bc728eb1402")

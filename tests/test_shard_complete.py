@@ -1,0 +1,224 @@
+"""Shard-complete scenario coverage: churn, loss and the freerider audit.
+
+PR 4/5 built the sharded execution engine but kept the flagship paper
+scenarios out of it: churn, lossy networks and the freerider audit all
+raised loudly under ``shards > 1``.  This file pins the contract that
+closes that gap — the three remaining scenario families partition, and
+their merged results are **byte-identical** to the serial run of the
+same scenario:
+
+* **churn** is replicated (every shard draws the same victims and
+  detection delays from its copy of the streams) and cross-verified by
+  control rows riding the packed window buffers;
+* **loss** uses the order-independent ``loss_rng="per-pair"`` model
+  mirroring ``PerPairLatency``;
+* **the audit** runs each detector wholly on its owner shard and folds
+  picklable detector snapshots into the merged result, so convictions
+  are computed from the full population's evidence.
+
+The matrix covers every family at 2 and 4 shards under the in-process
+serial driver and real fork/spawn worker processes.
+"""
+
+import json
+import multiprocessing
+
+import pytest
+
+from repro.experiments.runner import run_scenario
+from repro.freeriders.analysis import (convictions, detection_accuracy,
+                                       honest_vs_freerider_contribution)
+from repro.metrics.summary import standard_bundle, summarize
+from repro.net.shard import run_sharded
+from repro.workloads.churn import CatastrophicFailure, IntervalChurn
+from repro.workloads.distributions import REF_691
+from repro.workloads.scenario import ScenarioConfig
+
+
+def summary_blob(result) -> str:
+    """Canonical JSON of the standard spec bundle: the byte-parity key."""
+    return json.dumps(summarize(result, standard_bundle()), sort_keys=True)
+
+
+def audit_blob(result) -> str:
+    """Audit verdicts and contribution indices, canonically serialized.
+
+    The standard bundle doesn't reach into the detectors, so audit
+    parity additionally pins the full verdict surface: quorum
+    convictions, their accuracy against the planted ground truth, and
+    the contribution split — all computed from the (merged) evidence.
+    """
+    convicted = sorted(convictions(result))
+    accuracy = detection_accuracy(result, set(convicted))
+    return json.dumps({
+        "convicted": convicted,
+        "precision": accuracy.precision,
+        "recall": accuracy.recall,
+        "contribution": honest_vs_freerider_contribution(result),
+    }, sort_keys=True)
+
+
+def base_config(**overrides) -> ScenarioConfig:
+    base = dict(protocol="heap", n_nodes=48, duration=2.0, drain=4.0,
+                seed=13, distribution=REF_691,
+                latency_rng="per-pair", latency_floor=0.05)
+    base.update(overrides)
+    return ScenarioConfig(**base)
+
+
+#: The scenario families this PR teaches to shard.  Churn fires inside
+#: the stream (t=3 < 2 + 2), so crash/detection behaviour is exercised
+#: while packets are in flight across the partition.
+FAMILIES = {
+    "churn": dict(churn=CatastrophicFailure(fraction=0.25, at_time=3.0)),
+    "loss": dict(loss_rate=0.05, loss_rng="per-pair"),
+    "audit": dict(audit=True, freerider_fraction=0.2,
+                  freerider_mode="nonserve", freerider_param=0.1),
+}
+
+DRIVERS = ("serial-driver", "fork", "spawn")
+
+
+def run_family_sharded(family: str, shards: int, driver: str):
+    config = base_config(shards=shards, **FAMILIES[family])
+    if driver == "serial-driver":
+        return run_sharded(config, processes=False)
+    if driver == "fork" and "fork" not in multiprocessing.get_all_start_methods():
+        pytest.skip("fork start method unavailable on this platform")
+    return run_sharded(config, processes=True, start_method=driver)
+
+
+@pytest.fixture(scope="module")
+def serial():
+    """Per-family serial baselines, computed once for the whole matrix."""
+    cache = {}
+
+    def get(family: str):
+        if family not in cache:
+            cache[family] = run_scenario(base_config(**FAMILIES[family]))
+        return cache[family]
+
+    return get
+
+
+# ----------------------------------------------------------------------
+# the matrix: {family} x {2, 4 shards} x {serial driver, fork, spawn}
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("driver", DRIVERS)
+@pytest.mark.parametrize("shards", (2, 4))
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+def test_family_summaries_byte_identical(family, shards, driver, serial):
+    merged = run_family_sharded(family, shards, driver)
+    assert summary_blob(merged) == summary_blob(serial(family))
+
+
+def test_all_families_combined_shard_cleanly(serial):
+    """Churn + loss + audit in one scenario: the features compose."""
+    combined = {}
+    for overrides in FAMILIES.values():
+        combined.update(overrides)
+    config = base_config(**combined)
+    baseline = run_scenario(config)
+    merged = run_sharded(config.with_(shards=3), processes=False)
+    assert summary_blob(merged) == summary_blob(baseline)
+    assert audit_blob(merged) == audit_blob(baseline)
+    assert merged.crash_times == baseline.crash_times
+
+
+def test_interval_churn_matches_serial(serial):
+    config = base_config(churn=IntervalChurn(interval=0.7, stop=4.0))
+    baseline = summary_blob(run_scenario(config))
+    merged = run_sharded(config.with_(shards=2), processes=False)
+    assert summary_blob(merged) == baseline
+
+
+# ----------------------------------------------------------------------
+# churn: replicated membership, verified over the wire
+# ----------------------------------------------------------------------
+class TestChurnSharding:
+    def test_merged_crash_times_match_serial(self, serial):
+        merged = run_family_sharded("churn", 2, "serial-driver")
+        baseline = serial("churn")
+        assert merged.crash_times == baseline.crash_times
+        assert len(merged.crash_times) > 0
+        # Victims are excluded from the default receiver set, exactly
+        # as in the serial result.
+        assert merged.receiver_ids() == baseline.receiver_ids()
+        assert (merged.receiver_ids(include_crashed=True)
+                == baseline.receiver_ids(include_crashed=True))
+
+    @pytest.mark.parametrize("batch_wire", (True, False))
+    def test_owner_announces_each_crash_to_every_peer(self, batch_wire):
+        config = base_config(shards=3, **FAMILIES["churn"])
+        merged = run_sharded(config, processes=False, batch_wire=batch_wire)
+        victims = len(merged.crash_times)
+        assert victims > 0
+        # One control row per victim per peer shard, counted at the
+        # owner; the counter survives the harvest merge.
+        assert merged.net.stats.wire_control_rows == victims * 2
+        assert merged.net.stats.wire_summary()["control_rows"] == victims * 2
+
+    def test_lossless_scenarios_ship_no_control_rows(self):
+        merged = run_sharded(base_config(shards=2), processes=False)
+        assert merged.net.stats.wire_control_rows == 0
+
+
+# ----------------------------------------------------------------------
+# audit: verdicts from merged evidence
+# ----------------------------------------------------------------------
+class TestAuditSharding:
+    @pytest.mark.parametrize("shards", (2, 4))
+    def test_verdicts_identical_to_serial(self, shards, serial):
+        merged = run_family_sharded("audit", shards, "serial-driver")
+        assert audit_blob(merged) == audit_blob(serial("audit"))
+
+    def test_merged_detectors_cover_the_population(self, serial):
+        merged = run_family_sharded("audit", 4, "serial-driver")
+        baseline = serial("audit")
+        assert set(merged.detectors) == set(baseline.detectors)
+        # Snapshots answer the same verdict queries the live detectors do.
+        for node_id, live in baseline.detectors.items():
+            frozen = merged.detectors[node_id]
+            assert frozen.suspects() == live.suspects()
+            assert frozen.reports_sent == live.reports_sent
+            assert frozen.reports_received == live.reports_received
+
+    def test_contribution_surface_survives_the_merge(self, serial):
+        merged = run_family_sharded("audit", 2, "serial-driver")
+        baseline = serial("audit")
+        for node_id in baseline.receiver_ids():
+            assert (merged.nodes[node_id].packets_served
+                    == baseline.nodes[node_id].packets_served)
+            assert (merged.nodes[node_id].delivered_count()
+                    == baseline.nodes[node_id].delivered_count())
+
+
+# ----------------------------------------------------------------------
+# loss: the per-pair model under both wire formats
+# ----------------------------------------------------------------------
+class TestLossSharding:
+    def test_escape_hatch_wire_format_matches_serial(self, serial):
+        config = base_config(shards=2, **FAMILIES["loss"])
+        merged = run_sharded(config, processes=False, batch_wire=False)
+        assert summary_blob(merged) == summary_blob(serial("loss"))
+
+    def test_loss_counters_match_serial(self, serial):
+        merged = run_family_sharded("loss", 2, "serial-driver")
+        baseline = serial("loss")
+        assert merged.net.stats.lost == baseline.net.stats.lost > 0
+        assert merged.net.stats.sent == baseline.net.stats.sent
+        assert merged.net.stats.delivered == baseline.net.stats.delivered
+
+
+# ----------------------------------------------------------------------
+# validation: no family raises under --shards any more
+# ----------------------------------------------------------------------
+class TestShardValidation:
+    @pytest.mark.parametrize("family", sorted(FAMILIES))
+    def test_families_validate_under_shards(self, family):
+        base_config(shards=2, **FAMILIES[family]).validate()
+        base_config(shards=4, **FAMILIES[family]).validate()
+
+    def test_shared_loss_still_rejected(self):
+        with pytest.raises(ValueError, match="loss_rng='per-pair'"):
+            base_config(shards=2, loss_rate=0.05).validate()

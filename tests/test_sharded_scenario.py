@@ -131,20 +131,25 @@ class TestShardingRules:
             ScenarioConfig(shards=2, latency_rng="per-pair",
                            latency_floor=0.0).validate()
 
-    def test_churn_rejected(self):
-        with pytest.raises(ValueError, match="churn"):
-            sharded_config(
-                shards=2,
-                churn=CatastrophicFailure(fraction=0.2, at_time=5.0),
-            ).validate()
+    def test_churn_accepted(self):
+        # Was rejected until churn became replicated, verified state
+        # (tests/test_shard_complete.py covers the parity contract).
+        sharded_config(
+            shards=2,
+            churn=CatastrophicFailure(fraction=0.2, at_time=5.0),
+        ).validate()
 
-    def test_audit_rejected(self):
-        with pytest.raises(ValueError, match="audit"):
-            sharded_config(shards=2, audit=True).validate()
+    def test_audit_accepted(self):
+        sharded_config(shards=2, audit=True, freerider_fraction=0.1,
+                       freerider_mode="nonserve").validate()
 
-    def test_loss_rejected(self):
-        with pytest.raises(ValueError, match="loss"):
+    def test_shared_loss_rejected_per_pair_accepted(self):
+        # The shared loss model consumes one stream in global send order,
+        # which sharding cannot reproduce; the per-pair model can.
+        with pytest.raises(ValueError, match="loss_rng='per-pair'"):
             sharded_config(shards=2, loss_rate=0.01).validate()
+        sharded_config(shards=2, loss_rate=0.01,
+                       loss_rng="per-pair").validate()
 
     def test_more_shards_than_nodes_rejected(self):
         with pytest.raises(ValueError, match="per shard"):

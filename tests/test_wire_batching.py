@@ -14,11 +14,14 @@ import json
 import pickle
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.net.latency import ConstantLatency
 from repro.net.message import Envelope, intern_kind
 from repro.net.network import Network
-from repro.net.shard import (WIRE_BATCH_TAG, ShardRouter, _decode_batch,
+from repro.net.shard import (EVENT_CRASH, EVENT_JOIN, WIRE_BATCH_TAG,
+                             WIRE_CONTROL_TAG, ShardRouter, _decode_batch,
                              encode_envelope, run_sharded, window_count)
 from repro.net.stats import NetworkStats
 from repro.sim.engine import Simulator
@@ -259,6 +262,157 @@ class TestBatchInjectEquivalence:
             self._sender_outbox(batch_wire=True) + [single])
         assert len(order) == 6
         assert order[-1] == ("wb-mixed", 0.4, 52)
+
+
+# ----------------------------------------------------------------------
+# property: any envelope/control mix survives the codec byte-exact
+# ----------------------------------------------------------------------
+_times = st.floats(min_value=0.0, max_value=1e6, allow_nan=False,
+                   allow_infinity=False, width=64)
+
+#: ("env", src, dst(odd -> shard 1), payload_idx, size, send, exit, arrival)
+_envelope_items = st.tuples(
+    st.just("env"), st.integers(0, 19),
+    st.integers(0, 9).map(lambda n: 2 * n + 1),
+    st.integers(0, 3), st.integers(0, 10**9), _times, _times, _times)
+
+#: ("ctl", event, node_id(even -> owned by the sender), event_time)
+_control_items = st.tuples(
+    st.just("ctl"), st.sampled_from((EVENT_CRASH, EVENT_JOIN)),
+    st.integers(0, 9).map(lambda n: 2 * n), _times)
+
+
+class TestPackedBufferRoundTrip:
+    """The packed window buffer is lossless for arbitrary row mixes.
+
+    Rows are driven through the real sender (``route`` for envelopes,
+    ``on_membership_event`` for membership announcements) and the real
+    decoder, so the property covers the full codec path: struct packing,
+    payload-pool interning, negative-``kind_id`` escape for control rows
+    — including control-only buffers, whose payload pool is empty.
+    """
+
+    @settings(max_examples=40, deadline=None)
+    @given(items=st.lists(st.one_of(_envelope_items, _control_items),
+                          max_size=40))
+    def test_round_trip_preserves_every_row(self, items):
+        sim = Simulator()
+        router = ShardRouter(owned=set(range(0, 20, 2)), shards=2)
+        net = Network(sim, latency=ConstantLatency(0.01), router=router)
+        pool = [FakePayload(kind=f"wb-prop-{i}", size=10 * (i + 1))
+                for i in range(4)]
+        sent_envelopes, sent_controls = [], []
+        for item in items:
+            if item[0] == "env":
+                _, src, dst, idx, size, send, exit_, arrival = item
+                envelope = Envelope(src, dst, pool[idx], size, send, arrival)
+                envelope._exit_time = exit_
+                router.route(envelope)
+                sent_envelopes.append(
+                    (src, dst, pool[idx].kind, size, send, exit_, arrival))
+            else:
+                _, event, node_id, event_time = item
+                router.on_membership_event(event, node_id, event_time)
+                sent_controls.append((event, node_id, 0, event_time))
+
+        controls = []
+        decoded = []
+        for wire in router.take_outboxes()[1]:
+            assert wire[0] == WIRE_BATCH_TAG
+            decoded.extend(_decode_batch(
+                wire, lambda *control: controls.append(control)))
+
+        assert [(e.src, e.dst, e.payload.kind, e.size_bytes, e.send_time,
+                 e._exit_time, e.arrival_time) for e in decoded] \
+            == sent_envelopes
+        assert controls == sent_controls
+        assert net.stats.wire_control_rows == len(sent_controls)
+        assert net.stats.wire_envelopes == len(sent_envelopes)
+        # Interning: rows that shipped the same payload object still
+        # share one object after the round trip.
+        by_kind = {}
+        for envelope in decoded:
+            by_kind.setdefault(envelope.payload.kind, set()).add(
+                id(envelope.payload))
+        assert all(len(ids) == 1 for ids in by_kind.values())
+
+    @settings(max_examples=25, deadline=None)
+    @given(items=st.lists(_control_items, max_size=20))
+    def test_escape_hatch_ships_verbatim_control_tuples(self, items):
+        sim = Simulator()
+        router = ShardRouter(owned=set(range(0, 20, 2)), shards=2,
+                             batch_wire=False)
+        Network(sim, latency=ConstantLatency(0.01), router=router)
+        for _, event, node_id, event_time in items:
+            router.on_membership_event(event, node_id, event_time)
+        assert router.take_outboxes()[1] \
+            == [(WIRE_CONTROL_TAG, event, node_id, 0, event_time)
+                for _, event, node_id, event_time in items]
+
+
+# ----------------------------------------------------------------------
+# membership control rows: owner-emitted, replica-verified
+# ----------------------------------------------------------------------
+class TestMembershipControlRows:
+    def _router(self, owned, batch_wire=True):
+        sim = Simulator()
+        router = ShardRouter(owned=owned, shards=2, batch_wire=batch_wire)
+        net = Network(sim, latency=ConstantLatency(0.01), router=router)
+        for node in owned:
+            net.attach(node, Sink(), 1e9)
+        return router, net
+
+    @pytest.mark.parametrize("batch_wire", (True, False))
+    def test_replica_agreement_verifies_silently(self, batch_wire):
+        sender, _ = self._router({0, 2}, batch_wire)
+        receiver, _ = self._router({1, 3}, batch_wire)
+        sender.on_membership_event(EVENT_CRASH, 0, 1.5)
+        wires = sender.take_outboxes()[1]
+        assert len(wires) == 1
+        # The receiver's replica produced the same crash at the same time.
+        receiver.on_membership_event(EVENT_CRASH, 0, 1.5)
+        receiver.inject(wires)  # no divergence -> no error
+
+    @pytest.mark.parametrize("batch_wire", (True, False))
+    def test_missing_replica_event_raises(self, batch_wire):
+        sender, _ = self._router({0, 2}, batch_wire)
+        receiver, _ = self._router({1, 3}, batch_wire)
+        sender.on_membership_event(EVENT_CRASH, 2, 0.75)
+        wires = sender.take_outboxes()[1]
+        with pytest.raises(RuntimeError, match="membership divergence"):
+            receiver.inject(wires)
+
+    def test_mismatched_event_time_raises(self):
+        sender, _ = self._router({0, 2})
+        receiver, _ = self._router({1, 3})
+        sender.on_membership_event(EVENT_CRASH, 0, 1.5)
+        wires = sender.take_outboxes()[1]
+        receiver.on_membership_event(EVENT_CRASH, 0, 1.25)
+        with pytest.raises(RuntimeError, match="out of sync"):
+            receiver.inject(wires)
+
+    def test_unowned_events_are_recorded_but_not_announced(self):
+        router, net = self._router({0, 2})
+        router.on_membership_event(EVENT_CRASH, 1, 2.0)  # shard 1's node
+        assert router.take_outboxes() == [[], []]
+        assert net.stats.wire_control_rows == 0
+
+    def test_control_rows_do_not_count_as_envelopes(self):
+        sender, net = self._router({0, 2})
+        payload = FakePayload(kind="wb-ctl-mix", size=48)
+        sender.route(Envelope(0, 1, payload, 76, 0.1, 0.2))
+        sender.on_membership_event(EVENT_CRASH, 0, 0.15)
+        sender.take_outboxes()
+        assert net.stats.wire_envelopes == 1
+        assert net.stats.wire_control_rows == 1
+        assert net.stats.wire_summary()["control_rows"] == 1
+
+    def test_decoding_control_rows_without_handler_raises(self):
+        sender, _ = self._router({0, 2})
+        sender.on_membership_event(EVENT_CRASH, 0, 1.0)
+        (wire,), = [sender.take_outboxes()[1]]
+        with pytest.raises(ValueError, match="control handler"):
+            list(_decode_batch(wire))
 
 
 class TestEscapeHatchStats:

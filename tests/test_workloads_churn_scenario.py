@@ -109,3 +109,19 @@ class TestScenarioConfig:
     def test_distribution_field(self):
         config = ScenarioConfig(distribution=MS_691)
         assert config.distribution.name == "ms-691"
+
+    def test_loss_rng_validation(self):
+        ScenarioConfig(loss_rng="shared").validate()
+        ScenarioConfig(loss_rng="per-pair").validate()
+        with pytest.raises(ValueError, match="loss_rng"):
+            ScenarioConfig(loss_rng="per-message").validate()
+
+    def test_scenario_key_separates_loss_rng_modes(self):
+        """Regression: the two loss models draw different traffic, so
+        their runs must never alias in caches or checkpoints."""
+        from repro.workloads.scenario import scenario_key
+
+        shared = ScenarioConfig(loss_rate=0.1)
+        per_pair = shared.with_(loss_rng="per-pair")
+        assert scenario_key(shared) != scenario_key(per_pair)
+        assert "loss_rng" in scenario_key(shared)
