@@ -27,7 +27,7 @@ ROUNDS = 2000
 
 class BenchPayload:
     kind = "fanout-bench"
-    kind_id = intern_kind("fanout-bench")
+    kind_id = intern_kind("fanout-bench", register=True)
     __slots__ = ()
 
     def wire_size(self):

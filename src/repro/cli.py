@@ -7,6 +7,7 @@
     python -m repro table table3
     python -m repro ablation retransmission --jobs 4
     python -m repro extension freeriders
+    python -m repro lint src/repro --format json
     python -m repro list
 
 ``run`` executes one scenario and prints the headline metrics; ``sweep``
@@ -24,7 +25,9 @@ instead derives the file inside DIR and adds housekeeping: a
 fingerprint-mismatched (stale) checkpoint is garbage-collected rather
 than fatal, and the spent checkpoint is deleted after a successful run.
 ``sweep --csv PATH`` exports every (scenario, seed) record as CSV for
-external plotting.
+external plotting.  ``lint`` runs the determinism & shard-safety static
+analyzer (:mod:`repro.lint`) over the given paths — CI gates on a clean
+``src/repro``.
 """
 
 from __future__ import annotations
@@ -482,6 +485,11 @@ def build_parser() -> argparse.ArgumentParser:
                             "latency floor (= the shard lookahead; "
                             "larger means fewer window barriers)")
 
+    lint_parser = sub.add_parser(
+        "lint", help="determinism & shard-safety static analyzer")
+    from repro.lint.cli import add_lint_arguments
+    add_lint_arguments(lint_parser)
+
     sub.add_parser("list", help="list available experiment ids")
     return parser
 
@@ -500,6 +508,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_render(ABLATIONS, "ablation", args.id, args)
     if args.command == "extension":
         return _cmd_render(EXTENSIONS, "extension", args.id, args)
+    if args.command == "lint":
+        from repro.lint.cli import run_lint
+        return run_lint(args)
     if args.command == "list":
         return _cmd_list(args)
     return 2  # pragma: no cover

@@ -251,10 +251,11 @@ class GossipNode:
 
         Raises on a duplicate registration — two protocols claiming one
         kind on the same endpoint is always a wiring bug.  A string name
-        is interned into the global kind registry: prefer the payload
-        class's ``kind_id`` for kinds a protocol module owns, or that
-        module's import-time ``register_kind`` will see its own name as
-        a duplicate.
+        is resolved against the global kind registry and raises
+        :class:`KeyError` for a kind nobody registered (minting one
+        here would skew kind-id tables across fork/spawn shard
+        workers): prefer the payload class's ``kind_id`` for kinds a
+        protocol module owns.
         """
         kind_id = intern_kind(kind) if isinstance(kind, str) else kind
         if kind_id in self._dispatch:

@@ -50,6 +50,8 @@ def quantize_fanout(value: float, mode: str, rng: Optional[random.Random]) -> in
 class FixedFanout:
     """Standard gossip: the same fanout every round at every node."""
 
+    __slots__ = ("fanout", "mode", "_rng")
+
     def __init__(self, fanout: float, mode: str = "round",
                  rng: Optional[random.Random] = None):
         if fanout < 0:
@@ -74,6 +76,9 @@ class AdaptiveFanout:
     (fanout >= min_fanout so the dissemination stays connected through
     the source) and the optional superpeer cap ablation.
     """
+
+    __slots__ = ("base_fanout", "_capability", "_average_estimate",
+                 "min_fanout", "max_fanout", "mode", "_rng")
 
     def __init__(self, base_fanout: float,
                  capability: Callable[[], float],

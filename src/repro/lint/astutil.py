@@ -1,0 +1,106 @@
+"""Shared AST helpers: dotted-name resolution and scope tracking."""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional
+
+
+def dotted_parts(node: ast.AST) -> Optional[List[str]]:
+    """``a.b.c`` as ``["a", "b", "c"]``; None for non-name expressions."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        parts.reverse()
+        return parts
+    return None
+
+
+def import_aliases(tree: ast.AST) -> Dict[str, str]:
+    """Map each locally bound import name to its canonical dotted path.
+
+    ``import time`` binds ``time -> time``; ``from time import
+    perf_counter as pc`` binds ``pc -> time.perf_counter``; relative
+    imports keep their trailing module path so suffix matching works.
+    """
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for a in node.names:
+                if a.asname:
+                    aliases[a.asname] = a.name
+                else:
+                    root = a.name.split(".")[0]
+                    aliases[root] = root
+        elif isinstance(node, ast.ImportFrom):
+            base = node.module or ""
+            for a in node.names:
+                if a.name == "*":
+                    continue
+                canonical = f"{base}.{a.name}" if base else a.name
+                aliases[a.asname or a.name] = canonical
+    return aliases
+
+
+def canonical_call(node: ast.Call, aliases: Dict[str, str]) -> Optional[str]:
+    """The canonical dotted name of a call target, or None.
+
+    The root name is rewritten through the module's import aliases, so
+    ``pc()`` after ``from time import perf_counter as pc`` resolves to
+    ``time.perf_counter``.  Non-name call targets (calls on calls,
+    subscripts) return None.
+    """
+    parts = dotted_parts(node.func)
+    if parts is None:
+        return None
+    mapped = aliases.get(parts[0])
+    if mapped is not None:
+        parts = mapped.split(".") + parts[1:]
+    return ".".join(parts)
+
+
+def base_name(node: ast.AST) -> Optional[str]:
+    """The trailing identifier of a class base expression."""
+    if isinstance(node, ast.Subscript):  # Protocol[...] / Generic[T]
+        node = node.value
+    parts = dotted_parts(node)
+    return parts[-1] if parts else None
+
+
+class ScopedVisitor(ast.NodeVisitor):
+    """NodeVisitor tracking the enclosing function-nesting depth.
+
+    ``self.function_stack`` holds the chain of enclosing function nodes;
+    ``self.class_stack`` the enclosing classes.  Subclasses override the
+    ``visit_*`` hooks they need and must call ``self.generic_visit`` to
+    descend (the scope bookkeeping wraps the function/class visits).
+    """
+
+    def __init__(self) -> None:
+        self.function_stack: List[ast.AST] = []
+        self.class_stack: List[ast.ClassDef] = []
+
+    def _visit_function(self, node: ast.AST) -> None:
+        self.function_stack.append(node)
+        try:
+            self.generic_visit(node)
+        finally:
+            self.function_stack.pop()
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+    visit_Lambda = _visit_function
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self.class_stack.append(node)
+        try:
+            self.generic_visit(node)
+        finally:
+            self.class_stack.pop()
+
+    @property
+    def in_function(self) -> bool:
+        return bool(self.function_stack)

@@ -1,0 +1,87 @@
+"""Baseline files: grandfather existing findings without silencing rules.
+
+A baseline is a JSON document of finding keys — ``(rule, path, source
+line text)`` with an occurrence count — written by ``--write-baseline``
+and consumed by ``--baseline``.  Matching deliberately ignores line
+numbers so a baseline survives unrelated edits; it breaks (the finding
+resurfaces) as soon as the flagged line's text changes, which is the
+moment the grandfathered code was touched and should be fixed for real.
+
+CI runs with **no** baseline: the tree itself must be clean.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Dict, List, Tuple
+
+from repro.lint.findings import Finding
+
+_VERSION = 1
+
+BaselineKey = Tuple[str, str, str]
+
+
+class BaselineError(ValueError):
+    """A baseline file that cannot be parsed or has the wrong shape."""
+
+
+def write_baseline(path: str, findings: List[Finding]) -> int:
+    """Write ``findings`` as a baseline; returns the entry count."""
+    counts: Counter = Counter(f.baseline_key for f in findings)
+    entries = [{"rule": rule, "path": file_path, "text": text,
+                "count": count}
+               for (rule, file_path, text), count in sorted(counts.items())]
+    document = {"version": _VERSION, "entries": entries}
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(document, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return len(entries)
+
+
+def load_baseline(path: str) -> Dict[BaselineKey, int]:
+    """Load a baseline into ``{(rule, path, text): allowed_count}``."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            document = json.load(fh)
+    except OSError as exc:
+        raise BaselineError(f"cannot read baseline {path!r}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise BaselineError(f"baseline {path!r} is not valid JSON: "
+                            f"{exc}") from exc
+    if not isinstance(document, dict) or "entries" not in document:
+        raise BaselineError(f"baseline {path!r} has no 'entries' list")
+    if document.get("version") != _VERSION:
+        raise BaselineError(f"baseline {path!r} has unsupported version "
+                            f"{document.get('version')!r}")
+    allowed: Dict[BaselineKey, int] = {}
+    for entry in document["entries"]:
+        try:
+            key = (entry["rule"], entry["path"], entry["text"])
+            count = int(entry.get("count", 1))
+        except (TypeError, KeyError) as exc:
+            raise BaselineError(f"malformed baseline entry {entry!r} in "
+                                f"{path!r}") from exc
+        allowed[key] = allowed.get(key, 0) + count
+    return allowed
+
+
+def filter_baselined(findings: List[Finding],
+                     allowed: Dict[BaselineKey, int]) -> List[Finding]:
+    """Drop findings covered by the baseline, respecting counts.
+
+    With N allowed occurrences of a key, the first N findings matching
+    it are dropped and any further ones are reported — adding a *second*
+    copy of a grandfathered violation is still a new finding.
+    """
+    budget = dict(allowed)
+    kept: List[Finding] = []
+    for finding in sorted(findings, key=lambda f: f.sort_key):
+        key = finding.baseline_key
+        remaining = budget.get(key, 0)
+        if remaining > 0:
+            budget[key] = remaining - 1
+        else:
+            kept.append(finding)
+    return kept

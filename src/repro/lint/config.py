@@ -1,0 +1,86 @@
+"""Lint configuration: which modules each rule family applies to.
+
+Module scoping is by dotted-name prefix.  A file's module name is
+derived from its path (the component chain starting at the ``repro``
+package directory); files outside the package (tests, benchmarks,
+fixtures) fall back to their bare stem and match only the ``"*"``
+wildcard prefix.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Tuple
+
+#: Packages whose behaviour must be a pure function of (config, seed):
+#: everything that runs inside a scenario.  ``repro.experiments`` is
+#: deliberately absent — wall-clock timing for progress/wall_time
+#: reporting is legitimate there.
+DETERMINISTIC_PREFIXES: Tuple[str, ...] = (
+    "repro.sim", "repro.net", "repro.core", "repro.workloads",
+    "repro.membership", "repro.freeriders", "repro.streaming",
+    "repro.baselines",
+)
+
+#: Modules on per-event/per-datagram allocation or dispatch paths, where
+#: ``__slots__`` is the standing rule (P401).
+HOT_PREFIXES: Tuple[str, ...] = (
+    "repro.sim", "repro.net", "repro.core",
+)
+
+
+def module_matches(module: str, prefixes: Tuple[str, ...]) -> bool:
+    """True if ``module`` falls under any dotted ``prefixes`` entry.
+
+    ``"*"`` matches everything (used by tests and ad-hoc runs to force a
+    rule family onto files outside the package).
+    """
+    for prefix in prefixes:
+        if prefix == "*":
+            return True
+        if module == prefix or module.startswith(prefix + "."):
+            return True
+    return False
+
+
+def module_name_for(path: str) -> str:
+    """Dotted module name for a source file path.
+
+    Finds the ``repro`` package component in the path (preferring one
+    directly under a ``src`` directory) and joins everything from there;
+    ``__init__.py`` maps to its package.  Files outside any ``repro``
+    tree get their bare stem, which matches no package-scoped prefix.
+    """
+    parts = os.path.normpath(path).split(os.sep)
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][:-3]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    start = None
+    for i, part in enumerate(parts[:-1] if len(parts) > 1 else parts):
+        if part == "repro":
+            if i > 0 and parts[i - 1] == "src":
+                start = i
+                break
+            if start is None:
+                start = i
+    if start is None:
+        return parts[-1] if parts else ""
+    return ".".join(parts[start:])
+
+
+@dataclass(frozen=True, slots=True)
+class LintConfig:
+    """Per-run analyzer configuration."""
+
+    deterministic_prefixes: Tuple[str, ...] = DETERMINISTIC_PREFIXES
+    hot_prefixes: Tuple[str, ...] = HOT_PREFIXES
+    #: Rule-id prefixes to run ("" selects all); see ``rules_matching``.
+    select: Tuple[str, ...] = field(default_factory=tuple)
+
+    def is_deterministic_module(self, module: str) -> bool:
+        return module_matches(module, self.deterministic_prefixes)
+
+    def is_hot_module(self, module: str) -> bool:
+        return module_matches(module, self.hot_prefixes)

@@ -1,0 +1,38 @@
+"""The unit of lint output: one finding at one source location."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class Finding:
+    """One rule violation at one source location.
+
+    ``text`` carries the stripped source line; the baseline matches on
+    ``(rule, path, text)`` rather than line numbers, so grandfathered
+    findings survive unrelated edits that shift lines.
+    """
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    text: str = ""
+
+    @property
+    def sort_key(self):
+        return (self.path, self.line, self.col, self.rule)
+
+    @property
+    def baseline_key(self):
+        return (self.rule, self.path.replace("\\", "/"), self.text)
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def as_dict(self) -> dict:
+        return {"rule": self.rule, "path": self.path.replace("\\", "/"),
+                "line": self.line, "col": self.col,
+                "message": self.message, "text": self.text}

@@ -1,0 +1,41 @@
+"""Finding reporters: human text and machine JSON."""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import IO, List
+
+from repro.lint.findings import Finding
+
+_VERSION = 1
+
+
+def render_text(findings: List[Finding], files_checked: int,
+                stream: IO[str]) -> None:
+    """One ``path:line:col: RULE message`` row per finding + a summary."""
+    ordered = sorted(findings, key=lambda f: f.sort_key)
+    for finding in ordered:
+        stream.write(finding.render() + "\n")
+    noun = "finding" if len(ordered) == 1 else "findings"
+    stream.write(f"repro lint: {len(ordered)} {noun} "
+                 f"in {files_checked} file(s) checked\n")
+
+
+def render_json(findings: List[Finding], files_checked: int,
+                stream: IO[str]) -> None:
+    """Machine-readable report (stable field order, sorted findings)."""
+    ordered = sorted(findings, key=lambda f: f.sort_key)
+    counts = Counter(f.rule for f in ordered)
+    document = {
+        "version": _VERSION,
+        "files_checked": files_checked,
+        "total": len(ordered),
+        "counts_by_rule": dict(sorted(counts.items())),
+        "findings": [f.as_dict() for f in ordered],
+    }
+    json.dump(document, stream, indent=2, sort_keys=False)
+    stream.write("\n")
+
+
+RENDERERS = {"text": render_text, "json": render_json}

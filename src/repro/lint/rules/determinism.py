@@ -1,0 +1,297 @@
+"""D-rules: the simulation must be a pure function of (config, seed).
+
+Golden traces and shard parity both rest on runs being bit-for-bit
+reproducible.  These rules catch the classic ways that breaks: reading
+the wall clock, drawing from unseeded entropy, iterating hash-ordered
+containers, and ordering by object identity.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Set
+
+from repro.lint.astutil import ScopedVisitor, canonical_call, dotted_parts
+from repro.lint.findings import Finding
+from repro.lint.registry import rule
+
+#: Wall-clock reads (D101).  Any of these inside a scenario makes the
+#: trace depend on the host, not the seed.
+_WALL_CLOCK = {
+    "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns", "time.process_time",
+    "time.process_time_ns", "time.clock_gettime", "time.clock_gettime_ns",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+}
+
+#: Unseeded entropy sources (D102), matched by canonical prefix.
+_ENTROPY_PREFIXES = ("os.urandom", "uuid.uuid1", "uuid.uuid4",
+                     "secrets.", "numpy.random.", "random.SystemRandom")
+
+#: ``random.<fn>`` module-level functions draw from the interpreter's
+#: global stream — shared across everything in the process, therefore
+#: ordering-coupled and unseeded from the scenario's point of view.
+#: ``random.Random(seed)`` instances are the sanctioned alternative.
+_GLOBAL_RANDOM_OK = {"random.Random"}
+
+
+def _canonical(ctx, node: ast.Call):
+    return canonical_call(node, ctx.aliases)
+
+
+@rule
+class WallClockRule:
+    id = "D101"
+    name = "no-wall-clock"
+    rationale = ("wall-clock reads (time.time, datetime.now, ...) inside "
+                 "sim/net/core/workloads make traces depend on the host, "
+                 "breaking golden-trace and shard byte-parity")
+
+    def check(self, ctx) -> Iterator[Finding]:
+        if not ctx.config.is_deterministic_module(ctx.module):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                canonical = _canonical(ctx, node)
+                if canonical in _WALL_CLOCK:
+                    yield ctx.finding(
+                        self.id, node,
+                        f"wall-clock read {canonical}() in deterministic "
+                        f"module {ctx.module}; derive times from the "
+                        f"simulator clock (sim.now)")
+
+
+@rule
+class UnseededRandomRule:
+    id = "D102"
+    name = "no-unseeded-random"
+    rationale = ("global-stream or OS-entropy randomness (random.random, "
+                 "os.urandom, uuid4, random.Random()) is not reproducible "
+                 "from the scenario seed; draw from a seeded "
+                 "random.Random stream (see repro.sim.rng)")
+
+    def check(self, ctx) -> Iterator[Finding]:
+        if not ctx.config.is_deterministic_module(ctx.module):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            canonical = _canonical(ctx, node)
+            if canonical is None:
+                continue
+            if canonical == "random.Random" and not node.args \
+                    and not node.keywords:
+                yield ctx.finding(
+                    self.id, node,
+                    "random.Random() without a seed draws from OS "
+                    "entropy; pass a seed derived from the scenario "
+                    "seed (repro.sim.rng.derive_seed)")
+                continue
+            if any(canonical.startswith(p) for p in _ENTROPY_PREFIXES):
+                yield ctx.finding(
+                    self.id, node,
+                    f"{canonical}() is OS entropy, not a function of the "
+                    f"scenario seed")
+                continue
+            if canonical.startswith("random.") \
+                    and canonical not in _GLOBAL_RANDOM_OK \
+                    and canonical.count(".") == 1:
+                yield ctx.finding(
+                    self.id, node,
+                    f"{canonical}() draws from the interpreter-global "
+                    f"stream; use a seeded random.Random instance "
+                    f"instead")
+
+
+class _SetExprTracker:
+    """Local-name set inference for one scope: a name counts as a set
+    only if *every* assignment to it in the scope is a set expression
+    (conservative — one non-set rebind clears it)."""
+
+    def __init__(self) -> None:
+        self.set_names: Set[str] = set()
+        self.non_set_names: Set[str] = set()
+
+    def observe(self, node: ast.AST) -> None:
+        if isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                and isinstance(node.targets[0], ast.Name):
+            name = node.targets[0].id
+            if self.is_set_expr(node.value):
+                self.set_names.add(name)
+            else:
+                self.non_set_names.add(name)
+        elif isinstance(node, ast.AnnAssign) \
+                and isinstance(node.target, ast.Name) \
+                and node.value is not None:
+            name = node.target.id
+            if self.is_set_expr(node.value):
+                self.set_names.add(name)
+            else:
+                self.non_set_names.add(name)
+
+    def is_known_set(self, name: str) -> bool:
+        return name in self.set_names and name not in self.non_set_names
+
+    def is_set_expr(self, node: ast.AST) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            parts = dotted_parts(node.func)
+            if parts is not None:
+                if parts[-1] in ("set", "frozenset") and len(parts) == 1:
+                    return True
+                # set-returning methods on a known set expression
+                if len(parts) >= 2 and parts[-1] in (
+                        "union", "intersection", "difference",
+                        "symmetric_difference", "copy") \
+                        and self.is_known_set(parts[0]):
+                    return True
+            return False
+        if isinstance(node, ast.BinOp) and isinstance(
+                node.op, (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)):
+            return self.is_set_expr(node.left) \
+                or self.is_set_expr(node.right)
+        if isinstance(node, ast.Name):
+            return self.is_known_set(node.id)
+        return False
+
+
+class _SetIterationVisitor(ScopedVisitor):
+    """Finds hash-ordered iteration per scope (module or function)."""
+
+    def __init__(self, ctx, rule_id: str):
+        super().__init__()
+        self.ctx = ctx
+        self.rule_id = rule_id
+        self.findings = []
+        self.trackers = [_SetExprTracker()]
+
+    def _visit_function(self, node):
+        # Fresh local-name universe per function; pre-scan its direct
+        # statements so uses before the (textual) assignment still infer.
+        tracker = _SetExprTracker()
+        for child in ast.walk(node):
+            tracker.observe(child)
+        self.trackers.append(tracker)
+        self.function_stack.append(node)
+        try:
+            self.generic_visit(node)
+        finally:
+            self.function_stack.pop()
+            self.trackers.pop()
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+    visit_Lambda = _visit_function
+
+    @property
+    def tracker(self) -> _SetExprTracker:
+        return self.trackers[-1]
+
+    def _flag(self, node: ast.AST, what: str) -> None:
+        self.findings.append(self.ctx.finding(
+            self.rule_id, node,
+            f"iteration over {what} is hash-ordered and differs across "
+            f"processes/runs; wrap it in sorted(...) (or suppress if the "
+            f"consumer is provably order-insensitive)"))
+
+    def _check_iter(self, iter_node: ast.AST) -> None:
+        if self.tracker.is_set_expr(iter_node):
+            what = ("a set expression"
+                    if not isinstance(iter_node, ast.Name)
+                    else f"set {iter_node.id!r}")
+            self._flag(iter_node, what)
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iter(node.iter)
+        self.generic_visit(node)
+
+    def _visit_ordered_comp(self, node) -> None:
+        for gen in node.generators:
+            self._check_iter(gen.iter)
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_ordered_comp
+    visit_GeneratorExp = _visit_ordered_comp
+    visit_DictComp = _visit_ordered_comp
+
+    # A SetComp's own output is unordered, so feeding it from a set is
+    # harmless; only its nested ordered comprehensions matter, and the
+    # generic visit reaches those.
+    def visit_SetComp(self, node: ast.SetComp) -> None:
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        parts = dotted_parts(node.func)
+        if parts is not None and len(parts) == 1 \
+                and parts[0] in ("list", "tuple", "enumerate") \
+                and node.args and self.tracker.is_set_expr(node.args[0]):
+            self._flag(node, f"a set materialized by {parts[0]}(...)")
+        self.generic_visit(node)
+
+
+@rule
+class SetIterationRule:
+    id = "D103"
+    name = "no-set-iteration"
+    rationale = ("set/frozenset iteration order is hash-seed and "
+                 "history dependent; anything feeding results or merges "
+                 "must iterate sorted(...) or parity breaks off-sample")
+
+    def check(self, ctx) -> Iterator[Finding]:
+        visitor = _SetIterationVisitor(ctx, self.id)
+        # Module scope: observe top-level assignments before walking.
+        for child in ast.walk(ctx.tree):
+            if not isinstance(child, (ast.FunctionDef,
+                                      ast.AsyncFunctionDef, ast.Lambda)):
+                visitor.trackers[0].observe(child)
+        visitor.visit(ctx.tree)
+        yield from visitor.findings
+
+
+def _is_id_call(node: ast.AST) -> bool:
+    return (isinstance(node, ast.Call) and isinstance(node.func, ast.Name)
+            and node.func.id == "id")
+
+
+def _key_uses_id(keyword: ast.keyword) -> bool:
+    value = keyword.value
+    if isinstance(value, ast.Name) and value.id == "id":
+        return True
+    if isinstance(value, ast.Lambda):
+        return any(_is_id_call(n) for n in ast.walk(value.body))
+    return False
+
+
+@rule
+class IdOrderingRule:
+    id = "D104"
+    name = "no-id-ordering"
+    rationale = ("id() values are allocation addresses — stable within "
+                 "a process, different across fork/spawn workers — so "
+                 "any ordering built on them diverges between shards")
+
+    def check(self, ctx) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                parts = dotted_parts(node.func)
+                is_order_call = parts is not None and parts[-1] in (
+                    "sorted", "sort", "min", "max")
+                if is_order_call:
+                    for keyword in node.keywords:
+                        if keyword.arg == "key" and _key_uses_id(keyword):
+                            yield ctx.finding(
+                                self.id, node,
+                                "ordering by id() is per-process memory "
+                                "layout; order by a stable identity "
+                                "(node id, kind id, sort key) instead")
+            elif isinstance(node, ast.Compare):
+                operands = [node.left] + list(node.comparators)
+                ordering_ops = (ast.Lt, ast.LtE, ast.Gt, ast.GtE)
+                if any(isinstance(op, ordering_ops) for op in node.ops) \
+                        and any(_is_id_call(o) for o in operands):
+                    yield ctx.finding(
+                        self.id, node,
+                        "comparing id() values imposes a per-process "
+                        "ordering; compare stable identities instead")

@@ -1,0 +1,99 @@
+"""P-rules: hot-path hygiene.
+
+Since PR 1 the standing rule on per-event/per-datagram paths is
+``__slots__`` on every class: no per-instance ``__dict__`` saves memory
+at 1k+ node populations and keeps attribute access on the send/deliver
+fast paths cheap.  The hot-module list lives in
+:data:`repro.lint.config.HOT_PREFIXES`.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.astutil import base_name, dotted_parts
+from repro.lint.findings import Finding
+from repro.lint.registry import rule
+
+#: Base classes that exempt a class from the __slots__ requirement:
+#: typing.Protocol bodies are interfaces, exception types are cold by
+#: definition, and enum/namedtuple machinery manages its own storage.
+_EXEMPT_BASES = {"Protocol", "Exception", "BaseException", "Enum",
+                 "IntEnum", "StrEnum", "Flag", "NamedTuple", "TypedDict"}
+
+
+def _is_exception_base(name: str) -> bool:
+    return name.endswith("Error") or name.endswith("Exception") \
+        or name in ("Exception", "BaseException", "Warning")
+
+
+def _declares_slots(node: ast.ClassDef) -> bool:
+    for stmt in node.body:
+        if isinstance(stmt, ast.Assign):
+            if any(isinstance(t, ast.Name) and t.id == "__slots__"
+                   for t in stmt.targets):
+                return True
+        elif isinstance(stmt, ast.AnnAssign):
+            if isinstance(stmt.target, ast.Name) \
+                    and stmt.target.id == "__slots__":
+                return True
+    return False
+
+
+def _dataclass_decorator(node: ast.ClassDef):
+    """The @dataclass decorator node, or None."""
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) \
+            else decorator
+        parts = dotted_parts(target)
+        if parts is not None and parts[-1] == "dataclass":
+            return decorator
+    return None
+
+
+def _dataclass_has_slots(decorator) -> bool:
+    if not isinstance(decorator, ast.Call):
+        return False
+    for keyword in decorator.keywords:
+        if keyword.arg == "slots" \
+                and isinstance(keyword.value, ast.Constant):
+            return keyword.value.value is True
+    return False
+
+
+@rule
+class SlotsRequiredRule:
+    id = "P401"
+    name = "slots-in-hot-modules"
+    rationale = ("classes in hot modules (sim/net/core) must declare "
+                 "__slots__ (or @dataclass(slots=True)): per-instance "
+                 "__dict__ costs memory and attribute-access time on "
+                 "per-event/per-datagram paths")
+
+    def check(self, ctx) -> Iterator[Finding]:
+        if not ctx.config.is_hot_module(ctx.module):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            bases = [base_name(b) for b in node.bases]
+            if any(b in _EXEMPT_BASES or (b and _is_exception_base(b))
+                   for b in bases):
+                continue
+            decorator = _dataclass_decorator(node)
+            if decorator is not None:
+                if not _dataclass_has_slots(decorator):
+                    yield ctx.finding(
+                        self.id, node,
+                        f"dataclass {node.name!r} in hot module "
+                        f"{ctx.module} should declare "
+                        f"@dataclass(slots=True)")
+                continue
+            if not _declares_slots(node):
+                yield ctx.finding(
+                    self.id, node,
+                    f"class {node.name!r} in hot module {ctx.module} "
+                    f"has no __slots__; per-instance __dict__ is "
+                    f"banned on hot paths (add __slots__, or a "
+                    f"suppression if the class is provably cold)")

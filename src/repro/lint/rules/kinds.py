@@ -1,0 +1,115 @@
+"""K-rules: the kind-id registry must be import-order identical.
+
+Kind ids are dense integers handed out in registration order
+(:func:`repro.net.message.register_kind`).  Fork/spawn shard workers
+rebuild the table by importing the same modules — which only yields the
+same ids if every registration happens at import time, unconditionally,
+with a literal name.  A registration reached at *run time* on one side
+of the boundary skews every id after it, and the wire decodes garbage.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Set
+
+from repro.lint.astutil import ScopedVisitor, dotted_parts
+from repro.lint.findings import Finding
+from repro.lint.registry import rule
+
+
+def _module_level_defs(tree: ast.AST) -> Set[str]:
+    """Function names defined at the top level of this module (the
+    registry implementation itself defines register_kind/intern_kind and
+    must be allowed to call its own internals)."""
+    return {node.name for node in getattr(tree, "body", [])
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))}
+
+
+class _RegisterKindVisitor(ScopedVisitor):
+    def __init__(self, ctx, rule_id: str):
+        super().__init__()
+        self.ctx = ctx
+        self.rule_id = rule_id
+        self.findings: List[Finding] = []
+        self.own_defs = _module_level_defs(ctx.tree)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        parts = dotted_parts(node.func)
+        if parts is not None and parts[-1] == "register_kind" \
+                and "register_kind" not in self.own_defs:
+            if self.in_function:
+                self.findings.append(self.ctx.finding(
+                    self.rule_id, node,
+                    "register_kind called inside a function runs at an "
+                    "unpredictable time; kind registration must happen "
+                    "at module import (module top level or a top-level "
+                    "class body) so fork/spawn workers build identical "
+                    "kind-id tables"))
+            elif not node.args or not (
+                    isinstance(node.args[0], ast.Constant)
+                    and isinstance(node.args[0].value, str)):
+                self.findings.append(self.ctx.finding(
+                    self.rule_id, node,
+                    "register_kind needs a string-literal name; a "
+                    "computed name makes the registration order (and "
+                    "thus every kind id) data-dependent"))
+        self.generic_visit(node)
+
+
+@rule
+class RegisterKindImportTimeRule:
+    id = "K301"
+    name = "register-kind-at-import"
+    rationale = ("kind ids are dense and registration-ordered; a "
+                 "register_kind call outside module top level (or with "
+                 "a computed name) skews id tables between fork/spawn "
+                 "workers and corrupts cross-shard wire decoding")
+
+    def check(self, ctx) -> Iterator[Finding]:
+        visitor = _RegisterKindVisitor(ctx, self.id)
+        visitor.visit(ctx.tree)
+        yield from visitor.findings
+
+
+class _InternKindVisitor(ScopedVisitor):
+    def __init__(self, ctx, rule_id: str):
+        super().__init__()
+        self.ctx = ctx
+        self.rule_id = rule_id
+        self.findings: List[Finding] = []
+        self.own_defs = _module_level_defs(ctx.tree)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self.in_function and "intern_kind" not in self.own_defs:
+            parts = dotted_parts(node.func)
+            if parts is not None and parts[-1] == "intern_kind":
+                for keyword in node.keywords:
+                    if keyword.arg == "register" and not (
+                            isinstance(keyword.value, ast.Constant)
+                            and keyword.value.value is False):
+                        self.findings.append(self.ctx.finding(
+                            self.rule_id, node,
+                            "intern_kind(register=True) inside a "
+                            "function registers kinds at run time — "
+                            "reached on one side of a fork/spawn "
+                            "boundary, it skews kind-id tables between "
+                            "workers; register at import time or look "
+                            "up with intern_kind(name)"))
+        self.generic_visit(node)
+
+
+@rule
+class DynamicInternRule:
+    id = "K302"
+    name = "no-runtime-kind-interning"
+    rationale = ("intern_kind(register=True) reached at run time is a "
+                 "hidden registration — exactly the lookup-miss footgun "
+                 "that skews kind-id tables across workers (lookups "
+                 "without register= stay safe: they raise on unknown "
+                 "names instead of mutating the table)")
+
+    def check(self, ctx) -> Iterator[Finding]:
+        visitor = _InternKindVisitor(ctx, self.id)
+        visitor.visit(ctx.tree)
+        yield from visitor.findings

@@ -1,0 +1,59 @@
+"""``# repro-lint: disable=<RULE>`` suppression comments.
+
+A suppression comment on a flagged line silences the named rules (or
+``all``) for that line.  A comment that stands alone on its own line
+also applies to the next line, so long statements can carry their
+justification above them::
+
+    # Wall time here is reporting-only, never enters a summary.
+    # repro-lint: disable=D101
+    started = time.perf_counter()
+
+Comma-separate multiple rule ids: ``# repro-lint: disable=D101,S201``.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from typing import Dict, List, Set
+
+_PATTERN = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9_*,\s]+)")
+
+
+def suppressions_for(source: str) -> Dict[int, Set[str]]:
+    """Line number -> set of suppressed rule ids (``"all"`` wildcard)."""
+    suppressed: Dict[int, Set[str]] = {}
+    try:
+        tokens: List[tokenize.TokenInfo] = list(
+            tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenizeError, SyntaxError, IndentationError):
+        return suppressed
+    lines = source.splitlines()
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _PATTERN.search(token.string)
+        if match is None:
+            continue
+        rules = {part.strip() for part in match.group(1).split(",")
+                 if part.strip()}
+        if not rules:
+            continue
+        line = token.start[0]
+        suppressed.setdefault(line, set()).update(rules)
+        # Own-line comment: nothing but whitespace before it -> the
+        # suppression also covers the line below.
+        text = lines[line - 1] if line - 1 < len(lines) else ""
+        if text[:token.start[1]].strip() == "":
+            suppressed.setdefault(line + 1, set()).update(rules)
+    return suppressed
+
+
+def is_suppressed(suppressed: Dict[int, Set[str]], line: int,
+                  rule_id: str) -> bool:
+    rules = suppressed.get(line)
+    if not rules:
+        return False
+    return rule_id in rules or "all" in rules

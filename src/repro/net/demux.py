@@ -33,10 +33,12 @@ class Demux:
                  handler: Callable[[Envelope], None]) -> None:
         """Register ``handler`` for a payload kind (name or kind-id).
 
-        A string name is interned into the global kind registry — prefer
-        registering with the payload class's ``kind_id`` for kinds a
-        protocol module owns, or the module's later ``register_kind``
-        at import time will see its own name as a duplicate.
+        A string name is resolved against the global kind registry and
+        raises :class:`KeyError` if the kind was never registered —
+        silently minting a new kind here would skew kind-id tables
+        across fork/spawn shard workers.  Register payload kinds at
+        module import time (``register_kind``) and prefer passing the
+        payload class's ``kind_id``.
         """
         kind_id = intern_kind(kind) if isinstance(kind, str) else kind
         if kind_id in self._handlers:

@@ -20,6 +20,8 @@ from typing import Dict, Tuple
 class LatencyModel(ABC):
     """Samples one-way network delay (seconds) for a (src, dst) pair."""
 
+    __slots__ = ()
+
     @abstractmethod
     def sample(self, src: int, dst: int) -> float:
         """Return the one-way delay for one message from src to dst."""
@@ -43,6 +45,8 @@ class LatencyModel(ABC):
 class ConstantLatency(LatencyModel):
     """Every message takes exactly ``delay`` seconds.  Useful in tests."""
 
+    __slots__ = ("delay",)
+
     def __init__(self, delay: float = 0.05):
         if delay < 0:
             raise ValueError(f"negative latency {delay!r}")
@@ -60,6 +64,8 @@ class ConstantLatency(LatencyModel):
 
 class UniformLatency(LatencyModel):
     """Delay drawn uniformly from [low, high) independently per message."""
+
+    __slots__ = ("_rng", "low", "high")
 
     def __init__(self, rng: random.Random, low: float = 0.01, high: float = 0.1):
         if not 0 <= low <= high:
@@ -84,6 +90,8 @@ class LogNormalLatency(LatencyModel):
     Parameterized by the desired *median* latency for readability; the
     underlying mu is ``ln(median)``.
     """
+
+    __slots__ = ("_rng", "median", "sigma", "floor", "_mu")
 
     def __init__(self, rng: random.Random, median: float = 0.05,
                  sigma: float = 0.5, floor: float = 0.002):
@@ -113,6 +121,9 @@ class PairwiseLatency(LatencyModel):
     and each message adds uniform jitter.  Bases are memoized lazily so
     the model works for any node-id universe without pre-sizing a matrix.
     """
+
+    __slots__ = ("_rng", "median_base", "sigma", "jitter", "floor", "_mu",
+                 "_bases")
 
     def __init__(self, rng: random.Random, median_base: float = 0.05,
                  sigma: float = 0.6, jitter: float = 0.01, floor: float = 0.002):
@@ -176,6 +187,9 @@ class PerPairLatency(LatencyModel):
     sharded execution requires (``ScenarioConfig.latency_rng ==
     "per-pair"``).
     """
+
+    __slots__ = ("_seed", "median_base", "sigma", "jitter", "floor", "_mu",
+                 "_bases", "_jitter_rngs")
 
     def __init__(self, seed: int, median_base: float = 0.05,
                  sigma: float = 0.6, jitter: float = 0.01, floor: float = 0.002):

@@ -20,6 +20,8 @@ from typing import Dict, Tuple
 class LossModel(ABC):
     """Decides, per datagram, whether the network drops it."""
 
+    __slots__ = ()
+
     #: Hot-path hint: when False the network skips is_lost() entirely.
     #: Models that consume RNG draws must keep this True even at rate 0,
     #: so a zero-rate model stays stream-compatible with a lossy one.
@@ -33,6 +35,8 @@ class LossModel(ABC):
 class NoLoss(LossModel):
     """Perfect delivery."""
 
+    __slots__ = ()
+
     active = False
 
     def is_lost(self, src: int, dst: int) -> bool:
@@ -41,6 +45,8 @@ class NoLoss(LossModel):
 
 class BernoulliLoss(LossModel):
     """Each datagram is dropped independently with probability ``rate``."""
+
+    __slots__ = ("_rng", "rate")
 
     def __init__(self, rng: random.Random, rate: float):
         if not 0.0 <= rate <= 1.0:
@@ -71,6 +77,8 @@ class PerPairLoss(LossModel):
     requires (``ScenarioConfig.loss_rng == "per-pair"``).
     """
 
+    __slots__ = ("_seed", "rate", "_rngs")
+
     def __init__(self, seed: int, rate: float):
         if not 0.0 <= rate <= 1.0:
             raise ValueError(f"loss rate must be in [0, 1], got {rate!r}")
@@ -99,6 +107,9 @@ class GilbertElliottLoss(LossModel):
     geometrically distributed burst lengths, the classic Gilbert-Elliott
     channel.
     """
+
+    __slots__ = ("_rng", "p_good_to_bad", "p_bad_to_good", "good_loss",
+                 "bad_loss", "_bad_state")
 
     def __init__(self, rng: random.Random, p_good_to_bad: float = 0.01,
                  p_bad_to_good: float = 0.3, good_loss: float = 0.0,

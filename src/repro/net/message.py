@@ -22,7 +22,10 @@ register their kinds at import time::
 
 :func:`register_kind` raises on a duplicate name (two protocols silently
 sharing a kind would cross-deliver), while :func:`intern_kind` is the
-idempotent variant for dynamic callers (tests, ad-hoc tooling).
+lookup variant for dynamic callers: it raises on an unknown name unless
+the caller passes ``register=True`` (tests, ad-hoc tooling) — a lookup
+that silently registered could be reached on one side of a fork/spawn
+boundary only, skewing kind-id tables between shard workers.
 
 :class:`Envelope` doubles as a schedulable delivery event: ``__call__``
 hands it back to its network fabric.  The default delivery router
@@ -66,10 +69,28 @@ def register_kind(name: str) -> int:
     return kind_id
 
 
-def intern_kind(name: str) -> int:
-    """The id for ``name``, registering it first if needed (idempotent)."""
+def intern_kind(name: str, *, register: bool = False) -> int:
+    """The id for ``name``; raises :class:`KeyError` if unknown.
+
+    Kind-id tables must be identical across fork/spawn shard workers,
+    which only holds when every registration happens at import time in
+    the same module order.  A *lookup* that silently registered on a
+    miss (the historical behaviour) could therefore be reached on one
+    side of a process boundary only and skew every id after it — so an
+    unknown name now raises instead.  Dynamic callers that really do
+    own a new kind (tests, ad-hoc tooling) opt in with
+    ``register=True``, which keeps the old idempotent register-if-
+    missing semantics; the lint rule K302 flags that form outside
+    import-time code.
+    """
     kind_id = _KIND_IDS.get(name)
     if kind_id is None:
+        if not register:
+            raise KeyError(
+                f"unknown payload kind {name!r}; register it at module "
+                f"import time via register_kind, or pass register=True "
+                f"for deliberately dynamic kinds (known: "
+                f"{', '.join(_KIND_NAMES) or 'none'})")
         kind_id = register_kind(name)
     return kind_id
 

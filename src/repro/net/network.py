@@ -79,6 +79,10 @@ class Endpoint(Protocol):
 class Network:
     """Best-effort datagram fabric with throttled uplinks."""
 
+    __slots__ = ("_sim", "latency", "loss", "stats", "_endpoints",
+                 "_uplinks", "_crash_time", "_delivery", "on_deliver",
+                 "_pool", "router", "_route")
+
     def __init__(self, sim: Simulator, latency: Optional[LatencyModel] = None,
                  loss: Optional[LossModel] = None,
                  reuse_envelopes: bool = False,

@@ -438,6 +438,8 @@ class ShardRouter(InprocRouter):
 class _ShardRun:
     """One shard's build plus its windowed-execution state."""
 
+    __slots__ = ("shard_index", "owned", "router", "build")
+
     def __init__(self, config: ScenarioConfig, shard_index: int,
                  batch_wire: bool = True):
         from repro.experiments.runner import build_scenario

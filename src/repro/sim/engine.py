@@ -110,6 +110,9 @@ class Simulator:
     the events executed so far in the current ``run()`` call.
     """
 
+    __slots__ = ("_now", "_seq", "_cancels", "_buckets", "_theap",
+                 "_events_executed", "_running", "_active", "_active_idx")
+
     def __init__(self) -> None:
         self._now = 0.0
         #: Total entries ever enqueued; doubles as the sequence counter.

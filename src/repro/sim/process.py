@@ -35,6 +35,9 @@ class sleep:  # noqa: N801 - command object reads like a keyword at yield sites
 class Process:
     """Drives a generator as a simulated process."""
 
+    __slots__ = ("_sim", "_generator", "name", "finished", "_started",
+                 "_handle")
+
     def __init__(self, sim: Simulator, generator: Generator[Any, None, None], name: str = ""):
         self._sim = sim
         self._generator = generator

@@ -28,6 +28,8 @@ def derive_seed(master_seed: int, name: str) -> int:
 class RngRegistry:
     """A factory of named :class:`random.Random` streams from one master seed."""
 
+    __slots__ = ("master_seed", "_streams")
+
     def __init__(self, master_seed: int = 0):
         self.master_seed = master_seed
         self._streams: Dict[str, random.Random] = {}

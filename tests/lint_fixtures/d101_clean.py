@@ -1,0 +1,5 @@
+"""D101 clean twin: timestamps come from the simulator clock."""
+
+
+def stamp_events(log, sim):
+    log.append(sim.now)

@@ -1,0 +1,10 @@
+"""D101 fixture: wall-clock reads (deterministic-module scope forced
+by the test's wildcard config)."""
+
+import time
+from datetime import datetime
+
+
+def stamp_events(log):
+    log.append(time.time())
+    log.append(datetime.now())

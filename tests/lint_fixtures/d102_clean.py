@@ -1,0 +1,9 @@
+"""D102 clean twin: a seeded random.Random stream."""
+
+import random
+
+
+def shuffle_peers(peers, seed):
+    rng = random.Random(seed)
+    rng.shuffle(peers)
+    return rng

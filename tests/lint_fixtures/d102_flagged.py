@@ -1,0 +1,10 @@
+"""D102 fixture: unseeded / OS-entropy randomness."""
+
+import os
+import random
+
+
+def shuffle_peers(peers):
+    rng = random.Random()
+    random.shuffle(peers)
+    return os.urandom(8), rng

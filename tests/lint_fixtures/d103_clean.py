@@ -1,0 +1,11 @@
+"""D103 clean twin: every set iteration goes through sorted(...)."""
+
+
+def merge_ids(batches):
+    pending = set()
+    for batch in batches:
+        pending.update(batch)
+    ordered = [packet_id for packet_id in sorted(pending)]
+    for packet_id in sorted({0, 1, 2}):
+        ordered.append(packet_id)
+    return ordered, sorted(pending)

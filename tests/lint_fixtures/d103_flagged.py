@@ -1,0 +1,11 @@
+"""D103 fixture: hash-ordered iteration over sets."""
+
+
+def merge_ids(batches):
+    pending = set()
+    for batch in batches:
+        pending.update(batch)
+    ordered = [packet_id for packet_id in pending]
+    for packet_id in {0, 1, 2}:
+        ordered.append(packet_id)
+    return ordered, list(pending)

@@ -1,0 +1,8 @@
+"""D104 clean twin: orderings on stable identities."""
+
+
+def order_endpoints(endpoints, a, b):
+    ranked = sorted(endpoints, key=lambda e: e.node_id)
+    lowest = min(endpoints, key=lambda e: e.node_id)
+    earlier = a.node_id < b.node_id
+    return ranked, lowest, earlier

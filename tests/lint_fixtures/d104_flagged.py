@@ -1,0 +1,8 @@
+"""D104 fixture: orderings built on id() values."""
+
+
+def order_endpoints(endpoints, a, b):
+    ranked = sorted(endpoints, key=id)
+    lowest = min(endpoints, key=lambda e: id(e))
+    earlier = id(a) < id(b)
+    return ranked, lowest, earlier

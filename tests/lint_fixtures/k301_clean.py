@@ -1,0 +1,8 @@
+"""K301 clean twin: import-time registration with a literal name."""
+
+from repro.net.message import register_kind
+
+
+class Probe:
+    kind = "probe"
+    kind_id = register_kind("probe")

@@ -1,0 +1,10 @@
+"""K301 fixture: run-time / computed-name kind registration."""
+
+from repro.net.message import register_kind
+
+
+def register_probe():
+    return register_kind("probe")
+
+
+PROBE_KIND_ID = register_kind("pro" + "be")

@@ -1,0 +1,7 @@
+"""K302 clean twin: intern_kind as a pure (raising) lookup."""
+
+from repro.net.message import intern_kind
+
+
+def resolve(name):
+    return intern_kind(name)

@@ -1,0 +1,7 @@
+"""K302 fixture: run-time registration through intern_kind."""
+
+from repro.net.message import intern_kind
+
+
+def resolve(name):
+    return intern_kind(name, register=True)

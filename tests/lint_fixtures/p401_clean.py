@@ -1,0 +1,25 @@
+"""P401 clean twin: slotted classes plus the exempt shapes."""
+
+from dataclasses import dataclass
+from typing import Protocol
+
+
+class EventRecord:
+    __slots__ = ("seq",)
+
+    def __init__(self, seq):
+        self.seq = seq
+
+
+@dataclass(frozen=True, slots=True)
+class PacketRecord:
+    packet_id: int
+
+
+class Endpoint(Protocol):
+    def on_message(self, envelope):
+        ...
+
+
+class FixtureError(RuntimeError):
+    pass

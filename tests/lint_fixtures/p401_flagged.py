@@ -1,0 +1,14 @@
+"""P401 fixture: dict-carrying classes (hot-module scope forced by the
+test's wildcard config)."""
+
+from dataclasses import dataclass
+
+
+class EventRecord:
+    def __init__(self, seq):
+        self.seq = seq
+
+
+@dataclass(frozen=True)
+class PacketRecord:
+    packet_id: int

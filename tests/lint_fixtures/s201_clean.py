@@ -1,0 +1,13 @@
+"""S201 clean twin: module-level callables cross the boundary."""
+
+import multiprocessing
+
+
+def run_cell(cell):
+    return cell.run()
+
+
+def run_cells(pool, cells):
+    futures = [pool.submit(run_cell, cell) for cell in cells]
+    worker = multiprocessing.Process(target=run_cell, args=(cells[0],))
+    return run_grid(cells, run_cell), futures, worker  # noqa: F821

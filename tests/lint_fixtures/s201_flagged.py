@@ -1,0 +1,13 @@
+"""S201 fixture: unpicklable callables handed to process sinks."""
+
+import multiprocessing
+
+
+def run_cells(pool, cells):
+    futures = [pool.submit(lambda cell=cell: cell.run()) for cell in cells]
+
+    def run_one(cell):
+        return cell.run()
+
+    worker = multiprocessing.Process(target=lambda: run_one(cells[0]))
+    return run_grid(cells, run_one), futures, worker  # noqa: F821

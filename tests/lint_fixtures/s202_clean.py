@@ -1,0 +1,13 @@
+"""S202 clean twin: the payload class lives at module level."""
+
+
+class Probe:
+    kind = "probe"
+    kind_id = 7
+
+    def wire_size(self):
+        return 8
+
+
+def make_probe_payload():
+    return Probe()

@@ -1,0 +1,12 @@
+"""S202 fixture: a wire-crossing payload class defined in a function."""
+
+
+def make_probe_payload():
+    class Probe:
+        kind = "probe"
+        kind_id = 7
+
+        def wire_size(self):
+            return 8
+
+    return Probe()

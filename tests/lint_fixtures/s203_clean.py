@@ -1,0 +1,8 @@
+"""S203 clean twin: the payload is finalized before it is sent."""
+
+
+def announce(net, src, peers, payload):
+    payload.round += 1
+    payload.ids = []
+    net.send_many(src, peers, payload)
+    net.send(src, peers[0], payload=payload)

@@ -1,0 +1,8 @@
+"""S203 fixture: payload attribute writes after send/send_many."""
+
+
+def announce(net, src, peers, payload):
+    net.send_many(src, peers, payload)
+    payload.round += 1
+    net.send(src, peers[0], payload=payload)
+    payload.ids = []

@@ -8,13 +8,16 @@ from repro.net.message import intern_kind
 
 class FakeEnvelope:
     def __init__(self, kind):
-        self.payload = type("P", (), {"kind": kind,
-                                      "kind_id": intern_kind(kind)})()
+        self.payload = type("P", (), {
+            "kind": kind,
+            "kind_id": intern_kind(kind, register=True)})()
 
 
 def test_routes_by_kind():
     demux = Demux()
     seen = []
+    for name in ("a", "b"):
+        intern_kind(name, register=True)
     demux.register("a", lambda env: seen.append(("a", env)))
     demux.register("b", lambda env: seen.append(("b", env)))
     demux.on_message(FakeEnvelope("b"))
@@ -24,7 +27,8 @@ def test_routes_by_kind():
 def test_routes_by_kind_id():
     demux = Demux()
     seen = []
-    demux.register(intern_kind("c"), lambda env: seen.append(env))
+    demux.register(intern_kind("c", register=True),
+                   lambda env: seen.append(env))
     demux.on_message(FakeEnvelope("c"))
     assert len(seen) == 1
 
@@ -35,8 +39,15 @@ def test_unrouted_counted_not_raised():
     assert demux.unrouted == 1
 
 
+def test_register_unknown_kind_name_raises():
+    demux = Demux()
+    with pytest.raises(KeyError, match="unknown payload kind"):
+        demux.register("never-registered-kind", lambda env: None)
+
+
 def test_duplicate_registration_rejected():
     demux = Demux()
+    intern_kind("a", register=True)
     demux.register("a", lambda env: None)
     with pytest.raises(ValueError):
         demux.register("a", lambda env: None)
@@ -52,7 +63,7 @@ def test_dispatch_table_is_live_and_network_routes_through_it():
     class P:
         def __init__(self, kind):
             self.kind = kind
-            self.kind_id = intern_kind(kind)
+            self.kind_id = intern_kind(kind, register=True)
 
         def wire_size(self):
             return 10
@@ -64,6 +75,7 @@ def test_dispatch_table_is_live_and_network_routes_through_it():
     net.attach(1, Demux(), 1e9)
     net.attach(2, demux, 1e9)
     # Register *after* attach: the captured table reference is live.
+    intern_kind("routed-kind", register=True)
     demux.register("routed-kind", seen.append)
     net.send(1, 2, P("routed-kind"))
     net.send(1, 2, P("unrouted-kind"))

@@ -29,8 +29,20 @@ class TestKindRegistry:
         with pytest.raises(ValueError):
             register_kind("")
 
-    def test_intern_is_idempotent(self):
-        first = intern_kind("test-kind-intern")
+    def test_intern_unknown_kind_raises(self):
+        """Regression: a lookup miss must never silently mint a kind-id —
+        an accidental registration on one side of a fork/spawn boundary
+        would skew every id after it between shard workers."""
+        with pytest.raises(KeyError, match="unknown payload kind"):
+            intern_kind("test-kind-never-registered")
+        # The failed lookup must not have registered the name as a side
+        # effect of composing the error message.
+        assert "test-kind-never-registered" not in registered_kinds()
+
+    def test_intern_register_is_idempotent(self):
+        first = intern_kind("test-kind-intern", register=True)
+        assert intern_kind("test-kind-intern", register=True) == first
+        # Once registered, plain lookup resolves it.
         assert intern_kind("test-kind-intern") == first
 
     def test_registry_enumeration_is_consistent(self):

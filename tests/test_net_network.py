@@ -15,7 +15,7 @@ from repro.sim.engine import Simulator
 class FakePayload:
     def __init__(self, kind="test", size=100):
         self.kind = kind
-        self.kind_id = intern_kind(kind)
+        self.kind_id = intern_kind(kind, register=True)
         self._size = size
 
     def wire_size(self):

@@ -31,7 +31,7 @@ from repro.sim.engine import Simulator
 class FakePayload:
     def __init__(self, kind="test", size=100):
         self.kind = kind
-        self.kind_id = intern_kind(kind)
+        self.kind_id = intern_kind(kind, register=True)
         self._size = size
 
     def wire_size(self):
@@ -260,8 +260,8 @@ class TestAddReceived:
     single accumulations."""
 
     def test_bulk_equals_n_singles(self):
-        kind_a = intern_kind("recv-a")
-        kind_b = intern_kind("recv-b")
+        kind_a = intern_kind("recv-a", register=True)
+        kind_b = intern_kind("recv-b", register=True)
         bulk = NetworkStats()
         singles = NetworkStats()
         bulk.add_received(kind_a, 7, 7 * 131)
@@ -277,12 +277,12 @@ class TestAddReceived:
 
     def test_add_received_grows_late_registered_kinds(self):
         stats = NetworkStats()
-        late = intern_kind("recv-late")
+        late = intern_kind("recv-late", register=True)
         stats.add_received(late, 2, 100)
         assert stats.received_count_by_kind == {"recv-late": 2}
 
     def test_merge_from_sums_both_directions(self):
-        kind = intern_kind("recv-merge")
+        kind = intern_kind("recv-merge", register=True)
         a, b = NetworkStats(), NetworkStats()
         a.add_received(kind, 2, 200)
         a.sent = 5

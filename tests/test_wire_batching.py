@@ -34,7 +34,7 @@ class FakePayload:
 
     def __init__(self, kind="wb-test", size=100):
         self.kind = kind
-        self.kind_id = intern_kind(kind)
+        self.kind_id = intern_kind(kind, register=True)
         self._size = size
 
     def wire_size(self):
@@ -249,7 +249,7 @@ class TestBatchInjectEquivalence:
 
         (tag, n_rows, header, blob), = self._sender_outbox(batch_wire=True)
         row = list(_ROW.unpack(header[:_ROW.size]))
-        row[0] = intern_kind("wb-wrong-kind")
+        row[0] = intern_kind("wb-wrong-kind", register=True)
         tampered = _ROW.pack(*row) + header[_ROW.size:]
         with pytest.raises(ValueError, match="kind mismatch"):
             self._deliver([(tag, n_rows, tampered, blob)])
