@@ -1,0 +1,107 @@
+"""Benchmark: adversarial scenarios — honest vs attacked throughput.
+
+The attack catalog (:mod:`repro.adversary`) substitutes adversarial
+node/sampler implementations during scenario construction; this bench
+measures what that costs.  A spam attack is the interesting case: the
+attackers *add* traffic (flooding proposals far past the fanout), so the
+events/s gap between the honest and attacked runs is genuine extra
+simulated work, not harness overhead.
+
+Run with pytest-benchmark::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_attack_sweep.py
+
+The smoke benchmark (``smoke_throughput.py``) runs the same workloads
+without the harness and records an ``attacks`` section in
+``BENCH_throughput.json`` — honest events/s vs 10%-spam events/s — and
+*verifies* while measuring that the attacked scenario shards cleanly:
+the 2-shard run must produce byte-identical metric summaries and
+attack-impact blobs (attacker placement is population-wide and pure, so
+every shard plants the same attackers; see ``repro.net.shard``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))
+from _harness import measure  # noqa: E402
+
+#: CI-sized but attack-visible: enough nodes that a 10% spam fraction
+#: floods a meaningful slice of the swarm, short stream so the smoke
+#: bench stays cheap.  ``latency_floor`` doubles as the shard lookahead;
+#: ``audit`` keeps the detector path (and the conviction side of the
+#: attack-impact blob) in the measured work.
+SCENARIO = dict(protocol="heap", n_nodes=300, duration=2.0, drain=4.0,
+                seed=23, audit=True, latency_rng="per-pair",
+                latency_floor=0.04)
+
+#: The attacked variant: 10% spammers on the best-connected victims.
+SPAM_FRACTION = 0.1
+
+
+def _config(attacked: bool = False, shards: int = 0):
+    from repro.adversary import AttackMix
+    from repro.workloads.distributions import REF_691
+    from repro.workloads.scenario import ScenarioConfig
+
+    adversary = (AttackMix.single("spam", SPAM_FRACTION,
+                                  victim_policy="high-degree")
+                 if attacked else None)
+    return ScenarioConfig(distribution=REF_691, adversary=adversary,
+                          shards=shards, **SCENARIO)
+
+
+def attack_blob(result) -> str:
+    """Canonical JSON of the standard summaries + the attack impact."""
+    from repro.adversary import attack_impact
+    from repro.metrics.summary import standard_bundle, summarize
+
+    return json.dumps({"summary": summarize(result, standard_bundle()),
+                       "attack_impact": attack_impact(result)},
+                      sort_keys=True)
+
+
+def run_honest():
+    """The attack-free baseline run."""
+    from repro.experiments.runner import run_scenario
+
+    return run_scenario(_config())
+
+
+def run_spam():
+    """The same scenario with 10% spammers planted on high-degree nodes."""
+    from repro.experiments.runner import run_scenario
+
+    return run_scenario(_config(attacked=True))
+
+
+def run_spam_sharded(shards: int = 2):
+    """The attacked scenario partitioned across worker shards."""
+    from repro.net.shard import run_sharded
+
+    return run_sharded(_config(attacked=True, shards=shards))
+
+
+def bench_attack_honest(benchmark):
+    """Baseline: the scenario with no attackers."""
+    result = measure(benchmark, run_honest)
+    assert result.sim.events_executed > 0
+    assert not result.attackers
+
+
+def bench_attack_spam(benchmark):
+    """10% spam attackers: extra proposal traffic, measured honestly."""
+    result = measure(benchmark, run_spam)
+    assert result.attackers
+    served = sum(stats.get("spam_proposes", 0)
+                 for stats in result.attacker_stats.values())
+    assert served > 0
+
+
+def bench_attack_spam_sharded(benchmark):
+    """The attacked scenario at 2 shards, verified byte-identical."""
+    result = measure(benchmark, run_spam_sharded, 2)
+    assert attack_blob(result) == attack_blob(run_spam())

@@ -52,6 +52,8 @@ TRACKED = [
     # reduction of the packed window exchange vs the per-envelope path.
     (("sharding", "wire_batching", "bytes_reduction"),
      "wire batching bytes reduction"),
+    (("attacks", "honest_events_per_sec"), "attack-bench honest events/s"),
+    (("attacks", "spam_events_per_sec"), "attack-bench 10%-spam events/s"),
 ]
 
 

@@ -190,6 +190,44 @@ def bench_sharding():
     return section
 
 
+def bench_attacks():
+    """Honest vs 10%-spam scenario throughput, with attack shard parity.
+
+    The spam attackers flood proposals past the fanout, so the attacked
+    run executes genuinely more events — both absolute events/s numbers
+    are tracked by the trend gate, and the ``spam_event_overhead`` ratio
+    is self-relative (back-to-back in one process), host-noise-robust.
+
+    Also *verifies* while measuring: the attacked scenario at 2 shards
+    must produce byte-identical summaries and attack-impact blobs
+    (attacker placement is a pure population-wide function, replicated
+    per shard).
+    """
+    from bench_attack_sweep import (SPAM_FRACTION, attack_blob, run_honest,
+                                    run_spam, run_spam_sharded)
+
+    section = {"spam_fraction": SPAM_FRACTION}
+    started = time.perf_counter()
+    honest = run_honest()
+    honest_wall = time.perf_counter() - started
+    section["honest_events"] = honest.sim.events_executed
+    section["honest_events_per_sec"] = round(
+        honest.sim.events_executed / honest_wall)
+    started = time.perf_counter()
+    spam = run_spam()
+    spam_wall = time.perf_counter() - started
+    section["spam_events"] = spam.sim.events_executed
+    section["spam_events_per_sec"] = round(
+        spam.sim.events_executed / spam_wall)
+    section["spam_event_overhead"] = round(
+        spam.sim.events_executed / honest.sim.events_executed, 2)
+    section["attackers"] = len(spam.attackers)
+    sharded = run_spam_sharded(2)
+    section["summaries_byte_identical"] = (
+        attack_blob(sharded) == attack_blob(spam))
+    return section
+
+
 def bench_sweep(jobs: int):
     """8-seed, 2-scenario sweep: serial vs --jobs N, results verified equal."""
     from repro.experiments.multi_seed import metric_offline_delivery
@@ -240,6 +278,7 @@ def main(argv=None) -> int:
         "scenario": bench_scenario(),
         "sweep": bench_sweep(args.jobs),
         "sharding": bench_sharding(),
+        "attacks": bench_attacks(),
     }
     with open(args.out, "w", encoding="utf-8") as fh:
         json.dump(report, fh, indent=2, sort_keys=True)
@@ -251,6 +290,10 @@ def main(argv=None) -> int:
         return 1
     if not report["sharding"]["summaries_byte_identical"]:
         print("FATAL: sharded scenario diverged from the serial run",
+              file=sys.stderr)
+        return 1
+    if not report["attacks"]["summaries_byte_identical"]:
+        print("FATAL: sharded attack scenario diverged from the serial run",
               file=sys.stderr)
         return 1
     return 0

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Attacking HEAP: a weighted attack mix swept over victim policies.
+
+Plants a mixed adversary — spammers flooding proposals plus withholders
+sitting on chunk ids they promised to forward — and sweeps *where* the
+attackers land: random victims, the best-connected nodes, the edge of
+the capability distribution, or one contiguous cluster.  Placement is
+the whole story for some attacks: a withholder on a 2 Mbps node starves
+far more descendants than one on a 256 kbps leaf.
+
+The attack catalog, placement policies and per-victim impact metrics all
+come from :mod:`repro.adversary`; the same mix is what ``repro sweep
+--attacks spam=0.1,withhold=0.05 --victim-policy high-degree`` runs from
+the command line.
+
+    python examples/attack_sweep.py [--attacks spam=0.1,withhold=0.05]
+"""
+
+import argparse
+
+from repro import ScenarioConfig, run_scenario
+from repro.adversary import PLACEMENT_POLICIES, AttackMix, attack_impact
+from repro.metrics.report import ascii_table
+from repro.workloads import REF_691
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--attacks", default="spam=0.1,withhold=0.05",
+                        help="weighted mix, name=fraction pairs "
+                             "(see `python -m repro attacks --list`)")
+    parser.add_argument("--attack-params", default="",
+                        help="per-attack parameter overrides, name=value")
+    parser.add_argument("--nodes", type=int, default=120)
+    parser.add_argument("--seconds", type=float, default=8.0)
+    parser.add_argument("--seed", type=int, default=11)
+    args = parser.parse_args()
+
+    rows = []
+    for policy in PLACEMENT_POLICIES:
+        mix = AttackMix.parse(args.attacks, params_text=args.attack_params,
+                              victim_policy=policy)
+        config = ScenarioConfig(
+            protocol="heap", n_nodes=args.nodes, duration=args.seconds,
+            drain=16.0, distribution=REF_691, seed=args.seed,
+            adversary=mix, audit=True)
+        print(f"running {mix.describe()}...")
+        result = run_scenario(config)
+        impact = attack_impact(result)
+        rows.append([
+            policy,
+            str(impact["attackers"]["n"]),
+            f"{impact['honest']['delivery_pct']:.2f}%",
+            f"{impact['delta']['delivery_pct']:+.2f}pp",
+            f"{impact['delta']['mean_lag']:+.3f}s",
+            f"{impact['attacker_cost']['mean_served']:.0f}"
+            f"/{impact['attacker_cost']['honest_mean_served']:.0f}",
+            str(impact["attacker_cost"].get("convicted", "-")),
+        ])
+
+    print()
+    print(ascii_table(
+        ["victim policy", "attackers", "honest delivery",
+         "attacked delta", "lag delta", "served atk/honest", "convicted"],
+        rows,
+        title=f"attack mix [{args.attacks}] vs placement policy "
+              f"({args.nodes} nodes, seed {args.seed})"))
+    print("\nDelta columns compare the attacked subpopulation against the"
+          "\nhonest one; 'served atk/honest' is the packets-served gap the"
+          "\naudit can see.  Withholders are caught by the answered/asked"
+          "\nratio when they also drop requests; pure forward-withholding"
+          "\nis only visible in their descendants' lag.")
+
+
+if __name__ == "__main__":
+    main()

@@ -19,6 +19,7 @@ Two attacks:
 import argparse
 
 from repro import ScenarioConfig, run_scenario
+from repro.adversary import AttackMix
 from repro.freeriders.analysis import (
     contribution_index,
     convictions,
@@ -39,12 +40,15 @@ def main() -> None:
     parser.add_argument("--seed", type=int, default=21)
     args = parser.parse_args()
 
+    # The attack-catalog form of the classic freerider study: the mix
+    # replaces the deprecated freerider_* config triple (same placement,
+    # same node classes, bit-identical results).
     param = 0.2 if args.mode == "nonserve" else 0.1
     config = ScenarioConfig(
         protocol="heap", n_nodes=args.nodes, duration=args.seconds,
         drain=30.0, distribution=REF_691, seed=args.seed,
-        freerider_fraction=args.fraction, freerider_mode=args.mode,
-        freerider_param=param, audit=True)
+        adversary=AttackMix.single(args.mode, args.fraction, param),
+        audit=True)
     print(f"{args.nodes} nodes, {args.fraction:.0%} {args.mode} freeriders, "
           f"audit gossip running on every node...\n")
     result = run_scenario(config)

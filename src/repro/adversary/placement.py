@@ -1,0 +1,67 @@
+"""Topology-aware attacker placement policies.
+
+Where an adversary sits matters as much as what it does: a withholding
+hub starves more of the overlay than a withholding leaf, and a spammer
+on a poor edge node congests only itself.  These policies pick *which*
+receivers a scenario subverts, as a deterministic function of the
+placement RNG and the population:
+
+* ``random`` — uniform over the receivers (the historical freerider
+  placement; its first draw is bit-compatible with the legacy
+  ``freerider_*`` selection);
+* ``high-degree`` — the overlay's hubs.  Under HEAP's adaptive fanout a
+  node's out-degree is proportional to its advertised capability, so the
+  highest-capability receivers *are* the high-degree nodes of the
+  dissemination topology; ties are broken by a seeded shuffle;
+* ``edge`` — the lowest-capability receivers (the overlay's leaves),
+  ties again broken by a seeded shuffle;
+* ``clustered`` — one contiguous id block starting at a seeded offset
+  (wrapping around), modelling a subverted rack/AS whose members are
+  adjacent in the id space.
+
+Every policy returns a **sorted** id list and consumes a bounded,
+order-fixed number of draws from the RNG it is given, so placement is a
+pure function of (seed, population, capability topology) — the property
+sharded execution and the hypothesis suite pin.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence
+
+#: The placement policies ``AttackMix.victim_policy`` accepts.
+PLACEMENT_POLICIES = ("random", "high-degree", "edge", "clustered")
+
+
+def place_ids(policy: str, rng: random.Random, receivers: Sequence[int],
+              capacities: Sequence[float], count: int) -> List[int]:
+    """Pick ``count`` attacker ids from ``receivers`` under ``policy``.
+
+    ``capacities`` is indexed by node id (the source's entry is present
+    but never chosen — receivers exclude it).  Raises on an unknown
+    policy; returns a sorted list, possibly shorter than ``count`` when
+    the population is.
+    """
+    receivers = list(receivers)
+    count = min(count, len(receivers))
+    if count <= 0:
+        return []
+    if policy == "random":
+        # First draw = the legacy freerider selection, bit for bit.
+        return sorted(rng.sample(receivers, count))
+    if policy in ("high-degree", "edge"):
+        # Seeded shuffle first, stable sort second: equal-capability
+        # nodes (class-based distributions have many) enter the cut in
+        # seeded random order instead of id order.
+        shuffled = receivers[:]
+        rng.shuffle(shuffled)
+        sign = -1.0 if policy == "high-degree" else 1.0
+        ranked = sorted(shuffled, key=lambda node_id: sign * capacities[node_id])
+        return sorted(ranked[:count])
+    if policy == "clustered":
+        start = rng.randrange(len(receivers))
+        block = [receivers[(start + i) % len(receivers)] for i in range(count)]
+        return sorted(block)
+    raise ValueError(f"unknown victim policy {policy!r}; "
+                     f"known: {', '.join(PLACEMENT_POLICIES)}")

@@ -1,0 +1,114 @@
+"""The pluggable attack registry.
+
+An *attack* is a named, parameterized misbehaviour a scenario can plant
+on a subset of receivers.  Implementations register themselves at module
+import time with the :func:`attack` decorator — exactly the discipline
+the kind-id registry enforces for payload kinds (lint rule K301): every
+process, fork or spawn shard worker imports the same modules in the same
+order and therefore sees an identical catalog, so an attack name means
+the same thing on every side of a process boundary.
+
+Two roles exist:
+
+* ``"node"`` — the implementation replaces the attacker's *gossip node*
+  class (a :class:`~repro.core.heap.HeapGossipNode` subclass built with
+  the honest constructor signature plus the attack parameter as the
+  eighth positional argument);
+* ``"sampler"`` — the implementation replaces the attacker's
+  *peer-sampling service* (a
+  :class:`~repro.membership.peer_sampling.PeerSamplingService` subclass)
+  while the gossip node stays honest.  Sampler attacks require
+  ``membership="cyclon"`` — under the full-membership directory there is
+  no exchange to poison.
+
+The catalog is what ``repro attacks --list`` prints and what
+:class:`~repro.adversary.mix.AttackMix` validates names against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+#: The two extension points an attack can occupy.
+ROLES = ("node", "sampler")
+
+
+@dataclass(frozen=True, slots=True)
+class Attack:
+    """One registered attack: implementation plus its catalog entry."""
+
+    name: str
+    #: Which extension point the implementation occupies (see ROLES).
+    role: str
+    #: The protocol channel the attack exploits (catalog column).
+    channel: str
+    #: What the audit / analysis side can(not) do about it (catalog column).
+    detection: str
+    #: Attack parameter used when a mix names no override; always in (0, 1].
+    default_param: float
+    #: What the parameter means for this attack.
+    param_doc: str
+    #: Membership substrate the attack needs, or None for any.
+    requires_membership: Optional[str]
+    #: The implementing class (node or sampler subclass, per ``role``).
+    impl: type
+
+
+#: name -> Attack, populated at import time by the ``@attack`` decorator.
+_ATTACKS: Dict[str, Attack] = {}
+
+
+def attack(name: str, *, role: str = "node", channel: str, detection: str,
+           default_param: float, param_doc: str,
+           requires_membership: Optional[str] = None):
+    """Class decorator registering an attack implementation.
+
+    Raises on a duplicate name or an unknown role — two implementations
+    silently sharing a name would make scenario configs ambiguous.
+    Registration must happen at module import time (the same discipline
+    as :func:`repro.net.message.register_kind`) so every shard worker
+    holds an identical catalog.
+    """
+    if role not in ROLES:
+        raise ValueError(f"unknown attack role {role!r}; known: {ROLES}")
+    if not 0.0 < default_param <= 1.0:
+        raise ValueError(f"attack {name!r}: default_param must be in (0, 1], "
+                         f"got {default_param!r}")
+
+    def decorator(cls: type) -> type:
+        if name in _ATTACKS:
+            raise ValueError(f"attack {name!r} is already registered "
+                             f"({_ATTACKS[name].impl.__qualname__})")
+        _ATTACKS[name] = Attack(name=name, role=role, channel=channel,
+                                detection=detection,
+                                default_param=default_param,
+                                param_doc=param_doc,
+                                requires_membership=requires_membership,
+                                impl=cls)
+        return cls
+
+    return decorator
+
+
+def get_attack(name: str) -> Attack:
+    """The registered attack behind ``name``; raises KeyError if unknown."""
+    try:
+        return _ATTACKS[name]
+    except KeyError:
+        raise KeyError(f"unknown attack {name!r}; known: "
+                       f"{', '.join(attack_names()) or 'none'}") from None
+
+
+def is_registered(name: str) -> bool:
+    return name in _ATTACKS
+
+
+def attack_names() -> Tuple[str, ...]:
+    """All registered attack names, sorted."""
+    return tuple(sorted(_ATTACKS))
+
+
+def attack_catalog() -> Tuple[Attack, ...]:
+    """The full catalog, sorted by name (``repro attacks --list``)."""
+    return tuple(_ATTACKS[name] for name in attack_names())

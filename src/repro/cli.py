@@ -93,6 +93,23 @@ def _scale_from_args(args) -> Optional[Scale]:
     return _SCALES[args.scale]
 
 
+def _adversary_from_args(args):
+    """The AttackMix the ``--attacks`` flags describe, or None.
+
+    Only syntax errors are reported here; semantic problems (unknown
+    attack names, out-of-range fractions, policy/membership conflicts)
+    flow into ``ScenarioConfig.validate``, which reports *all* of them
+    in one error.
+    """
+    if not getattr(args, "attacks", None):
+        return None
+    from repro.adversary import AttackMix
+
+    return AttackMix.parse(args.attacks,
+                           params_text=getattr(args, "attack_params", "") or "",
+                           victim_policy=args.victim_policy)
+
+
 def _cmd_run(args) -> int:
     churn = None
     if args.churn_fraction > 0:
@@ -105,6 +122,11 @@ def _cmd_run(args) -> int:
             latency_rng = "per-pair"
         if loss_rng is None:
             loss_rng = "per-pair"
+    try:
+        adversary = _adversary_from_args(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     config = ScenarioConfig(
         protocol=args.protocol,
         n_nodes=args.nodes,
@@ -116,6 +138,7 @@ def _cmd_run(args) -> int:
         membership=args.membership,
         audit=args.audit,
         capability_discovery=args.discovery,
+        adversary=adversary,
         freerider_fraction=args.freerider_fraction,
         freerider_mode=args.freerider_mode,
         churn=churn,
@@ -155,6 +178,22 @@ def _cmd_run(args) -> int:
               f"{len(convicted)} convicted "
               f"(precision {accuracy.precision:.2f}, "
               f"recall {accuracy.recall:.2f})")
+    if result.attackers:
+        from repro.adversary import attack_impact
+        impact = attack_impact(result)
+        planted = ", ".join(f"{name} x{n}" for name, n
+                            in impact["attackers"]["by_attack"].items())
+        cost = impact["attacker_cost"]
+        print(f"\nattack impact ({planted}):")
+        print(f"  delivery: honest {impact['honest']['delivery_pct']:6.1f}% | "
+              f"attacked {impact['attacked']['delivery_pct']:6.1f}% | "
+              f"delta {impact['delta']['delivery_pct']:+.1f}pp")
+        print(f"  mean lag: honest {impact['honest']['mean_lag']:6.2f}s | "
+              f"attacked {impact['attacked']['mean_lag']:6.2f}s | "
+              f"delta {impact['delta']['mean_lag']:+.2f}s")
+        print(f"  attacker cost: {cost['mean_served']:.1f} pkts served "
+              f"(honest mean {cost['honest_mean_served']:.1f}); "
+              f"counters {cost['counters'] or '{}'}")
     return 0
 
 
@@ -206,6 +245,11 @@ def _cmd_sweep(args) -> int:
         print("note: --shards > 1 runs cells serially (--jobs ignored)",
               file=sys.stderr)
         jobs = 1
+    try:
+        adversary = _adversary_from_args(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     configs = [ScenarioConfig(
         name=protocol,
         protocol=protocol,
@@ -214,6 +258,8 @@ def _cmd_sweep(args) -> int:
         drain=args.drain,
         distribution=distribution_by_name(args.distribution),
         loss_rate=args.loss,
+        adversary=adversary,
+        audit=args.audit,
         latency_rng=latency_rng if latency_rng is not None else "shared",
         loss_rng=loss_rng if loss_rng is not None else "shared",
         latency_floor=args.latency_floor,
@@ -231,6 +277,12 @@ def _cmd_sweep(args) -> int:
         "jitter_free_10s_pct": metric_jitter_free_10s,
         "utilization": metric_mean_utilization,
     }
+    if adversary is not None:
+        # Attack sweeps get the per-victim impact columns on top of the
+        # standard ones; the fns are module-level, so --jobs N works.
+        from repro.adversary import ATTACK_GRID_METRICS
+
+        metrics.update(ATTACK_GRID_METRICS)
 
     def progress(done: int, total: int, record) -> None:
         if not args.quiet:
@@ -358,6 +410,44 @@ def _cmd_list(args) -> int:
     return 0
 
 
+def _cmd_attacks(args) -> int:
+    """``repro attacks --list``: print the attack catalog."""
+    from repro.adversary import PLACEMENT_POLICIES, attack_catalog
+
+    rows = [("name", "role", "param", "channel exploited", "detection story")]
+    rows += [(entry.name, entry.role,
+              f"{entry.default_param:g} ({entry.param_doc})",
+              entry.channel, entry.detection)
+             for entry in attack_catalog()]
+    widths = [max(len(row[i]) for row in rows) for i in range(3)]
+    for name, role, param, channel, detection in rows:
+        print(f"{name:<{widths[0]}}  {role:<{widths[1]}}  "
+              f"{param:<{widths[2]}}  {channel}")
+        if args.verbose and detection != "detection story":
+            print(f"{'':<{widths[0]}}  {'':<{widths[1]}}  "
+                  f"{'':<{widths[2]}}  detection: {detection}")
+    print(f"\nvictim policies: {', '.join(PLACEMENT_POLICIES)}")
+    print("usage: sweep --attacks spam=0.1,withhold=0.05 "
+          "--victim-policy high-degree [--attack-params spam=0.5]")
+    return 0
+
+
+def _add_attack_args(parser) -> None:
+    """Adversary knobs shared by ``run`` and ``sweep``."""
+    parser.add_argument("--attacks", default=None, metavar="NAME=FRAC,...",
+                        help="plant an attack mix: comma-separated "
+                             "name=fraction pairs (fractions of the "
+                             "receiver population; see `repro attacks "
+                             "--list` for the catalog)")
+    parser.add_argument("--attack-params", default=None,
+                        metavar="NAME=VALUE,...",
+                        help="override attack parameters (defaults come "
+                             "from the catalog)")
+    parser.add_argument("--victim-policy", default="random",
+                        help="where the attackers sit: random, "
+                             "high-degree, edge, or clustered")
+
+
 def _add_shard_args(parser) -> None:
     """Sharded-execution knobs shared by ``run`` and ``sweep``."""
     parser.add_argument("--shards", type=int, default=0,
@@ -411,6 +501,7 @@ def build_parser() -> argparse.ArgumentParser:
                             default="underclaim")
     run_parser.add_argument("--churn-fraction", type=float, default=0.0)
     run_parser.add_argument("--churn-time", type=float, default=60.0)
+    _add_attack_args(run_parser)
     _add_shard_args(run_parser)
 
     sweep_parser = sub.add_parser(
@@ -446,6 +537,11 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument("--csv", default=None, metavar="PATH",
                               help="export every (scenario, seed) record "
                                    "as CSV for external plotting")
+    sweep_parser.add_argument("--audit", action="store_true",
+                              help="run the gossip-based freerider audit "
+                                   "on every node (enables conviction "
+                                   "columns in attack sweeps)")
+    _add_attack_args(sweep_parser)
     _add_shard_args(sweep_parser)
 
     for command, registry in (("figure", FIGURES), ("table", TABLES),
@@ -485,6 +581,13 @@ def build_parser() -> argparse.ArgumentParser:
                             "latency floor (= the shard lookahead; "
                             "larger means fewer window barriers)")
 
+    attacks_parser = sub.add_parser(
+        "attacks", help="list the adversarial attack catalog")
+    attacks_parser.add_argument("--list", action="store_true",
+                                help="print the catalog (the default)")
+    attacks_parser.add_argument("--verbose", action="store_true",
+                                help="include each attack's detection story")
+
     lint_parser = sub.add_parser(
         "lint", help="determinism & shard-safety static analyzer")
     from repro.lint.cli import add_lint_arguments
@@ -508,6 +611,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_render(ABLATIONS, "ablation", args.id, args)
     if args.command == "extension":
         return _cmd_render(EXTENSIONS, "extension", args.id, args)
+    if args.command == "attacks":
+        return _cmd_attacks(args)
     if args.command == "lint":
         from repro.lint.cli import run_lint
         return run_lint(args)

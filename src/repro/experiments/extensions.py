@@ -39,16 +39,21 @@ def _mean_lag(result) -> float:
 def ext_freeriders(scale: Scale = None,
                    fractions: Sequence[float] = (0.0, 0.1, 0.3)) -> TableResult:
     """Freerider impact and detection, by fraction and mode."""
+    from repro.adversary import AttackMix
+
     scale = scale or current_scale()
     rows = []
     for mode, param in (("nonserve", 0.2), ("underclaim", 0.1)):
         for fraction in fractions:
             if fraction == 0.0 and mode == "underclaim":
                 continue  # identical to the nonserve fraction-0 row
+            # AttackMix.single is the deprecated freerider_* triple's
+            # exact replacement: same placement stream, same node
+            # classes, bit-identical results.
+            adversary = (AttackMix.single(mode, fraction, param)
+                         if fraction > 0 else None)
             config = scenario_at(scale, protocol="heap", distribution=REF_691,
-                                 freerider_fraction=fraction,
-                                 freerider_mode=mode,
-                                 freerider_param=param, audit=True)
+                                 adversary=adversary, audit=True)
             result = cached_run(config) if fraction == 0 else run_scenario(config)
             quality = jitter_free_fraction_by_class(result, 10.0)
             honest_quality = mean(quality.values())

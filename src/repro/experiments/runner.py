@@ -25,12 +25,13 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Set
 
+from repro.adversary.mix import Placement, effective_adversary, place_attackers
+from repro.adversary.registry import get_attack
 from repro.baselines.tree import StaticTreeNode, build_kary_tree
 from repro.core.discovery import CapabilityProber
 from repro.core.heap import HeapGossipNode
 from repro.core.standard import StandardGossipNode
 from repro.freeriders.detection import FreeriderDetector
-from repro.freeriders.nodes import NonServingNode, UnderclaimingNode
 from repro.membership.directory import MembershipDirectory
 from repro.membership.peer_sampling import PeerSamplingService
 from repro.membership.selector import CapabilityBiasedSelector
@@ -58,7 +59,9 @@ class ExperimentResult:
                  labels: List[str], crash_times: Dict[int, float],
                  freerider_ids: Optional[List[int]] = None,
                  detectors: Optional[Dict[int, FreeriderDetector]] = None,
-                 samplers: Optional[Dict[int, PeerSamplingService]] = None):
+                 samplers: Optional[Dict[int, PeerSamplingService]] = None,
+                 attackers: Optional[Placement] = None,
+                 attacker_stats: Optional[Dict[int, Dict[str, int]]] = None):
         self.config = config
         self.sim = sim
         self.net = net
@@ -71,6 +74,12 @@ class ExperimentResult:
         self.freerider_ids = freerider_ids or []
         self.detectors = detectors or {}
         self.samplers = samplers or {}
+        #: node_id -> (attack name, attack parameter) for every attacker
+        #: (``freerider_ids`` above stays as the flat id list the legacy
+        #: analysis consumes — always ``sorted(attackers)``).
+        self.attackers = attackers or {}
+        #: node_id -> attack-specific counters (``attack_stats()``).
+        self.attacker_stats = attacker_stats or {}
 
     # ------------------------------------------------------------------
     # stream geometry
@@ -130,33 +139,64 @@ class ExperimentResult:
         return self.net.uplink(node_id).utilization(elapsed)
 
 
-def _pick_freeriders(config: ScenarioConfig, registry: RngRegistry) -> List[int]:
-    if config.freerider_fraction <= 0:
-        return []
-    receivers = list(range(1, config.n_nodes))
-    count = round(config.freerider_fraction * len(receivers))
-    return sorted(registry.stream("freeriders").sample(receivers, count))
+def _place_scenario_attackers(config: ScenarioConfig,
+                              capacities: Sequence[float]) -> Placement:
+    """Which receivers misbehave, and how (empty for honest scenarios).
+
+    Goes through :func:`repro.adversary.mix.effective_adversary`, so the
+    deprecated ``freerider_*`` triple lands here too — as the equivalent
+    single-attack mix whose random placement reproduces the historical
+    ``freeriders``-stream selection bit for bit.
+    """
+    if config.protocol != "heap":
+        return {}
+    mix = effective_adversary(config)
+    if mix is None:
+        return {}
+    return place_attackers(mix, seed=config.seed, n_nodes=config.n_nodes,
+                           capacities=capacities)
+
+
+def _collect_attacker_stats(nodes: List, samplers: Dict, attackers: Placement,
+                            owned: Optional[Set[int]] = None
+                            ) -> Dict[int, Dict[str, int]]:
+    """node_id -> the attack-specific counters its implementation kept.
+
+    A shard worker passes ``owned``: an unstarted replica's counters are
+    all zero and must not shadow the owner's real ones in the merge.
+    """
+    stats: Dict[int, Dict[str, int]] = {}
+    for node_id in sorted(attackers):
+        if owned is not None and node_id not in owned:
+            continue
+        collected: Dict[str, int] = {}
+        node = nodes[node_id]
+        if hasattr(node, "attack_stats"):
+            collected.update(node.attack_stats())
+        sampler = samplers.get(node_id)
+        if sampler is not None and hasattr(sampler, "attack_stats"):
+            collected.update(sampler.attack_stats())
+        stats[node_id] = collected
+    return stats
 
 
 def _build_gossip_nodes(config: ScenarioConfig, sim: Simulator, net: Network,
                         views, registry: RngRegistry,
                         capacities: Sequence[float],
-                        freerider_ids: Sequence[int]) -> List:
+                        attackers: Placement) -> List:
     node_class = HeapGossipNode if config.protocol == "heap" else StandardGossipNode
-    freeriders = set(freerider_ids)
     nodes = []
     for node_id in range(config.n_nodes):
         rng = registry.fork(f"node-{node_id}").stream("protocol")
-        if node_id in freeriders:
-            if config.freerider_mode == "underclaim":
-                node = UnderclaimingNode(sim, net, node_id, views[node_id],
-                                         config.gossip, rng, capacities[node_id],
-                                         claim_factor=config.freerider_param)
-            else:
-                node = NonServingNode(sim, net, node_id, views[node_id],
-                                      config.gossip, rng, capacities[node_id],
-                                      serve_probability=config.freerider_param)
+        spec = attackers.get(node_id)
+        if spec is not None and get_attack(spec[0]).role == "node":
+            name, param = spec
+            node = get_attack(name).impl(sim, net, node_id, views[node_id],
+                                         config.gossip, rng,
+                                         capacities[node_id], param)
         else:
+            # Honest, or a sampler-role attacker whose gossip node IS
+            # honest (the misbehaviour lives in its sampling service).
             node = node_class(sim, net, node_id, views[node_id],
                               config.gossip, rng, capacities[node_id])
         nodes.append(node)
@@ -188,7 +228,8 @@ class ScenarioBuild:
                  directory: MembershipDirectory, nodes: List,
                  publish_times: List[float], capacities: List[float],
                  labels: List[str], crash_times: Dict[int, float],
-                 freerider_ids: List[int], detectors: Dict, samplers: Dict):
+                 freerider_ids: List[int], detectors: Dict, samplers: Dict,
+                 attackers: Optional[Placement] = None):
         self.config = config
         self.sim = sim
         self.net = net
@@ -201,6 +242,7 @@ class ScenarioBuild:
         self.freerider_ids = freerider_ids
         self.detectors = detectors
         self.samplers = samplers
+        self.attackers = attackers or {}
 
     def result(self) -> ExperimentResult:
         return ExperimentResult(self.config, self.sim, self.net,
@@ -209,7 +251,10 @@ class ScenarioBuild:
                                 self.labels, self.crash_times,
                                 freerider_ids=self.freerider_ids,
                                 detectors=self.detectors,
-                                samplers=self.samplers)
+                                samplers=self.samplers,
+                                attackers=self.attackers,
+                                attacker_stats=_collect_attacker_stats(
+                                    self.nodes, self.samplers, self.attackers))
 
 
 def build_scenario(config: ScenarioConfig, *,
@@ -265,17 +310,33 @@ def build_scenario(config: ScenarioConfig, *,
     labels = ["source"] + [label for label, _ in assignment]
     capacities = [config.source_capacity_bps] + [cap for _, cap in assignment]
 
+    # Adversary placement: a pure function of (mix, seed, population,
+    # capacities) with its own derived RNGs, so computing it here — every
+    # shard replicates it identically — consumes no shared stream draws.
+    attackers = _place_scenario_attackers(config, capacities)
+    freerider_ids = sorted(attackers)
+
     # Membership views: the directory's (full membership) or the
     # peer-sampling service's partial views.
     samplers: Dict[int, PeerSamplingService] = {}
     if config.membership == "cyclon" and config.protocol != "tree":
         boot_rng = registry.stream("cyclon-bootstrap")
         for node_id in range(config.n_nodes):
-            sampler = PeerSamplingService(
-                sim, net, node_id,
-                registry.fork(f"cyclon-{node_id}").stream("shuffle"),
-                view_size=config.cyclon_view_size,
-                shuffle_length=max(2, config.cyclon_view_size // 2))
+            rng = registry.fork(f"cyclon-{node_id}").stream("shuffle")
+            view_size = config.cyclon_view_size
+            shuffle_length = max(2, config.cyclon_view_size // 2)
+            spec = attackers.get(node_id)
+            if spec is not None and get_attack(spec[0]).role == "sampler":
+                name, param = spec
+                # Sampler convention: honest signature, then the attack
+                # parameter, then the attacker coalition's ids.
+                sampler = get_attack(name).impl(
+                    sim, net, node_id, rng, view_size, shuffle_length, 1.0,
+                    param, tuple(freerider_ids))
+            else:
+                sampler = PeerSamplingService(
+                    sim, net, node_id, rng, view_size=view_size,
+                    shuffle_length=shuffle_length)
             others = [n for n in range(config.n_nodes) if n != node_id]
             sampler.bootstrap(boot_rng.sample(
                 others, min(config.cyclon_view_size, len(others))))
@@ -286,14 +347,11 @@ def build_scenario(config: ScenarioConfig, *,
         views = {node_id: directory.view_of(node_id)
                  for node_id in range(config.n_nodes)}
 
-    freerider_ids = (_pick_freeriders(config, registry)
-                     if config.protocol == "heap" else [])
-
     if config.protocol == "tree":
         nodes = _build_tree_nodes(config, sim, net, capacities)
     else:
         nodes = _build_gossip_nodes(config, sim, net, views, registry,
-                                    capacities, freerider_ids)
+                                    capacities, attackers)
         # The source advertises an average capability (see ScenarioConfig)
         # and gossips with the base fanout regardless of the aggregation
         # estimate: adapting the broadcaster's fanout to its oversized
@@ -420,7 +478,7 @@ def build_scenario(config: ScenarioConfig, *,
     return ScenarioBuild(config, sim, net, directory, nodes, publish_times,
                          capacities, labels, crash_times,
                          freerider_ids=freerider_ids, detectors=detectors,
-                         samplers=samplers)
+                         samplers=samplers, attackers=attackers)
 
 
 def run_scenario(config: ScenarioConfig,

@@ -10,7 +10,10 @@ both sides:
 
 * :mod:`repro.freeriders.nodes` — freeriding node variants: capability
   *under-claimers* (lie to the aggregation protocol) and *non-servers*
-  (drop a fraction of the requests they receive);
+  (drop a fraction of the requests they receive).  Since PR 8 these are
+  re-exports: the implementations live in the pluggable attack catalog
+  (:mod:`repro.adversary`) as the ``underclaim``/``nonserve`` attacks,
+  next to the newer ``spam``/``withhold``/``poisoned-view`` ones;
 * :mod:`repro.freeriders.detection` — a gossip-based statistical audit:
   nodes score the peers they pull from by answered/asked ratio, gossip
   their local audit reports, and accumulate global suspicion scores that

@@ -1,70 +1,16 @@
-"""Freeriding node variants.
+"""DEPRECATED module: the freeriding node variants moved in PR 8.
 
-Both variants are *rational* freeriders: they keep receiving the stream
-normally and deviate only in what they give back.
-
-* :class:`UnderclaimingNode` exploits exactly the channel the paper
-  worries about: it advertises ``claim_factor`` of its true capability
-  to the aggregation protocol, so HEAP assigns it a small fanout, it
-  proposes rarely, gets pulled rarely, and its uplink stays idle — while
-  its download is untouched.  Nothing about its *visible* behaviour is
-  inconsistent: it behaves exactly like an honest poor node, which is
-  what makes the attack attractive (and detection subtle).
-
-* :class:`NonServingNode` deviates at the serve phase instead: it
-  proposes honestly (so it keeps being seen as cooperative) but answers
-  only ``serve_probability`` of the requests it receives.  This is the
-  behaviour the audit protocol of :mod:`repro.freeriders.detection`
-  catches directly through answered/asked ratios.
+:class:`UnderclaimingNode` and :class:`NonServingNode` now live in
+:mod:`repro.adversary.attacks`, registered in the attack catalog as
+``underclaim`` and ``nonserve`` alongside the newer attacks.  This
+module re-exports them so existing imports keep working; new code should
+import from :mod:`repro.adversary` (and configure them through
+``ScenarioConfig.adversary`` / ``AttackMix`` rather than the deprecated
+``freerider_*`` fields, which remain as a bit-compatible shim).
 """
 
 from __future__ import annotations
 
-import random
+from repro.adversary.attacks import NonServingNode, UnderclaimingNode
 
-from repro.core.config import GossipConfig
-from repro.core.heap import HeapGossipNode
-from repro.core.messages import Request
-from repro.membership.view import LocalView
-from repro.net.network import Network
-from repro.sim.engine import Simulator
-
-
-class UnderclaimingNode(HeapGossipNode):
-    """Advertises ``claim_factor * capability`` to HEAP's aggregation."""
-
-    __slots__ = ("claim_factor", "true_capability_bps")
-
-    def __init__(self, sim: Simulator, net: Network, node_id: int,
-                 view: LocalView, config: GossipConfig, rng: random.Random,
-                 capability_bps: float, claim_factor: float = 0.1):
-        if not 0.0 < claim_factor <= 1.0:
-            raise ValueError(f"claim_factor must be in (0, 1], got {claim_factor!r}")
-        self.claim_factor = claim_factor
-        self.true_capability_bps = capability_bps
-        super().__init__(sim, net, node_id, view, config, rng,
-                         capability_bps * claim_factor)
-        # The uplink itself keeps the true capacity (set by the runner);
-        # only the *advertised* capability is a lie.
-
-
-class NonServingNode(HeapGossipNode):
-    """Honest everywhere except the serve phase."""
-
-    __slots__ = ("serve_probability", "requests_dropped")
-
-    def __init__(self, sim: Simulator, net: Network, node_id: int,
-                 view: LocalView, config: GossipConfig, rng: random.Random,
-                 capability_bps: float, serve_probability: float = 0.2):
-        if not 0.0 <= serve_probability <= 1.0:
-            raise ValueError(
-                f"serve_probability must be in [0, 1], got {serve_probability!r}")
-        super().__init__(sim, net, node_id, view, config, rng, capability_bps)
-        self.serve_probability = serve_probability
-        self.requests_dropped = 0
-
-    def _on_request(self, src: int, request: Request) -> None:
-        if self._rng.random() < self.serve_probability:
-            super()._on_request(src, request)
-        else:
-            self.requests_dropped += 1
+__all__ = ["NonServingNode", "UnderclaimingNode"]

@@ -20,13 +20,15 @@ from typing import Tuple
 DETERMINISTIC_PREFIXES: Tuple[str, ...] = (
     "repro.sim", "repro.net", "repro.core", "repro.workloads",
     "repro.membership", "repro.freeriders", "repro.streaming",
-    "repro.baselines",
+    "repro.baselines", "repro.adversary",
 )
 
 #: Modules on per-event/per-datagram allocation or dispatch paths, where
-#: ``__slots__`` is the standing rule (P401).
+#: ``__slots__`` is the standing rule (P401).  Attack node/sampler
+#: classes handle the same per-message traffic as their honest
+#: superclasses, so the adversary package is hot too.
 HOT_PREFIXES: Tuple[str, ...] = (
-    "repro.sim", "repro.net", "repro.core",
+    "repro.sim", "repro.net", "repro.core", "repro.adversary",
 )
 
 

@@ -165,15 +165,26 @@ class PeerSamplingService:
         # may come back through future shuffles if still alive.
         self._remove_peer(target)
         self._pending_sent[target] = sample
-        self._net.send(self.node_id, target, ShuffleRequest(payload_entries))
+        self._net.send(self.node_id, target,
+                       ShuffleRequest(self._outgoing(payload_entries)))
 
     def on_shuffle_request(self, src: int, request: ShuffleRequest) -> None:
         others = sorted(self._entries)
         count = min(self.shuffle_length, len(others))
         sample = self._rng.sample(others, count) if count > 0 else []
         reply_entries = [(n, self._entries[n].age) for n in sample]
-        self._net.send(self.node_id, src, ShuffleReply(reply_entries))
+        self._net.send(self.node_id, src,
+                       ShuffleReply(self._outgoing(reply_entries)))
         self._merge([ViewEntry(n, a) for n, a in request.entries], sent=sample)
+
+    def _outgoing(self, entries: List[Tuple[int, int]]) -> List[Tuple[int, int]]:
+        """The (peer, age) entries this node actually advertises.
+
+        An honest node advertises what it sampled; adversarial samplers
+        (see :mod:`repro.adversary.attacks`) override this seam to
+        fabricate entries without re-implementing the shuffle protocol.
+        """
+        return entries
 
     def on_shuffle_reply(self, src: int, reply: ShuffleReply) -> None:
         sent = self._pending_sent.pop(src, [])

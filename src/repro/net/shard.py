@@ -457,6 +457,8 @@ class _ShardRun:
 
     def harvest(self) -> dict:
         """Everything the coordinator needs from this shard, picklable."""
+        from repro.experiments.runner import _collect_attacker_stats
+
         build = self.build
         return {
             "shard": self.shard_index,
@@ -467,6 +469,13 @@ class _ShardRun:
             "detectors": {i: build.detectors[i].snapshot()
                           for i in sorted(self.owned)
                           if i in build.detectors},
+            # Only the owner's counters: the unstarted replicas of an
+            # attacker on other shards never ran, so their zeros must not
+            # reach the merge.
+            "attacker_stats": _collect_attacker_stats(
+                build.nodes, build.samplers, build.attackers,
+                owned=self.owned),
+            "attackers": build.attackers,
             # Replicated state: identical on every shard by construction;
             # the merge verifies that instead of assuming it.
             "crash_times": dict(build.crash_times),
@@ -705,15 +714,18 @@ def merge_harvests(config: ScenarioConfig, harvests: List[dict]):
     uplinks: Dict[int, object] = {}
     served: Dict[int, int] = {}
     detectors: Dict[int, object] = {}
+    attacker_stats: Dict[int, Dict[str, int]] = {}
     stats = NetworkStats()
     events = 0
     now = 0.0
     crash_times = harvests[0]["crash_times"]
+    attackers = harvests[0].get("attackers", {})
     for harvest in harvests:
         logs.update(harvest["logs"])
         uplinks.update(harvest["uplinks"])
         served.update(harvest.get("served", {}))
         detectors.update(harvest.get("detectors", {}))
+        attacker_stats.update(harvest.get("attacker_stats", {}))
         stats.merge_from(harvest["stats"])
         events += harvest["events_executed"]
         now = max(now, harvest["now"])
@@ -722,6 +734,11 @@ def merge_harvests(config: ScenarioConfig, harvests: List[dict]):
                 f"membership divergence: shard {harvest['shard']} "
                 f"recorded crash times {harvest['crash_times']} but "
                 f"shard {harvests[0]['shard']} recorded {crash_times}")
+        if harvest.get("attackers", {}) != attackers:
+            raise RuntimeError(
+                f"adversary divergence: shard {harvest['shard']} placed "
+                f"attackers {harvest.get('attackers', {})} but shard "
+                f"{harvests[0]['shard']} placed {attackers}")
     nodes = [_LogHolder(logs[node_id], served.get(node_id, 0))
              for node_id in range(config.n_nodes)]
     source_shard = harvests[shard_of(0, config.shards)]
@@ -737,6 +754,8 @@ def merge_harvests(config: ScenarioConfig, harvests: List[dict]):
         crash_times=dict(crash_times),
         freerider_ids=harvests[0]["freerider_ids"],
         detectors=detectors,
+        attackers=attackers,
+        attacker_stats=attacker_stats,
     )
 
 

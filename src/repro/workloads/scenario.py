@@ -9,12 +9,15 @@ experiment identity: same scenario, same result, bit for bit.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Optional
+from typing import List, Optional, TYPE_CHECKING
 
 from repro.core.config import GossipConfig
 from repro.streaming.packets import StreamConfig
 from repro.workloads.churn import CatastrophicFailure
 from repro.workloads.distributions import KBPS, REF_691, CapabilityDistribution
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.adversary.mix import AttackMix
 
 #: Protocols the runner knows how to build.
 PROTOCOLS = ("standard", "heap", "tree")
@@ -98,13 +101,24 @@ class ScenarioConfig:
     #: Partial-view size when membership == "cyclon".
     cyclon_view_size: int = 20
 
-    #: Fraction of receivers that freeride (HEAP only; §5's concern).
+    #: The scenario's adversary: a weighted attack mix plus a victim
+    #: placement policy (see :class:`repro.adversary.mix.AttackMix`).
+    #: None means an honest population — unless the deprecated
+    #: ``freerider_*`` triple below is set, which the runner transparently
+    #: lifts to the equivalent single-attack mix.
+    adversary: Optional["AttackMix"] = None
+
+    #: DEPRECATED (PR 8): fraction of receivers that freeride.  Kept as a
+    #: back-compat shim over ``adversary`` — equivalent to
+    #: ``AttackMix.single(freerider_mode, freerider_fraction,
+    #: freerider_param)`` bit for bit.  Setting both is a config error.
     freerider_fraction: float = 0.0
-    #: "underclaim" — advertise freerider_param * capability to the
-    #: aggregation protocol; "nonserve" — answer only freerider_param of
-    #: received requests.
+    #: DEPRECATED (PR 8): "underclaim" — advertise freerider_param *
+    #: capability to the aggregation protocol; "nonserve" — answer only
+    #: freerider_param of received requests.
     freerider_mode: str = "underclaim"
-    #: Claim factor (underclaim) or serve probability (nonserve).
+    #: DEPRECATED (PR 8): claim factor (underclaim) or serve probability
+    #: (nonserve).
     freerider_param: float = 0.1
     #: Run the gossip-based freerider audit on every node.
     audit: bool = False
@@ -126,69 +140,104 @@ class ScenarioConfig:
     shards: int = 0
 
     # ------------------------------------------------------------------
-    def validate(self) -> None:
+    def violations(self) -> List[str]:
+        """Every way this scenario is invalid, as human-readable strings.
+
+        :meth:`validate` joins them into a single :class:`ValueError`, so
+        a config with three problems reports all three at once instead of
+        failing one field at a time.
+        """
+        errors = []
         if self.protocol not in PROTOCOLS:
-            raise ValueError(
+            errors.append(
                 f"unknown protocol {self.protocol!r}; known: {PROTOCOLS}")
         if self.n_nodes < 2:
-            raise ValueError("need at least a source and one receiver")
+            errors.append("need at least a source and one receiver")
         if self.duration <= 0:
-            raise ValueError("duration must be positive")
+            errors.append("duration must be positive")
         if self.drain < 0:
-            raise ValueError("drain must be >= 0")
+            errors.append("drain must be >= 0")
         if self.stream_start < 0:
-            raise ValueError("stream_start must be >= 0")
+            errors.append("stream_start must be >= 0")
         if not 0.0 <= self.loss_rate < 1.0:
-            raise ValueError("loss rate must be in [0, 1)")
+            errors.append("loss rate must be in [0, 1)")
         if self.source_capacity_bps <= 0:
-            raise ValueError("source capacity must be positive")
+            errors.append("source capacity must be positive")
         if not 0.0 <= self.degraded_fraction <= 1.0:
-            raise ValueError("degraded fraction must be in [0, 1]")
+            errors.append("degraded fraction must be in [0, 1]")
         if not 0.0 < self.degraded_factor <= 1.0:
-            raise ValueError("degraded factor must be in (0, 1]")
+            errors.append("degraded factor must be in (0, 1]")
         if self.source_bias < 0:
-            raise ValueError("source bias must be >= 0")
+            errors.append("source bias must be >= 0")
         if self.membership not in ("directory", "cyclon"):
-            raise ValueError(f"unknown membership {self.membership!r}")
+            errors.append(f"unknown membership {self.membership!r}")
         if self.cyclon_view_size < 2:
-            raise ValueError("cyclon view size must be >= 2")
+            errors.append("cyclon view size must be >= 2")
         if not 0.0 <= self.freerider_fraction < 1.0:
-            raise ValueError("freerider fraction must be in [0, 1)")
+            errors.append("freerider fraction must be in [0, 1)")
         if self.freerider_mode not in ("underclaim", "nonserve"):
-            raise ValueError(f"unknown freerider mode {self.freerider_mode!r}")
+            errors.append(f"unknown freerider mode {self.freerider_mode!r}")
         if not 0.0 < self.freerider_param <= 1.0:
-            raise ValueError("freerider param must be in (0, 1]")
+            errors.append("freerider param must be in (0, 1]")
         if self.freerider_fraction > 0 and self.protocol != "heap":
-            raise ValueError("freeriders are modelled for the heap protocol")
+            errors.append("freeriders are modelled for the heap protocol")
+        errors.extend(self._adversary_violations())
         if self.discovery_initial_bps <= 0:
-            raise ValueError("discovery initial capability must be positive")
+            errors.append("discovery initial capability must be positive")
         if self.latency_floor < 0:
-            raise ValueError("latency floor must be >= 0")
+            errors.append("latency floor must be >= 0")
         if self.latency_rng not in ("shared", "per-pair"):
-            raise ValueError(f"unknown latency_rng {self.latency_rng!r}; "
-                             f"known: 'shared', 'per-pair'")
+            errors.append(f"unknown latency_rng {self.latency_rng!r}; "
+                          f"known: 'shared', 'per-pair'")
         if self.loss_rng not in ("shared", "per-pair"):
-            raise ValueError(f"unknown loss_rng {self.loss_rng!r}; "
-                             f"known: 'shared', 'per-pair'")
+            errors.append(f"unknown loss_rng {self.loss_rng!r}; "
+                          f"known: 'shared', 'per-pair'")
         if self.shards < 0:
-            raise ValueError("shards must be >= 0")
+            errors.append("shards must be >= 0")
         if self.shards > 1:
             if self.shards >= self.n_nodes:
-                raise ValueError("need at least one node per shard")
+                errors.append("need at least one node per shard")
             if self.latency_rng != "per-pair":
-                raise ValueError(
+                errors.append(
                     "sharded execution needs order-independent latency "
                     "draws; set latency_rng='per-pair'")
             if self.loss_rate > 0 and self.loss_rng != "per-pair":
-                raise ValueError(
+                errors.append(
                     "sharded execution needs order-independent loss "
                     "draws; set loss_rng='per-pair' (the 'shared' model "
                     "consumes one stream in global send order)")
             if self.latency_floor <= 0:
-                raise ValueError("sharded execution needs a positive "
-                                 "latency_floor (it is the lookahead)")
-        self.stream.validate()
-        self.gossip.validate()
+                errors.append("sharded execution needs a positive "
+                              "latency_floor (it is the lookahead)")
+        for sub in (self.stream, self.gossip):
+            try:
+                sub.validate()
+            except ValueError as exc:
+                errors.append(str(exc))
+        return errors
+
+    def _adversary_violations(self) -> List[str]:
+        if self.adversary is None:
+            return []
+        errors = list(self.adversary.violations())
+        if self.freerider_fraction > 0:
+            errors.append(
+                "set either adversary or the deprecated freerider_* "
+                "fields, not both (freerider_* is the back-compat shim "
+                "for a single-attack mix)")
+        if self.protocol != "heap":
+            errors.append("attacks are modelled for the heap protocol")
+        required = self.adversary.required_membership()
+        if required is not None and self.membership != required:
+            errors.append(
+                f"attack mix needs membership={required!r} "
+                f"(got {self.membership!r})")
+        return errors
+
+    def validate(self) -> None:
+        errors = self.violations()
+        if errors:
+            raise ValueError("; ".join(errors))
 
     def with_(self, **overrides) -> "ScenarioConfig":
         """A modified copy (convenience over dataclasses.replace)."""
@@ -227,7 +276,14 @@ def scenario_key(config: ScenarioConfig) -> str:
             # `figure --shards 4` reuses cells `--shards 1` computed.
             continue
         value = getattr(config, field_.name)
-        if field_.name == "distribution":
+        if field_.name == "adversary":
+            # Honest scenarios skip the field entirely so every key
+            # minted before the adversary engine existed stays valid
+            # (cached summaries, JSONL checkpoints).
+            if value is None:
+                continue
+            value = value.key()
+        elif field_.name == "distribution":
             value = value.name
         elif field_.name == "churn":
             value = value.key() if value is not None else None

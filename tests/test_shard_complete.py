@@ -16,6 +16,12 @@ same scenario:
   picklable detector snapshots into the merged result, so convictions
   are computed from the full population's evidence.
 
+PR 8 adds the adversarial families: a weighted attack mix with
+topology-aware placement (replicated on every shard, each attacker's
+implementation running only on its owner shard — counters harvested
+like detector snapshots) and the sampler-role ``poisoned-view`` attack
+under cyclon membership.
+
 The matrix covers every family at 2 and 4 shards under the in-process
 serial driver and real fork/spawn worker processes.
 """
@@ -25,6 +31,7 @@ import multiprocessing
 
 import pytest
 
+from repro.adversary import AttackMix
 from repro.experiments.runner import run_scenario
 from repro.freeriders.analysis import (convictions, detection_accuracy,
                                        honest_vs_freerider_contribution)
@@ -66,15 +73,29 @@ def base_config(**overrides) -> ScenarioConfig:
     return ScenarioConfig(**base)
 
 
-#: The scenario families this PR teaches to shard.  Churn fires inside
+#: The scenario families PR 6 taught to shard.  Churn fires inside
 #: the stream (t=3 < 2 + 2), so crash/detection behaviour is exercised
 #: while packets are in flight across the partition.
-FAMILIES = {
+LEGACY_FAMILIES = {
     "churn": dict(churn=CatastrophicFailure(fraction=0.25, at_time=3.0)),
     "loss": dict(loss_rate=0.05, loss_rng="per-pair"),
     "audit": dict(audit=True, freerider_fraction=0.2,
                   freerider_mode="nonserve", freerider_param=0.1),
 }
+
+#: PR 8's adversarial families: a weighted node-attack mix with
+#: topology-aware placement (attackers built population-wide, started
+#: only on their owner shard — the audit pattern), and the sampler-role
+#: attack riding decentralized cyclon membership.
+ATTACK_FAMILIES = {
+    "attack-mix": dict(audit=True,
+                       adversary=AttackMix.parse("spam=0.1,withhold=0.05",
+                                                 victim_policy="high-degree")),
+    "poisoned-view": dict(membership="cyclon",
+                          adversary=AttackMix.single("poisoned-view", 0.15)),
+}
+
+FAMILIES = {**LEGACY_FAMILIES, **ATTACK_FAMILIES}
 
 DRIVERS = ("serial-driver", "fork", "spawn")
 
@@ -113,10 +134,29 @@ def test_family_summaries_byte_identical(family, shards, driver, serial):
 
 
 def test_all_families_combined_shard_cleanly(serial):
-    """Churn + loss + audit in one scenario: the features compose."""
+    """Churn + loss + audit in one scenario: the features compose.
+
+    The legacy families only: the audit family's ``freerider_*`` shim
+    and an ``adversary`` mix deliberately refuse to combine (validated),
+    so the attack families have their own composition test below.
+    """
     combined = {}
-    for overrides in FAMILIES.values():
+    for overrides in LEGACY_FAMILIES.values():
         combined.update(overrides)
+    config = base_config(**combined)
+    baseline = run_scenario(config)
+    merged = run_sharded(config.with_(shards=3), processes=False)
+    assert summary_blob(merged) == summary_blob(baseline)
+    assert audit_blob(merged) == audit_blob(baseline)
+    assert merged.crash_times == baseline.crash_times
+
+
+def test_attack_mix_composes_with_churn_and_loss(serial):
+    """Churn + loss + a weighted attack mix + audit in one scenario."""
+    combined = {}
+    for key in ("churn", "loss"):
+        combined.update(LEGACY_FAMILIES[key])
+    combined.update(ATTACK_FAMILIES["attack-mix"])
     config = base_config(**combined)
     baseline = run_scenario(config)
     merged = run_sharded(config.with_(shards=3), processes=False)
@@ -191,6 +231,49 @@ class TestAuditSharding:
                     == baseline.nodes[node_id].packets_served)
             assert (merged.nodes[node_id].delivered_count()
                     == baseline.nodes[node_id].delivered_count())
+
+
+# ----------------------------------------------------------------------
+# attacks: replicated placement, owner-shard counters (the audit pattern)
+# ----------------------------------------------------------------------
+class TestAttackSharding:
+    def test_placement_replicated_and_merged(self, serial):
+        merged = run_family_sharded("attack-mix", 2, "serial-driver")
+        baseline = serial("attack-mix")
+        assert merged.attackers == baseline.attackers
+        assert merged.freerider_ids == baseline.freerider_ids
+        assert len(merged.attackers) > 0
+        # high-degree placement: every attacker sits in the top
+        # capability stratum of the receivers.
+        floor = min(baseline.capacities[n] for n in baseline.attackers)
+        better = [n for n in baseline.receiver_ids(include_crashed=True)
+                  if baseline.capacities[n] > floor]
+        assert len(better) < len(baseline.attackers)
+
+    def test_attacker_counters_survive_the_merge(self, serial):
+        merged = run_family_sharded("attack-mix", 4, "serial-driver")
+        baseline = serial("attack-mix")
+        assert merged.attacker_stats == baseline.attacker_stats
+        totals = {}
+        for stats in merged.attacker_stats.values():
+            for counter, value in stats.items():
+                totals[counter] = totals.get(counter, 0) + value
+        assert totals.get("spam_proposes", 0) > 0
+        assert totals.get("ids_withheld", 0) > 0
+
+    def test_attack_impact_summary_identical(self, serial):
+        from repro.adversary import attack_impact
+
+        for family in ("attack-mix", "poisoned-view"):
+            merged = run_family_sharded(family, 2, "serial-driver")
+            assert (json.dumps(attack_impact(merged), sort_keys=True)
+                    == json.dumps(attack_impact(serial(family)), sort_keys=True))
+
+    def test_poisoned_sampler_counters_nonzero(self, serial):
+        baseline = serial("poisoned-view")
+        poisoned = sum(s.get("entries_poisoned", 0)
+                       for s in baseline.attacker_stats.values())
+        assert poisoned > 0
 
 
 # ----------------------------------------------------------------------
