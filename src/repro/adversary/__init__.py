@@ -26,10 +26,29 @@ from repro.adversary.metrics import (ATTACK_GRID_METRICS, attack_impact,
 from repro.adversary.mix import (AttackMix, Placement, effective_adversary,
                                  place_attackers)
 from repro.adversary.placement import PLACEMENT_POLICIES, place_ids
-from repro.adversary.registry import (Attack, attack, attack_catalog,
+from repro.adversary.registry import (ROLES, Attack, attack, attack_catalog,
                                       attack_names, get_attack, is_registered)
 
+
+def catalog_jsonable() -> dict:
+    """The attack catalog as one JSON-able payload.
+
+    ``repro attacks --list --format json`` and the service control
+    plane's ``GET /v1/catalog/attacks`` both serve exactly this value,
+    so scripted clients see one schema regardless of transport.
+    """
+    return {
+        "attacks": [entry.jsonable() for entry in attack_catalog()],
+        "victim_policies": list(PLACEMENT_POLICIES),
+        "roles": list(ROLES),
+        "usage": ("sweep --attacks name=frac,... "
+                  "[--attack-params name=value,...] "
+                  "[--victim-policy POLICY]"),
+    }
+
+
 __all__ = [
+    "catalog_jsonable",
     "ATTACK_GRID_METRICS",
     "Attack",
     "AttackMix",

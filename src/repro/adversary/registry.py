@@ -54,6 +54,20 @@ class Attack:
     #: The implementing class (node or sampler subclass, per ``role``).
     impl: type
 
+    def jsonable(self) -> Dict[str, object]:
+        """Machine-readable catalog entry (everything but the class
+        object; the implementation is named, not shipped)."""
+        return {
+            "name": self.name,
+            "role": self.role,
+            "channel": self.channel,
+            "detection": self.detection,
+            "default_param": self.default_param,
+            "param_doc": self.param_doc,
+            "requires_membership": self.requires_membership,
+            "impl": f"{self.impl.__module__}.{self.impl.__qualname__}",
+        }
+
 
 #: name -> Attack, populated at import time by the ``@attack`` decorator.
 _ATTACKS: Dict[str, Attack] = {}

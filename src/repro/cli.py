@@ -9,6 +9,10 @@
     python -m repro extension freeriders
     python -m repro lint src/repro --format json
     python -m repro list
+    python -m repro serve --port 8642 --checkpoint-dir .repro-service
+    python -m repro submit --protocols heap --num-seeds 4 --wait
+    python -m repro status j0001
+    python -m repro watch j0001
 
 ``run`` executes one scenario and prints the headline metrics; ``sweep``
 runs a protocol×seed grid through the parallel experiment engine
@@ -27,7 +31,10 @@ than fatal, and the spent checkpoint is deleted after a successful run.
 ``sweep --csv PATH`` exports every (scenario, seed) record as CSV for
 external plotting.  ``lint`` runs the determinism & shard-safety static
 analyzer (:mod:`repro.lint`) over the given paths — CI gates on a clean
-``src/repro``.
+``src/repro``.  ``serve`` runs the experiment service control plane
+(:mod:`repro.service`): a resident HTTP/JSON job manager around the same
+engine, with live SSE progress; ``submit``/``status``/``watch`` are its
+thin clients.
 """
 
 from __future__ import annotations
@@ -197,47 +204,51 @@ def _cmd_run(args) -> int:
     return 0
 
 
+def _sweep_spec_from_args(args):
+    """The sweep's declarative :class:`SweepSpec`.
+
+    The service control plane builds the identical value from an HTTP
+    request body, so ``repro sweep`` and a submitted ``sweep`` job run
+    the same experiment cell for cell.
+    """
+    from repro.experiments.specs import SweepSpec
+
+    return SweepSpec.from_params({
+        "protocols": args.protocols,
+        "nodes": args.nodes,
+        "seconds": args.seconds,
+        "drain": args.drain,
+        "distribution": args.distribution,
+        "loss": args.loss,
+        "seeds": args.seeds,
+        "base_seed": args.base_seed,
+        "num_seeds": args.num_seeds,
+        "audit": args.audit,
+        "attacks": args.attacks,
+        "attack_params": args.attack_params,
+        "victim_policy": args.victim_policy,
+        "shards": args.shards,
+        "latency_rng": args.latency_rng,
+        "loss_rng": args.loss_rng,
+        "latency_floor": args.latency_floor,
+    })
+
+
 def _cmd_sweep(args) -> int:
-    from repro.experiments.multi_seed import (
-        metric_jitter_free_10s,
-        metric_mean_jitter_free_lag,
-        metric_mean_utilization,
-        metric_offline_delivery,
-    )
-    from repro.experiments.parallel import CheckpointError, run_grid
+    from repro.experiments.parallel import (CheckpointError, ProgressEvent,
+                                            run_grid)
 
-    from repro.workloads.scenario import PROTOCOLS
-
-    protocols = [p.strip() for p in args.protocols.split(",") if p.strip()]
-    if not protocols:
-        print("no protocols given", file=sys.stderr)
+    try:
+        spec = _sweep_spec_from_args(args)
+        # Scenario-level problems (unknown attacks, shard/rng conflicts)
+        # are all collected into one ValueError here.
+        configs = spec.configs()
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
         return 2
-    unknown = [p for p in protocols if p not in PROTOCOLS]
-    if unknown:
-        print(f"unknown protocol(s) {', '.join(unknown)}; "
-              f"known: {', '.join(PROTOCOLS)}", file=sys.stderr)
-        return 2
-    if args.seeds:
-        try:
-            seeds = [int(s) for s in args.seeds.split(",")]
-        except ValueError:
-            print(f"--seeds must be a comma-separated integer list, "
-                  f"got {args.seeds!r}", file=sys.stderr)
-            return 2
-    else:
-        seeds = list(range(args.base_seed, args.base_seed + args.num_seeds))
-    if not seeds:
-        print("no seeds given (check --num-seeds)", file=sys.stderr)
-        return 2
-    latency_rng = args.latency_rng
-    loss_rng = args.loss_rng
-    if args.shards > 1:
-        if latency_rng is None:
-            latency_rng = "per-pair"
-        if loss_rng is None:
-            loss_rng = "per-pair"
+    seeds = spec.seed_list()
     jobs = args.jobs
-    if args.shards > 1 and jobs > 1:
+    if spec.shards > 1 and jobs > 1:
         # A sharded cell spawns its own worker processes; running it
         # inside a (daemonic) pool worker would silently fall back to
         # the in-process shard driver.  Grid- and intra-scenario
@@ -245,48 +256,11 @@ def _cmd_sweep(args) -> int:
         print("note: --shards > 1 runs cells serially (--jobs ignored)",
               file=sys.stderr)
         jobs = 1
-    try:
-        adversary = _adversary_from_args(args)
-    except ValueError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
-    configs = [ScenarioConfig(
-        name=protocol,
-        protocol=protocol,
-        n_nodes=args.nodes,
-        duration=args.seconds,
-        drain=args.drain,
-        distribution=distribution_by_name(args.distribution),
-        loss_rate=args.loss,
-        adversary=adversary,
-        audit=args.audit,
-        latency_rng=latency_rng if latency_rng is not None else "shared",
-        loss_rng=loss_rng if loss_rng is not None else "shared",
-        latency_floor=args.latency_floor,
-        shards=args.shards,
-    ) for protocol in protocols]
-    try:
-        for config in configs:
-            config.validate()
-    except ValueError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
-    metrics = {
-        "delivery": metric_offline_delivery,
-        "lag_s": metric_mean_jitter_free_lag,
-        "jitter_free_10s_pct": metric_jitter_free_10s,
-        "utilization": metric_mean_utilization,
-    }
-    if adversary is not None:
-        # Attack sweeps get the per-victim impact columns on top of the
-        # standard ones; the fns are module-level, so --jobs N works.
-        from repro.adversary import ATTACK_GRID_METRICS
 
-        metrics.update(ATTACK_GRID_METRICS)
-
-    def progress(done: int, total: int, record) -> None:
+    def progress(event: ProgressEvent) -> None:
         if not args.quiet:
-            print(f"\r[{done}/{total}] {record.scenario_name} "
+            record = event.record
+            print(f"\r[{event.done}/{event.total}] {record.scenario_name} "
                   f"seed={record.seed} "
                   f"({record.events_executed:,} events, "
                   f"{record.wall_time:.2f}s)",
@@ -294,7 +268,7 @@ def _cmd_sweep(args) -> int:
 
     checkpoint = _checkpoint_path(args, "sweep", args.distribution)
     try:
-        grid = run_grid(configs, seeds, metrics, jobs=jobs,
+        grid = run_grid(configs, seeds, spec.metrics(), jobs=jobs,
                         progress=progress,
                         checkpoint=checkpoint, resume=args.resume,
                         checkpoint_gc=_managed_checkpoint(args))
@@ -414,6 +388,15 @@ def _cmd_attacks(args) -> int:
     """``repro attacks --list``: print the attack catalog."""
     from repro.adversary import PLACEMENT_POLICIES, attack_catalog
 
+    if args.format == "json":
+        # One schema for every transport: this is byte-for-byte the
+        # payload the service serves at GET /v1/catalog/attacks.
+        import json
+
+        from repro.adversary import catalog_jsonable
+
+        print(json.dumps(catalog_jsonable(), indent=2))
+        return 0
     rows = [("name", "role", "param", "channel exploited", "detection story")]
     rows += [(entry.name, entry.role,
               f"{entry.default_param:g} ({entry.param_doc})",
@@ -430,6 +413,166 @@ def _cmd_attacks(args) -> int:
     print("usage: sweep --attacks spam=0.1,withhold=0.05 "
           "--victim-policy high-degree [--attack-params spam=0.5]")
     return 0
+
+
+#: Where `submit`/`status`/`watch` look for the service by default
+#: (= `repro serve`'s default bind).
+_DEFAULT_SERVICE_URL = "http://127.0.0.1:8642"
+
+
+def _cmd_serve(args) -> int:
+    """Run the experiment service control plane in the foreground."""
+    from repro.service import ExperimentService, JobManager
+
+    manager = JobManager(checkpoint_dir=args.checkpoint_dir,
+                         executors=args.jobs,
+                         queue_size=args.queue_size,
+                         grid_jobs=args.grid_jobs)
+    service = ExperimentService(manager, host=args.host, port=args.port,
+                                quiet=args.quiet)
+    print(f"repro service on {service.url} "
+          f"(executors: {args.jobs}, checkpoint dir: {args.checkpoint_dir})",
+          file=sys.stderr, flush=True)
+    try:
+        service.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    finally:
+        # Unfinished jobs keep their managed checkpoints on disk, so a
+        # restarted service resumes resubmitted specs.
+        service.close()
+    return 0
+
+
+def _submit_params(args) -> Dict[str, object]:
+    """Sweep/run parameters the user actually set (``None`` = defer to
+    the server's defaults — which are the ``sweep`` CLI defaults)."""
+    names = ("protocols", "nodes", "seconds", "drain", "distribution",
+             "loss", "seeds", "base_seed", "num_seeds", "attacks",
+             "attack_params", "victim_policy", "shards", "latency_rng",
+             "loss_rng", "latency_floor")
+    params: Dict[str, object] = {
+        name: getattr(args, name) for name in names
+        if getattr(args, name) is not None}
+    if args.audit:
+        params["audit"] = True
+    return params
+
+
+def _follow_job(client, job_id: str, quiet: bool = False) -> str:
+    """Stream a job's events to stderr; returns its terminal state."""
+    state = "unknown"
+    for event in client.events(job_id):
+        if event["type"] == "state":
+            state = event["state"]
+            if not quiet:
+                print(f"{job_id}: {state}", file=sys.stderr)
+        elif event["type"] == "progress" and not quiet:
+            tag = " (restored)" if event.get("restored") else ""
+            print(f"  [{event['done']}/{event['total']}] "
+                  f"{event['scenario_name']} seed={event['seed']} "
+                  f"({event['events_executed']:,} events, "
+                  f"{event['events_per_sec']:,.0f} ev/s){tag}",
+                  file=sys.stderr)
+    return state
+
+
+def _cmd_submit(args) -> int:
+    from repro.service.client import ServiceClient, ServiceError
+
+    client = ServiceClient(args.url)
+    if args.kind in ("figure", "table", "ablation"):
+        if not args.id:
+            print(f"error: --kind {args.kind} needs --id", file=sys.stderr)
+            return 2
+        params: Dict[str, object] = {"id": args.id}
+        if args.scale is not None:
+            params["scale"] = args.scale
+        if args.shards is not None:
+            params["shards"] = args.shards
+        if args.latency_floor is not None:
+            params["latency_floor"] = args.latency_floor
+    else:
+        params = _submit_params(args)
+    try:
+        resp = client.submit(args.kind, params)
+        job = resp["job"]
+        if not args.quiet:
+            verb = "submitted" if resp["created"] else "joined"
+            print(f"{verb} {job['id']} ({job['kind']}, "
+                  f"state: {job['state']})", file=sys.stderr)
+        if not args.wait:
+            print(job["id"])
+            return 0
+        state = _follow_job(client, job["id"], quiet=args.quiet)
+        if state != "done":
+            final = client.job(job["id"])
+            print(f"error: job {job['id']} {state}"
+                  + (f": {final['error']}" if final.get("error") else ""),
+                  file=sys.stderr)
+            return 1
+        if args.csv:
+            with open(args.csv, "w", encoding="utf-8", newline="") as fh:
+                fh.write(client.csv(job["id"]))
+            if not args.quiet:
+                print(f"wrote {args.csv}", file=sys.stderr)
+        # The deterministic aggregate render, byte-identical to running
+        # the same spec through `repro sweep` / `repro <kind> <id>`.
+        print(client.result(job["id"])["result"]["render"])
+        return 0
+    except ServiceError as exc:
+        print(f"error: {exc.message}", file=sys.stderr)
+        return 2
+
+
+def _cmd_status(args) -> int:
+    import json
+
+    from repro.service.client import ServiceClient, ServiceError
+
+    client = ServiceClient(args.url)
+    try:
+        if args.job_id is None:
+            jobs = client.jobs()
+            if not jobs:
+                print("no jobs")
+                return 0
+            for job in jobs:
+                cells = job["cells"]
+                total = cells["total"] if cells["total"] is not None else "?"
+                print(f"{job['id']}  {job['state']:<9} {job['kind']:<8} "
+                      f"{cells['done']}/{total} cells  "
+                      f"fp={job['fingerprint']}")
+            return 0
+        if args.csv:
+            with open(args.csv, "w", encoding="utf-8", newline="") as fh:
+                fh.write(client.csv(args.job_id))
+            print(f"wrote {args.csv}", file=sys.stderr)
+            return 0
+        print(json.dumps(client.job(args.job_id), indent=2))
+        return 0
+    except ServiceError as exc:
+        print(f"error: {exc.message}", file=sys.stderr)
+        return 2
+
+
+def _cmd_watch(args) -> int:
+    from repro.service.client import ServiceClient, ServiceError
+
+    client = ServiceClient(args.url)
+    try:
+        state = _follow_job(client, args.job_id)
+        if state == "done":
+            print(client.result(args.job_id)["result"]["render"])
+            return 0
+        job = client.job(args.job_id)
+        print(f"error: job {args.job_id} {state}"
+              + (f": {job['error']}" if job.get("error") else ""),
+              file=sys.stderr)
+        return 1
+    except ServiceError as exc:
+        print(f"error: {exc.message}", file=sys.stderr)
+        return 2
 
 
 def _add_attack_args(parser) -> None:
@@ -587,6 +730,88 @@ def build_parser() -> argparse.ArgumentParser:
                                 help="print the catalog (the default)")
     attacks_parser.add_argument("--verbose", action="store_true",
                                 help="include each attack's detection story")
+    attacks_parser.add_argument("--format", choices=("text", "json"),
+                                default="text",
+                                help="json prints the same payload the "
+                                     "service serves at "
+                                     "GET /v1/catalog/attacks")
+
+    serve_parser = sub.add_parser(
+        "serve", help="run the experiment service control plane")
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument("--port", type=int, default=8642,
+                              help="listen port (0 = ephemeral; default "
+                                   "8642)")
+    serve_parser.add_argument("--jobs", type=int, default=1,
+                              help="executor threads (concurrent jobs)")
+    serve_parser.add_argument("--grid-jobs", type=int, default=1,
+                              help="worker processes per grid job (1 = "
+                                   "serial, which keeps the shared "
+                                   "result cache warm)")
+    serve_parser.add_argument("--queue-size", type=int, default=16,
+                              help="bounded submission queue (full = "
+                                   "HTTP 503)")
+    serve_parser.add_argument("--checkpoint-dir", default=".repro-service",
+                              help="managed checkpoints + CSV artifacts; "
+                                   "cancelled/crashed jobs resubmitted "
+                                   "with the same spec resume from here")
+    serve_parser.add_argument("--quiet", action="store_true",
+                              help="suppress per-request access logs")
+
+    submit_parser = sub.add_parser(
+        "submit", help="submit a job to a running service")
+    submit_parser.add_argument("--url", default=_DEFAULT_SERVICE_URL)
+    submit_parser.add_argument("--kind", default="sweep",
+                               choices=("run", "sweep", "figure", "table",
+                                        "ablation"))
+    submit_parser.add_argument("--id", default=None,
+                               help="artifact id for figure/table/ablation "
+                                    "kinds")
+    submit_parser.add_argument("--scale", choices=sorted(_SCALES),
+                               default=None)
+    submit_parser.add_argument("--wait", action="store_true",
+                               help="stream progress and print the final "
+                                    "render (exactly the CLI's output for "
+                                    "the same spec)")
+    submit_parser.add_argument("--csv", default=None, metavar="PATH",
+                               help="with --wait: save the job's CSV "
+                                    "artifact here")
+    submit_parser.add_argument("--quiet", action="store_true")
+    # Sweep parameters: defaults stay None so the server (whose defaults
+    # are the `sweep` CLI defaults) fills in whatever the user omitted.
+    submit_parser.add_argument("--protocols", default=None)
+    submit_parser.add_argument("--nodes", type=int, default=None)
+    submit_parser.add_argument("--seconds", type=float, default=None)
+    submit_parser.add_argument("--drain", type=float, default=None)
+    submit_parser.add_argument("--distribution", default=None)
+    submit_parser.add_argument("--loss", type=float, default=None)
+    submit_parser.add_argument("--seeds", default=None)
+    submit_parser.add_argument("--base-seed", type=int, default=None)
+    submit_parser.add_argument("--num-seeds", type=int, default=None)
+    submit_parser.add_argument("--audit", action="store_true")
+    submit_parser.add_argument("--attacks", default=None,
+                               metavar="NAME=FRAC,...")
+    submit_parser.add_argument("--attack-params", default=None,
+                               metavar="NAME=VALUE,...")
+    submit_parser.add_argument("--victim-policy", default=None)
+    submit_parser.add_argument("--shards", type=int, default=None)
+    submit_parser.add_argument("--latency-rng",
+                               choices=("shared", "per-pair"), default=None)
+    submit_parser.add_argument("--loss-rng",
+                               choices=("shared", "per-pair"), default=None)
+    submit_parser.add_argument("--latency-floor", type=float, default=None)
+
+    status_parser = sub.add_parser(
+        "status", help="list service jobs, or show one job's status")
+    status_parser.add_argument("job_id", nargs="?", default=None)
+    status_parser.add_argument("--url", default=_DEFAULT_SERVICE_URL)
+    status_parser.add_argument("--csv", default=None, metavar="PATH",
+                               help="fetch the job's CSV artifact to PATH")
+
+    watch_parser = sub.add_parser(
+        "watch", help="stream a job's live progress (SSE)")
+    watch_parser.add_argument("job_id")
+    watch_parser.add_argument("--url", default=_DEFAULT_SERVICE_URL)
 
     lint_parser = sub.add_parser(
         "lint", help="determinism & shard-safety static analyzer")
@@ -613,6 +838,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_render(EXTENSIONS, "extension", args.id, args)
     if args.command == "attacks":
         return _cmd_attacks(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "submit":
+        return _cmd_submit(args)
+    if args.command == "status":
+        return _cmd_status(args)
+    if args.command == "watch":
+        return _cmd_watch(args)
     if args.command == "lint":
         from repro.lint.cli import run_lint
         return run_lint(args)

@@ -32,7 +32,8 @@ import sys
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.experiments.parallel import ProgressCallback, RunRecord, run_grid
+from repro.experiments.parallel import (ProgressCallback, ProgressEvent,
+                                        run_grid)
 from repro.experiments.scales import cached_result, cached_run
 from repro.metrics.summary import MetricSpec, standard_bundle
 from repro.workloads.scenario import ScenarioConfig, scenario_key
@@ -117,11 +118,14 @@ def summary_cache_size() -> int:
     return len(_SUMMARY_CACHE)
 
 
-def stderr_progress(done: int, total: int, record: RunRecord) -> None:
+def stderr_progress(event: ProgressEvent) -> None:
     """A ready-made progress printer (the CLI's default for figures)."""
-    print(f"\r[{done}/{total}] {record.scenario_name} seed={record.seed} "
+    record = event.record
+    print(f"\r[{event.done}/{event.total}] {record.scenario_name} "
+          f"seed={record.seed} "
           f"({record.events_executed:,} events, {record.wall_time:.2f}s)",
-          file=sys.stderr, end="" if done < total else "\n", flush=True)
+          file=sys.stderr, end="" if event.done < event.total else "\n",
+          flush=True)
 
 
 def grid_summaries(cells: Sequence[Cell], *,

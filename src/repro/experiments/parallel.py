@@ -65,8 +65,9 @@ from repro.workloads.scenario import ScenarioConfig, scenario_key
 #: A metric maps a finished run to one scalar.
 Metric = Callable[[ExperimentResult], float]
 
-#: Progress callback: (tasks_done, tasks_total, record_just_finished).
-ProgressCallback = Callable[[int, int, "RunRecord"], None]
+#: Progress callback: invoked with one :class:`ProgressEvent` per
+#: finished (or checkpoint-restored) cell, on the coordinator thread.
+ProgressCallback = Callable[["ProgressEvent"], None]
 
 #: Header line identifying a grid checkpoint file.
 CHECKPOINT_FORMAT = "repro-grid-checkpoint-v1"
@@ -96,6 +97,12 @@ class RunRecord:
     #: from ``==`` because a JSONL round trip turns tuples into lists;
     #: compare through :meth:`summary_key` instead.
     summaries: Dict[str, object] = field(default_factory=dict, compare=False)
+    #: The run's merged cross-shard wire counters
+    #: (:meth:`repro.net.stats.NetworkStats.wire_summary`; all-zero for
+    #: unsharded cells).  Deterministic, but excluded from ``==`` so
+    #: records from checkpoints written before this field existed still
+    #: compare equal to fresh ones.
+    wire: Dict[str, int] = field(default_factory=dict, compare=False)
 
     def determinism_key(self) -> tuple:
         """Everything that must be identical across serial/parallel runs."""
@@ -122,6 +129,7 @@ class RunRecord:
             "sim_end_time": self.sim_end_time,
             "wall_time": self.wall_time,
             "summaries": self.summaries,
+            "wire": self.wire,
         }
 
     @classmethod
@@ -134,7 +142,62 @@ class RunRecord:
                    events_executed=obj["events_executed"],
                    sim_end_time=obj["sim_end_time"],
                    wall_time=obj["wall_time"],
-                   summaries=dict(obj.get("summaries", {})))
+                   summaries=dict(obj.get("summaries", {})),
+                   wire=dict(obj.get("wire", {})))
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """One structured progress tick of a grid run.
+
+    This is the *documented* event API every progress consumer shares —
+    the CLI progress line, the service control plane's SSE stream and
+    the tests all receive the same value.  Events fire on the
+    coordinator thread (never inside a worker process — the S201
+    sink-contract exemption for ``run_grid(progress=...)`` relies on
+    that), once per cell: checkpoint-restored cells first, in grid
+    order, with ``restored=True``, then fresh cells as they land.
+    """
+
+    #: Cells finished so far (restored + executed), and the grid total.
+    done: int
+    total: int
+    #: The cell that just finished.
+    record: RunRecord
+    #: The cell's scenario value-identity — the same
+    #: :func:`~repro.workloads.scenario.scenario_key` string the summary
+    #: cache and checkpoint fingerprints use, so consumers can correlate
+    #: progress with cached state.
+    cell_key: str
+    #: True when the cell was reloaded from a checkpoint rather than
+    #: executed (resume accounting: ``executed == total - restored``).
+    restored: bool = False
+
+    @property
+    def events_per_sec(self) -> float:
+        """Simulator event throughput of the cell's run (0 if unknown)."""
+        if self.record.wall_time <= 0:
+            return 0.0
+        return self.record.events_executed / self.record.wall_time
+
+    def to_jsonable(self) -> dict:
+        """Flat JSON view (what the service streams over SSE)."""
+        record = self.record
+        return {
+            "done": self.done,
+            "total": self.total,
+            "restored": self.restored,
+            "cell_key": self.cell_key,
+            "scenario_index": record.scenario_index,
+            "scenario_name": record.scenario_name,
+            "seed_index": record.seed_index,
+            "seed": record.seed,
+            "events_executed": record.events_executed,
+            "wall_time": record.wall_time,
+            "events_per_sec": self.events_per_sec,
+            "metrics": record.metrics,
+            "wire": record.wire,
+        }
 
 
 class GridResult:
@@ -210,6 +273,7 @@ def _run_cell(payload, run_fn=run_scenario) -> Tuple[int, RunRecord]:
         sim_end_time=result.sim.now,
         wall_time=time.perf_counter() - started,
         summaries=summaries,
+        wire=result.net.stats.wire_summary(),
     )
     return index, record
 
@@ -315,12 +379,15 @@ def _load_checkpoint(path: str, fingerprint: str,
 
     Raises :class:`CheckpointError` if the file belongs to a different
     grid or is damaged — a resume must never silently mix two
-    experiments' records.
+    experiments' records.  A torn trailing line (the writer was killed
+    mid-append) is repaired in place — truncated with a warning — so the
+    append that follows starts on a clean line boundary instead of
+    gluing onto the partial record.
     """
     import json
 
     try:
-        objects = read_jsonl(path)
+        objects = read_jsonl(path, repair=True)
     except json.JSONDecodeError as exc:
         raise CheckpointError(f"checkpoint {path} is damaged beyond a "
                               f"truncated last line: {exc}") from exc
@@ -455,7 +522,10 @@ def run_grid(configs, seeds: Optional[Sequence[int]],
             records[index] = restored[index]
             done += 1
             if progress is not None:
-                progress(done, total, restored[index])
+                progress(ProgressEvent(
+                    done=done, total=total, record=restored[index],
+                    cell_key=scenario_key(payloads[index][4]),
+                    restored=True))
 
     pending = [p for p in payloads if records[p[0]] is None]
 
@@ -467,7 +537,8 @@ def run_grid(configs, seeds: Optional[Sequence[int]],
             append_jsonl(checkpoint_fh,
                          {"index": index, "record": record.to_jsonable()})
         if progress is not None:
-            progress(done, total, record)
+            progress(ProgressEvent(done=done, total=total, record=record,
+                                   cell_key=scenario_key(payloads[index][4])))
 
     # A pool on a 1-CPU host is pure overhead; run in-process unless the
     # caller pinned a start method (the parity tests do, to force the

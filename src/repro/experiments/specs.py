@@ -1,0 +1,216 @@
+"""Declarative experiment specs: one JSON-able value per workload.
+
+The CLI builds a :class:`SweepSpec` from argparse flags; the service
+control plane (:mod:`repro.service`) builds the *same* value from an
+HTTP request body.  Both execute through the same grid inputs —
+``spec.configs()`` / ``spec.seed_list()`` / ``spec.metrics()`` — so a
+sweep submitted over HTTP is the same experiment, cell for cell and
+metric for metric, as ``python -m repro sweep ...``: identical records,
+identical aggregate render, identical CSV export (modulo the measured
+``wall_time_s`` column, which is flagged as a measurement).
+
+The spec is also the *identity* of the workload: :meth:`fingerprint`
+hashes the normalized parameter mapping, which the service uses to key
+managed checkpoints — resubmitting the same spec after a cancel or a
+crash resumes the same checkpoint file.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, fields
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.workloads.scenario import PROTOCOLS, ScenarioConfig
+from repro.workloads import distribution_by_name
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A protocol × seed grid, as the ``sweep`` CLI defines it.
+
+    Field defaults mirror the CLI flag defaults exactly; anything that
+    changes a record's content lives here, while pure *execution* knobs
+    (worker count, checkpoint path, CSV destination) stay outside — two
+    invocations that differ only in execution produce byte-identical
+    results and share one fingerprint.
+    """
+
+    protocols: Tuple[str, ...] = ("heap", "standard")
+    nodes: int = 100
+    seconds: float = 20.0
+    drain: float = 40.0
+    distribution: str = "ref-691"
+    loss: float = 0.0
+    #: Explicit seed list; None derives ``base_seed .. base_seed+num_seeds-1``.
+    seeds: Optional[Tuple[int, ...]] = None
+    base_seed: int = 1
+    num_seeds: int = 8
+    audit: bool = False
+    #: ``AttackMix.parse`` inputs (kept as the CLI's text form so the
+    #: spec stays a plain JSON value).
+    attacks: Optional[str] = None
+    attack_params: Optional[str] = None
+    victim_policy: str = "random"
+    shards: int = 0
+    #: None defers to the shard rule: "per-pair" when shards > 1,
+    #: "shared" otherwise (exactly the CLI's behaviour).
+    latency_rng: Optional[str] = None
+    loss_rng: Optional[str] = None
+    latency_floor: float = 0.002
+
+    @classmethod
+    def from_params(cls, params: Mapping) -> "SweepSpec":
+        """Build and sanity-check a spec from a JSON-ish mapping.
+
+        Unknown keys raise — a typoed parameter must not silently run
+        the default experiment.  List-valued fields accept JSON lists or
+        the CLI's comma-separated strings.
+        """
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(params) - known)
+        if unknown:
+            raise ValueError(f"unknown sweep parameter(s): "
+                             f"{', '.join(unknown)}; known: "
+                             f"{', '.join(sorted(known))}")
+        kwargs = dict(params)
+        if "protocols" in kwargs:
+            kwargs["protocols"] = _names(kwargs["protocols"], "protocols")
+        if kwargs.get("seeds") is not None:
+            kwargs["seeds"] = _ints(kwargs["seeds"], "seeds")
+        spec = cls(**kwargs)
+        spec.check()
+        return spec
+
+    def check(self) -> None:
+        """Spec-level validation (scenario-level checks live in
+        :meth:`ScenarioConfig.validate`, via :meth:`configs`)."""
+        if not self.protocols:
+            raise ValueError("no protocols given")
+        unknown = [p for p in self.protocols if p not in PROTOCOLS]
+        if unknown:
+            raise ValueError(f"unknown protocol(s) {', '.join(unknown)}; "
+                             f"known: {', '.join(PROTOCOLS)}")
+        if not self.seed_list():
+            raise ValueError("no seeds given (check --num-seeds)")
+        distribution_by_name(self.distribution)  # raises on unknown names
+
+    def to_params(self) -> Dict[str, object]:
+        """The normalized JSON mapping (tuples as lists), suitable for a
+        request body and stable under a round trip through
+        :meth:`from_params`."""
+        out: Dict[str, object] = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if isinstance(value, tuple):
+                value = list(value)
+            out[f.name] = value
+        return out
+
+    def fingerprint(self) -> str:
+        """Stable identity of the workload (hex digest).
+
+        Derived from every normalized parameter, so the service can key
+        a managed checkpoint file by it: the same spec resubmitted after
+        a cancel or crash finds — and resumes — its own checkpoint.
+        """
+        blob = json.dumps(self.to_params(), sort_keys=True)
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+    # ------------------------------------------------------------------
+    # grid inputs
+    # ------------------------------------------------------------------
+    def seed_list(self) -> List[int]:
+        if self.seeds is not None:
+            return list(self.seeds)
+        return list(range(self.base_seed, self.base_seed + self.num_seeds))
+
+    def adversary(self):
+        """The parsed :class:`~repro.adversary.AttackMix`, or None."""
+        if not self.attacks:
+            return None
+        from repro.adversary import AttackMix
+
+        return AttackMix.parse(self.attacks,
+                               params_text=self.attack_params or "",
+                               victim_policy=self.victim_policy)
+
+    def configs(self) -> List[ScenarioConfig]:
+        """One validated ScenarioConfig per protocol — the exact configs
+        ``repro sweep`` builds from the equivalent flags."""
+        latency_rng = self.latency_rng
+        loss_rng = self.loss_rng
+        if self.shards > 1:
+            if latency_rng is None:
+                latency_rng = "per-pair"
+            if loss_rng is None:
+                loss_rng = "per-pair"
+        adversary = self.adversary()
+        configs = [ScenarioConfig(
+            name=protocol,
+            protocol=protocol,
+            n_nodes=self.nodes,
+            duration=self.seconds,
+            drain=self.drain,
+            distribution=distribution_by_name(self.distribution),
+            loss_rate=self.loss,
+            adversary=adversary,
+            audit=self.audit,
+            latency_rng=latency_rng if latency_rng is not None else "shared",
+            loss_rng=loss_rng if loss_rng is not None else "shared",
+            latency_floor=self.latency_floor,
+            shards=self.shards,
+        ) for protocol in self.protocols]
+        for config in configs:
+            config.validate()
+        return configs
+
+    def metrics(self) -> Dict[str, object]:
+        """The sweep's metric columns, in CLI column order (module-level
+        functions, so any ``jobs`` value works)."""
+        from repro.experiments.multi_seed import (
+            metric_jitter_free_10s,
+            metric_mean_jitter_free_lag,
+            metric_mean_utilization,
+            metric_offline_delivery,
+        )
+
+        metrics = {
+            "delivery": metric_offline_delivery,
+            "lag_s": metric_mean_jitter_free_lag,
+            "jitter_free_10s_pct": metric_jitter_free_10s,
+            "utilization": metric_mean_utilization,
+        }
+        if self.adversary() is not None:
+            from repro.adversary import ATTACK_GRID_METRICS
+
+            metrics.update(ATTACK_GRID_METRICS)
+        return metrics
+
+    def cell_count(self) -> int:
+        return len(self.protocols) * len(self.seed_list())
+
+
+def _names(value, what: str) -> Tuple[str, ...]:
+    """A tuple of names from a JSON list or a comma-separated string."""
+    if isinstance(value, str):
+        value = [p.strip() for p in value.split(",") if p.strip()]
+    if not isinstance(value, (list, tuple)):
+        raise ValueError(f"{what} must be a list or comma-separated string, "
+                         f"got {value!r}")
+    return tuple(str(v) for v in value)
+
+
+def _ints(value, what: str) -> Tuple[int, ...]:
+    """A tuple of ints from a JSON list or a comma-separated string."""
+    if isinstance(value, str):
+        value = [s.strip() for s in value.split(",") if s.strip()]
+    if not isinstance(value, (list, tuple)):
+        raise ValueError(f"{what} must be a list or comma-separated string, "
+                         f"got {value!r}")
+    try:
+        return tuple(int(v) for v in value)
+    except (TypeError, ValueError):
+        raise ValueError(f"{what} must be a comma-separated integer list, "
+                         f"got {value!r}") from None

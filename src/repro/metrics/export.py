@@ -14,6 +14,8 @@ from __future__ import annotations
 import csv
 import json
 import math
+import os
+import warnings
 from typing import Dict, Iterable, List, Sequence, Tuple
 
 from repro.analysis.cdf import Cdf
@@ -27,28 +29,71 @@ def jsonl_line(obj: object) -> str:
 
 
 def append_jsonl(fh, obj: object) -> None:
-    """Write one object as a JSONL line and flush, so a killed run loses
-    at most the record in flight."""
+    """Write one object as a JSONL line, flush *and* fsync.
+
+    A record is a durability promise the moment it lands (checkpoint
+    resume counts on it), so each append is pushed through the OS cache:
+    a crash — of the process or the host — loses at most the record in
+    flight, never one that was already reported finished.  Sinks without
+    a real file descriptor (StringIO in tests) get flush-only."""
     fh.write(jsonl_line(obj) + "\n")
     fh.flush()
+    try:
+        os.fsync(fh.fileno())
+    except (AttributeError, OSError, ValueError):
+        pass  # not a real file: flush is all there is
 
 
-def read_jsonl(path: str) -> List[object]:
-    """Read a JSONL file, silently dropping a trailing partial line
-    (the signature of a killed writer).  A corrupt line anywhere *else*
-    raises — that file is damaged, not merely truncated."""
+def read_jsonl(path: str, repair: bool = False) -> List[object]:
+    """Read a JSONL file, tolerating a trailing partial line (the
+    signature of a killed writer).  A corrupt line anywhere *else*
+    raises — that file is damaged, not merely truncated.
+
+    With ``repair=True`` a torn tail is also *truncated in place* (with
+    a warning) so a subsequent appender continues from a clean
+    line boundary.  Without the truncation, a resume that appends after
+    a torn tail would glue its first fresh record onto the partial line,
+    manufacturing a corrupt line in the *middle* of the file — poisoning
+    every later resume of a checkpoint that was merely killed mid-write.
+    """
     objects: List[object] = []
-    with open(path, "r", encoding="utf-8") as fh:
-        lines = fh.read().splitlines()
+    with open(path, "r", encoding="utf-8", newline="") as fh:
+        text = fh.read()
+    lines = text.splitlines(keepends=True)
+    good = 0  # characters of fully-parsed, newline-terminated prefix
+    unterminated_valid = False  # final record parses but lacks its "\n"
     for lineno, line in enumerate(lines):
-        if not line.strip():
-            continue
-        try:
-            objects.append(json.loads(line))
-        except json.JSONDecodeError:
-            if lineno == len(lines) - 1:
+        last = lineno == len(lines) - 1
+        stripped = line.strip()
+        if stripped:
+            try:
+                obj = json.loads(stripped)
+            except json.JSONDecodeError:
+                if last:
+                    break
+                raise
+            objects.append(obj)
+            if last and not line.endswith("\n"):
+                # Parses, but the newline never made it to disk: an
+                # appender would still glue onto it.  Keep the record,
+                # let the repair below terminate the line.
+                unterminated_valid = True
                 break
-            raise
+        good += len(line)
+    if repair and good < len(text):
+        if unterminated_valid:
+            warnings.warn(f"{path}: final record was missing its newline "
+                          f"(killed writer); terminating the line",
+                          RuntimeWarning, stacklevel=2)
+            with open(path, "a", encoding="utf-8") as fh:
+                fh.write("\n")
+        else:
+            tail = text[good:]
+            warnings.warn(f"{path}: dropping a torn trailing line "
+                          f"({len(tail)} chars; killed writer)",
+                          RuntimeWarning, stacklevel=2)
+            with open(path, "r+", encoding="utf-8") as fh:
+                fh.truncate(len(text[:good].encode("utf-8")))
     return objects
 
 

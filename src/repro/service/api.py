@@ -1,0 +1,167 @@
+"""HTTP/JSON API surface of the service, framework- and socket-free.
+
+``handle_request`` maps ``(method, path, body)`` onto the
+:class:`~repro.service.jobs.JobManager` and returns either a
+:class:`ApiResponse` (status + bytes) or a :class:`SseStream` marker
+telling the transport layer to stream the named job's event log as
+Server-Sent Events.  Keeping this pure makes the whole API unit-testable
+without binding a port, and keeps :mod:`repro.service.http` a dumb
+shell.
+
+Routes (all JSON unless noted)::
+
+    POST /v1/jobs                  {"kind": ..., "params": {...}} -> job
+    GET  /v1/jobs                  all jobs, submission order
+    GET  /v1/jobs/{id}             one job's status
+    POST /v1/jobs/{id}/cancel      request cancellation
+    GET  /v1/jobs/{id}/events      live progress (SSE)
+    GET  /v1/jobs/{id}/result      result summary JSON (409 until done)
+    GET  /v1/jobs/{id}/artifacts/csv   CSV artifact (text/csv)
+    GET  /v1/catalog/attacks       the attack catalog (= CLI --format json)
+    GET  /v1/health                liveness + job state counts
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.service.jobs import Job, JobManager, QueueFullError
+
+
+class ApiError(Exception):
+    """An error with an HTTP status (rendered as a JSON body)."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+@dataclass(frozen=True)
+class ApiResponse:
+    """A complete response: status, body bytes and content type."""
+
+    status: int
+    body: bytes
+    content_type: str = "application/json"
+
+
+@dataclass(frozen=True)
+class SseStream:
+    """Marker: the transport should stream this job's events as SSE."""
+
+    job: Job
+
+
+def json_response(obj: object, status: int = 200) -> ApiResponse:
+    body = (json.dumps(obj, indent=2, sort_keys=False) + "\n").encode("utf-8")
+    return ApiResponse(status=status, body=body)
+
+
+def error_response(status: int, message: str) -> ApiResponse:
+    return json_response({"error": message}, status=status)
+
+
+def handle_request(manager: JobManager, method: str, path: str,
+                   body: Optional[bytes] = None):
+    """Dispatch one request; returns ApiResponse or SseStream.
+
+    Raises nothing: every failure becomes an error response, so the
+    transport layer never has to translate exceptions.
+    """
+    try:
+        return _dispatch(manager, method, path, body)
+    except ApiError as exc:
+        return error_response(exc.status, exc.message)
+
+
+def _dispatch(manager: JobManager, method: str, path: str,
+              body: Optional[bytes]):
+    parts = tuple(p for p in path.split("?", 1)[0].split("/") if p)
+    if parts == ("v1", "health"):
+        _require(method, "GET")
+        return json_response({"status": "ok", "jobs": manager.counts()})
+    if parts == ("v1", "catalog", "attacks"):
+        _require(method, "GET")
+        from repro.adversary import catalog_jsonable
+
+        return json_response(catalog_jsonable())
+    if parts == ("v1", "jobs"):
+        if method == "POST":
+            return _submit(manager, body)
+        _require(method, "GET")
+        return json_response(
+            {"jobs": [job.to_jsonable() for job in manager.jobs()]})
+    if len(parts) >= 3 and parts[:2] == ("v1", "jobs"):
+        job = _job(manager, parts[2])
+        tail = parts[3:]
+        if not tail:
+            _require(method, "GET")
+            return json_response({"job": job.to_jsonable()})
+        if tail == ("cancel",):
+            _require(method, "POST")
+            return json_response({"job": manager.cancel(job.id).to_jsonable()})
+        if tail == ("events",):
+            _require(method, "GET")
+            return SseStream(job)
+        if tail == ("result",):
+            _require(method, "GET")
+            return _result(job)
+        if tail == ("artifacts", "csv"):
+            _require(method, "GET")
+            return _csv_artifact(job)
+    raise ApiError(404, f"no such route: {method} {path}")
+
+
+def _require(method: str, expected: str) -> None:
+    if method != expected:
+        raise ApiError(405, f"method {method} not allowed here")
+
+
+def _job(manager: JobManager, job_id: str) -> Job:
+    try:
+        return manager.get(job_id)
+    except KeyError:
+        raise ApiError(404, f"unknown job {job_id!r}") from None
+
+
+def _submit(manager: JobManager, body: Optional[bytes]) -> ApiResponse:
+    if not body:
+        raise ApiError(400, "missing request body")
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ApiError(400, f"request body is not JSON: {exc}") from None
+    if not isinstance(payload, dict) or "kind" not in payload:
+        raise ApiError(400, 'request body must be {"kind": ..., "params": {...}}')
+    params = payload.get("params") or {}
+    if not isinstance(params, dict):
+        raise ApiError(400, '"params" must be an object')
+    try:
+        job, created = manager.submit(str(payload["kind"]), params)
+    except QueueFullError as exc:
+        raise ApiError(503, str(exc)) from None
+    except (ValueError, KeyError) as exc:
+        raise ApiError(400, str(exc)) from None
+    return json_response({"job": job.to_jsonable(), "created": created},
+                         status=201 if created else 200)
+
+
+def _result(job: Job) -> ApiResponse:
+    if job.state != "done":
+        raise ApiError(409, f"job {job.id} is {job.state}, not done"
+                            + (f": {job.error}" if job.error else ""))
+    return json_response({"job": job.to_jsonable(), "result": job.result})
+
+
+def _csv_artifact(job: Job) -> ApiResponse:
+    if job.state != "done":
+        raise ApiError(409, f"job {job.id} is {job.state}, not done")
+    try:
+        with open(job.csv_path, "rb") as fh:
+            data = fh.read()
+    except OSError:
+        raise ApiError(404, f"job {job.id} has no CSV artifact") from None
+    return ApiResponse(status=200, body=data, content_type="text/csv")

@@ -1,0 +1,155 @@
+"""Thin ``urllib`` client for the service API.
+
+Backs the ``repro submit`` / ``repro status`` / ``repro watch`` CLI
+verbs and the end-to-end tests; scripted users can import it directly.
+One method per route, JSON in/out, plus :meth:`ServiceClient.events` —
+a generator that parses the SSE stream into the same event dicts the
+manager appends — and a polling :meth:`ServiceClient.wait`.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Dict, Iterator, List, Optional
+
+from repro.service.jobs import TERMINAL_STATES
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx API response (or a client-side timeout)."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"[{status}] {message}")
+        self.status = status
+        self.message = message
+
+
+class ServiceClient:
+    """A client bound to one service base URL."""
+
+    def __init__(self, url: str, timeout: float = 30.0):
+        self.base = url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # one method per route
+    # ------------------------------------------------------------------
+    def submit(self, kind: str, params: Optional[Dict[str, object]] = None
+               ) -> Dict[str, object]:
+        """POST /v1/jobs; returns ``{"job": ..., "created": ...}``."""
+        return self._json("POST", "/v1/jobs",
+                          payload={"kind": kind, "params": params or {}})
+
+    def jobs(self) -> List[Dict[str, object]]:
+        return self._json("GET", "/v1/jobs")["jobs"]
+
+    def job(self, job_id: str) -> Dict[str, object]:
+        return self._json("GET", f"/v1/jobs/{job_id}")["job"]
+
+    def cancel(self, job_id: str) -> Dict[str, object]:
+        return self._json("POST", f"/v1/jobs/{job_id}/cancel")["job"]
+
+    def result(self, job_id: str) -> Dict[str, object]:
+        """Result summary JSON; raises ServiceError(409) until done."""
+        return self._json("GET", f"/v1/jobs/{job_id}/result")
+
+    def csv(self, job_id: str) -> str:
+        """The job's CSV artifact, as text."""
+        status, body = self._request("GET", f"/v1/jobs/{job_id}/artifacts/csv")
+        if status >= 400:
+            raise ServiceError(status, _error_message(body))
+        return body.decode("utf-8")
+
+    def catalog_attacks(self) -> Dict[str, object]:
+        return self._json("GET", "/v1/catalog/attacks")
+
+    def health(self) -> Dict[str, object]:
+        return self._json("GET", "/v1/health")
+
+    # ------------------------------------------------------------------
+    # streaming / waiting
+    # ------------------------------------------------------------------
+    def events(self, job_id: str) -> Iterator[Dict[str, object]]:
+        """Follow the job's SSE stream; yields event dicts.
+
+        Replays the full event log first (the server streams from
+        ``seq`` 0), then live events; returns after the terminal state
+        event.  Keepalive comment frames are filtered out.
+        """
+        request = urllib.request.Request(
+            f"{self.base}/v1/jobs/{job_id}/events")
+        # Reads block until the next frame; the server's 0.5 s keepalives
+        # bound them, so any generous per-read timeout works.
+        with urllib.request.urlopen(request,
+                                    timeout=max(self.timeout, 5.0)) as resp:
+            data_lines: List[str] = []
+            for raw in resp:
+                line = raw.decode("utf-8").rstrip("\r\n")
+                if not line:  # blank line = end of frame
+                    if data_lines:
+                        event = json.loads("\n".join(data_lines))
+                        data_lines = []
+                        yield event
+                        if (event.get("type") == "state"
+                                and event.get("state") in TERMINAL_STATES):
+                            return
+                    continue
+                if line.startswith(":"):  # keepalive comment
+                    continue
+                if line.startswith("data:"):
+                    data_lines.append(line[len("data:"):].strip())
+                # "event:" lines are redundant with the JSON "type".
+
+    def wait(self, job_id: str, timeout: float = 600.0,
+             poll: float = 0.2) -> Dict[str, object]:
+        """Poll until the job reaches a terminal state; returns it."""
+        deadline = time.monotonic() + timeout
+        while True:
+            job = self.job(job_id)
+            if job["state"] in TERMINAL_STATES:
+                return job
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    408, f"timed out after {timeout:g}s waiting for "
+                         f"{job_id} (state: {job['state']})")
+            time.sleep(poll)
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+    def _request(self, method: str, path: str,
+                 payload: Optional[Dict[str, object]] = None):
+        data = (json.dumps(payload).encode("utf-8")
+                if payload is not None else None)
+        headers = {"Content-Type": "application/json"} if data else {}
+        request = urllib.request.Request(self.base + path, data=data,
+                                         headers=headers, method=method)
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout) as resp:
+                return resp.status, resp.read()
+        except urllib.error.HTTPError as exc:
+            with exc:
+                return exc.code, exc.read()
+        except urllib.error.URLError as exc:
+            raise ServiceError(
+                0, f"cannot reach service at {self.base}: "
+                   f"{exc.reason}") from None
+
+    def _json(self, method: str, path: str,
+              payload: Optional[Dict[str, object]] = None
+              ) -> Dict[str, object]:
+        status, body = self._request(method, path, payload)
+        if status >= 400:
+            raise ServiceError(status, _error_message(body))
+        return json.loads(body.decode("utf-8")) if body else {}
+
+
+def _error_message(body: bytes) -> str:
+    try:
+        return json.loads(body.decode("utf-8"))["error"]
+    except (ValueError, KeyError, UnicodeDecodeError):
+        return body.decode("utf-8", "replace").strip() or "unknown error"

@@ -1,0 +1,142 @@
+"""The socket shell: ``ThreadingHTTPServer`` + the SSE stream writer.
+
+Everything interesting happens a layer down — request dispatch in
+:mod:`repro.service.api`, job state in :mod:`repro.service.jobs`.  This
+module only moves bytes: it reads a request, hands it to
+``handle_request`` and writes back either the returned
+:class:`~repro.service.api.ApiResponse` or, for the events route, a
+``text/event-stream`` that replays the job's event log from the start
+and then follows it live until a terminal state event.
+
+The server speaks HTTP/1.0 with connection-close framing on purpose:
+every response (including the unbounded SSE body) is delimited by the
+connection, so no chunked encoding and no keep-alive bookkeeping.  Each
+connection gets its own daemon thread, so a slow SSE consumer never
+blocks submissions.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+
+from repro.service.api import ApiResponse, SseStream, handle_request
+from repro.service.jobs import Job, JobManager, TERMINAL_STATES
+
+#: Comment frame sent while a followed job is idle, so dead client
+#: connections surface as write errors instead of leaking threads.
+_KEEPALIVE = b": keepalive\n\n"
+
+
+class ServiceHandler(BaseHTTPRequestHandler):
+    """One request: parse, dispatch, write the response (or stream)."""
+
+    protocol_version = "HTTP/1.0"
+    server_version = "repro-service/1"
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if not getattr(self.server, "quiet", True):
+            BaseHTTPRequestHandler.log_message(self, format, *args)
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        self._handle("GET")
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        self._handle("POST")
+
+    def _handle(self, method: str) -> None:
+        length = int(self.headers.get("Content-Length") or 0)
+        body: Optional[bytes] = self.rfile.read(length) if length else None
+        outcome = handle_request(self.server.manager, method, self.path, body)
+        try:
+            if isinstance(outcome, SseStream):
+                self._stream_events(outcome.job)
+            else:
+                self._send(outcome)
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client went away; nothing to clean up
+
+    def _send(self, response: ApiResponse) -> None:
+        self.send_response(response.status)
+        self.send_header("Content-Type", response.content_type)
+        self.send_header("Content-Length", str(len(response.body)))
+        self.end_headers()
+        self.wfile.write(response.body)
+
+    def _stream_events(self, job: Job) -> None:
+        """Replay ``job``'s event log as SSE, then follow it live.
+
+        Every frame is ``event: <type>`` + ``data: <json>``; the stream
+        ends (connection close) after a state event that enters a
+        terminal state, so a client can simply read to EOF.
+        """
+        self.send_response(200)
+        self.send_header("Content-Type", "text/event-stream")
+        self.send_header("Cache-Control", "no-cache")
+        self.end_headers()
+        manager: JobManager = self.server.manager
+        index = 0
+        while True:
+            events = manager.events_since(job, index, timeout=0.5)
+            if not events:
+                self.wfile.write(_KEEPALIVE)
+                self.wfile.flush()
+                continue
+            index += len(events)
+            finished = False
+            for event in events:
+                frame = (f"event: {event['type']}\n"
+                         f"data: {json.dumps(event)}\n\n")
+                self.wfile.write(frame.encode("utf-8"))
+                if (event.get("type") == "state"
+                        and event.get("state") in TERMINAL_STATES):
+                    finished = True
+            self.wfile.flush()
+            if finished:
+                return
+
+
+class ExperimentService(ThreadingHTTPServer):
+    """The control plane's HTTP front: one server around one manager.
+
+    ``port=0`` binds an ephemeral port (read it back from :attr:`port`),
+    which is how the tests run hermetically.  ``close()`` tears down the
+    listener *and* the manager; managed checkpoints of unfinished jobs
+    stay on disk by design, so a restarted service resumes resubmitted
+    specs.
+    """
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, manager: JobManager, host: str = "127.0.0.1",
+                 port: int = 0, quiet: bool = True):
+        self.manager = manager
+        self.quiet = quiet
+        self._thread: Optional[threading.Thread] = None
+        super().__init__((host, port), ServiceHandler)
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.server_address[0]}:{self.port}"
+
+    def serve_background(self) -> threading.Thread:
+        """Run ``serve_forever`` on a daemon thread and return it."""
+        self._thread = threading.Thread(target=self.serve_forever,
+                                        daemon=True,
+                                        name="repro-service-http")
+        self._thread.start()
+        return self._thread
+
+    def close(self, cancel_running: bool = True) -> None:
+        if self._thread is not None and self._thread.is_alive():
+            self.shutdown()
+            self._thread.join(timeout=10.0)
+        self.server_close()
+        self.manager.shutdown(cancel_running=cancel_running)

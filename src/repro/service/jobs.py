@@ -1,0 +1,475 @@
+"""Async job manager: the engine half of the service control plane.
+
+A :class:`JobManager` owns a bounded submission queue, N executor
+threads, and the process-wide warm state every job shares — the
+scenario-result cache (``cached_run``), the grid summary cache
+(:mod:`repro.experiments.gridrun`) and a managed checkpoint directory.
+Jobs move ``queued -> running -> done | failed | cancelled``.
+
+Durability comes from the checkpoint layer, not from any service-side
+database: every grid-backed job binds to a JSONL checkpoint keyed by
+its spec's fingerprint under the manager's checkpoint directory.  While
+the job runs, each finished cell is appended (flush+fsync); on success
+the spent checkpoint is garbage-collected; on cancel/crash it stays —
+so resubmitting the *same spec* resumes from the finished cells (the
+fingerprinted checkpoint *is* the durable job record).
+
+Cancellation is cooperative at cell granularity: the executor checks
+the job's cancel flag in the grid's progress callback, so a cancel
+lands at the next finished cell (everything already checkpointed
+survives for the resume).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.experiments.parallel import ProgressEvent, run_grid
+from repro.experiments.scales import _SCALES, cached_run
+from repro.experiments.specs import SweepSpec
+from repro.metrics.export import write_grid_csv, write_result_csv
+
+#: Everything a job can be asked to do.  ``run`` is a one-cell sweep;
+#: the render kinds regenerate a registered figure/table/ablation.
+JOB_KINDS = ("run", "sweep", "figure", "table", "ablation")
+
+#: The job lifecycle, in order.
+JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
+
+#: States a job can never leave.
+TERMINAL_STATES = ("done", "failed", "cancelled")
+
+
+class QueueFullError(RuntimeError):
+    """The bounded submission queue is at capacity (HTTP 503)."""
+
+
+class JobCancelled(Exception):
+    """Raised inside the executor to unwind a cancelled grid run."""
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """What to run: a kind plus its JSON parameter mapping.
+
+    The *normalized* parameters (defaults filled in, lists canonical)
+    define the spec's :meth:`fingerprint`; execution knobs the manager
+    owns (worker counts, checkpoint locations) are deliberately not part
+    of a spec, so the same experiment always maps to the same
+    checkpoint.
+    """
+
+    kind: str
+    params: Dict[str, object] = field(default_factory=dict)
+
+    def normalized(self) -> Dict[str, object]:
+        """The canonical parameter mapping; raises ValueError on an
+        invalid spec (unknown kind/parameters, bad scenario)."""
+        if self.kind in ("run", "sweep"):
+            spec = self.sweep_spec()
+            spec.configs()  # full scenario validation, collected errors
+            return spec.to_params()
+        if self.kind in ("figure", "table", "ablation"):
+            return self._render_normalized()
+        raise ValueError(f"unknown job kind {self.kind!r}; "
+                         f"known: {', '.join(JOB_KINDS)}")
+
+    def sweep_spec(self) -> SweepSpec:
+        """The grid description for ``run``/``sweep`` kinds."""
+        if self.kind not in ("run", "sweep"):
+            raise ValueError(f"{self.kind!r} jobs have no sweep spec")
+        params = dict(self.params)
+        if self.kind == "run":
+            params.setdefault("num_seeds", 1)
+        spec = SweepSpec.from_params(params)
+        if self.kind == "run" and spec.cell_count() != 1:
+            raise ValueError(f"a 'run' job is a single cell; this spec has "
+                             f"{len(spec.protocols)} protocol(s) x "
+                             f"{len(spec.seed_list())} seed(s) — submit it "
+                             f"as kind 'sweep'")
+        return spec
+
+    def _render_normalized(self) -> Dict[str, object]:
+        known = {"id", "scale", "shards", "latency_floor"}
+        unknown = sorted(set(self.params) - known)
+        if unknown:
+            raise ValueError(f"unknown {self.kind} parameter(s): "
+                             f"{', '.join(unknown)}; known: "
+                             f"{', '.join(sorted(known))}")
+        artifact = self.params.get("id")
+        registry = _render_registry(self.kind)
+        if artifact not in registry:
+            raise ValueError(f"unknown {self.kind} id {artifact!r}; known: "
+                             f"{', '.join(sorted(registry))}")
+        scale = self.params.get("scale")
+        if scale is not None and scale not in _SCALES:
+            raise ValueError(f"unknown scale {scale!r}; known: "
+                             f"{', '.join(sorted(_SCALES))}")
+        return {
+            "id": artifact,
+            "scale": scale,
+            "shards": int(self.params.get("shards", 0) or 0),
+            "latency_floor": self.params.get("latency_floor"),
+        }
+
+    def fingerprint(self) -> str:
+        """Stable workload identity: keys the managed checkpoint, so a
+        resubmitted spec resumes where its predecessor stopped."""
+        blob = json.dumps({"kind": "sweep" if self.kind == "run" else self.kind,
+                           "params": self.normalized()}, sort_keys=True)
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+    def to_jsonable(self) -> Dict[str, object]:
+        return {"kind": self.kind, "params": self.normalized()}
+
+
+def _render_registry(kind: str) -> Dict[str, object]:
+    """The CLI's artifact registry for a render kind (imported lazily:
+    the CLI imports this package for its ``serve`` verb)."""
+    from repro import cli
+
+    return {"figure": cli.FIGURES, "table": cli.TABLES,
+            "ablation": cli.ABLATIONS}[kind]
+
+
+class Job:
+    """One submitted workload and its observable state.
+
+    All mutation happens under the owning manager's lock; HTTP threads
+    only ever read (or wait on the manager's condition for new events).
+    """
+
+    def __init__(self, job_id: str, spec: JobSpec, fingerprint: str,
+                 checkpoint: str, csv_path: str):
+        self.id = job_id
+        self.spec = spec
+        self.fingerprint = fingerprint
+        self.state = "queued"
+        self.error: Optional[str] = None
+        self.submitted_at = time.time()
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+        #: Managed JSONL checkpoint this job appends to / resumes from.
+        self.checkpoint = checkpoint
+        #: CSV artifact path, written on completion.
+        self.csv_path = csv_path
+        self.cancel_event = threading.Event()
+        #: Monotonic structured event log: progress ticks + state changes
+        #: (what the SSE endpoint replays and follows).
+        self.events: List[Dict[str, object]] = []
+        self.cells_done = 0
+        self.cells_total: Optional[int] = None
+        self.cells_executed = 0
+        self.cells_restored = 0
+        #: Latest cell throughput (events/s), for status displays.
+        self.events_per_sec = 0.0
+        #: Wire counters accumulated across the job's cells.
+        self.wire: Dict[str, int] = {}
+        #: Result summary JSON, set when the job completes.
+        self.result: Optional[Dict[str, object]] = None
+
+    def to_jsonable(self) -> Dict[str, object]:
+        return {
+            "id": self.id,
+            "kind": self.spec.kind,
+            "params": self.spec.params,
+            "fingerprint": self.fingerprint,
+            "state": self.state,
+            "error": self.error,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "cells": {
+                "done": self.cells_done,
+                "total": self.cells_total,
+                "executed": self.cells_executed,
+                "restored": self.cells_restored,
+            },
+            "events_per_sec": self.events_per_sec,
+            "wire": self.wire,
+        }
+
+
+class JobManager:
+    """Bounded job queue + executor threads over the shared engine."""
+
+    def __init__(self, checkpoint_dir: str = ".repro-service",
+                 executors: int = 1, queue_size: int = 16,
+                 grid_jobs: int = 1, cache_results: bool = True):
+        self.checkpoint_dir = checkpoint_dir
+        self.artifact_dir = os.path.join(checkpoint_dir, "artifacts")
+        os.makedirs(self.artifact_dir, exist_ok=True)
+        #: Grid worker processes per job (1 = in-thread serial, which is
+        #: what keeps the scenario-result cache warm).
+        self.grid_jobs = max(1, grid_jobs)
+        #: Serial sweep cells run through ``cached_run`` so overlapping
+        #: grids from later jobs reuse full results.  Costs memory
+        #: proportional to distinct scenarios; disable for huge grids.
+        self.cache_results = cache_results
+        self._queue: "queue.Queue[Optional[Job]]" = queue.Queue(
+            maxsize=max(1, queue_size))
+        self._lock = threading.RLock()
+        #: Signalled on every job event append / state change.
+        self.condition = threading.Condition(self._lock)
+        self._jobs: Dict[str, Job] = {}
+        self._order: List[str] = []
+        self._next_id = 1
+        self._stopping = False
+        self._threads = [
+            threading.Thread(target=self._worker, daemon=True,
+                             name=f"repro-job-executor-{i}")
+            for i in range(max(1, executors))
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # ------------------------------------------------------------------
+    # public API (called from HTTP threads)
+    # ------------------------------------------------------------------
+    def submit(self, kind: str, params: Dict[str, object]
+               ) -> Tuple[Job, bool]:
+        """Validate, register and enqueue a job.
+
+        Returns ``(job, created)``.  A spec identical to one already
+        queued or running is *coalesced* onto the existing job
+        (``created=False``) — two clients asking for the same grid share
+        one execution and both watch the same stream.  Raises
+        ``ValueError`` for an invalid spec and :class:`QueueFullError`
+        when the bounded queue is at capacity.
+        """
+        spec = JobSpec(kind=kind, params=dict(params or {}))
+        fingerprint = spec.fingerprint()  # validates; may raise ValueError
+        with self._lock:
+            if self._stopping:
+                raise QueueFullError("manager is shutting down")
+            for job_id in reversed(self._order):
+                existing = self._jobs[job_id]
+                if (existing.fingerprint == fingerprint
+                        and existing.state in ("queued", "running")):
+                    return existing, False
+            job = Job(
+                job_id=f"j{self._next_id:04d}",
+                spec=spec,
+                fingerprint=fingerprint,
+                checkpoint=os.path.join(self.checkpoint_dir,
+                                        f"job-{fingerprint}.jsonl"),
+                csv_path=os.path.join(self.artifact_dir,
+                                      f"j{self._next_id:04d}.csv"),
+            )
+            try:
+                self._queue.put_nowait(job)
+            except queue.Full:
+                raise QueueFullError(
+                    f"submission queue is full "
+                    f"({self._queue.maxsize} jobs)") from None
+            self._next_id += 1
+            self._jobs[job.id] = job
+            self._order.append(job.id)
+            self._append_event(job, {"type": "state", "state": "queued"})
+        return job, True
+
+    def get(self, job_id: str) -> Job:
+        with self._lock:
+            try:
+                return self._jobs[job_id]
+            except KeyError:
+                raise KeyError(f"unknown job {job_id!r}") from None
+
+    def jobs(self) -> List[Job]:
+        with self._lock:
+            return [self._jobs[job_id] for job_id in self._order]
+
+    def counts(self) -> Dict[str, int]:
+        with self._lock:
+            counts = {state: 0 for state in JOB_STATES}
+            for job in self._jobs.values():
+                counts[job.state] += 1
+            return counts
+
+    def cancel(self, job_id: str) -> Job:
+        """Request cancellation.  Queued jobs cancel immediately; running
+        jobs cancel at the next finished cell (their checkpoint stays on
+        disk, so the same spec resumes later)."""
+        with self._lock:
+            job = self.get(job_id)
+            if job.state == "queued":
+                job.cancel_event.set()
+                self._finish(job, "cancelled")
+            elif job.state == "running":
+                job.cancel_event.set()
+            return job
+
+    def events_since(self, job: Job, index: int,
+                     timeout: float = 0.5) -> List[Dict[str, object]]:
+        """Events after ``index``; blocks up to ``timeout`` if none yet
+        (the SSE follow loop)."""
+        with self.condition:
+            if len(job.events) <= index:
+                self.condition.wait(timeout)
+            return list(job.events[index:])
+
+    def shutdown(self, cancel_running: bool = True) -> None:
+        with self._lock:
+            self._stopping = True
+            if cancel_running:
+                for job in self._jobs.values():
+                    if job.state in ("queued", "running"):
+                        job.cancel_event.set()
+        for _ in self._threads:
+            try:
+                self._queue.put_nowait(None)
+            except queue.Full:  # executors will still see _stopping
+                break
+        for thread in self._threads:
+            thread.join(timeout=10.0)
+
+    # ------------------------------------------------------------------
+    # executor side
+    # ------------------------------------------------------------------
+    def _worker(self) -> None:
+        while True:
+            job = self._queue.get()
+            if job is None:
+                return
+            with self._lock:
+                if job.state != "queued":  # cancelled while queued
+                    continue
+                if self._stopping:
+                    self._finish(job, "cancelled")
+                    continue
+                job.state = "running"
+                job.started_at = time.time()
+                self._append_event(job, {"type": "state", "state": "running"})
+            try:
+                result = self._execute(job)
+            except JobCancelled:
+                with self._lock:
+                    self._finish(job, "cancelled")
+            except Exception as exc:  # noqa: BLE001 - job isolation barrier
+                with self._lock:
+                    job.error = f"{type(exc).__name__}: {exc}"
+                    self._finish(job, "failed")
+            else:
+                with self._lock:
+                    job.result = result
+                    self._finish(job, "done")
+
+    def _execute(self, job: Job) -> Dict[str, object]:
+        if job.spec.kind in ("run", "sweep"):
+            return self._execute_grid(job)
+        return self._execute_render(job)
+
+    def _progress_sink(self, job: Job):
+        """The coordinator-local progress callback for ``job``'s grid.
+
+        Doubles as the cancellation point: raising here unwinds
+        ``run_grid`` after the in-flight cell was checkpointed."""
+        def progress(event: ProgressEvent) -> None:
+            if job.cancel_event.is_set():
+                raise JobCancelled(job.id)
+            with self._lock:
+                job.cells_done = event.done
+                job.cells_total = event.total
+                if event.restored:
+                    job.cells_restored += 1
+                else:
+                    job.cells_executed += 1
+                    job.events_per_sec = event.events_per_sec
+                for name, value in event.record.wire.items():
+                    job.wire[name] = job.wire.get(name, 0) + value
+                self._append_event(job, {"type": "progress",
+                                         **event.to_jsonable()})
+        return progress
+
+    def _execute_grid(self, job: Job) -> Dict[str, object]:
+        spec = job.spec.sweep_spec()
+        jobs = self.grid_jobs
+        if spec.shards > 1:
+            jobs = 1  # sharded cells own their worker processes
+        grid = run_grid(
+            spec.configs(), spec.seed_list(), spec.metrics(),
+            jobs=jobs,
+            progress=self._progress_sink(job),
+            checkpoint=job.checkpoint, resume=True, checkpoint_gc=True,
+            run_fn=cached_run if self.cache_results else None,
+        )
+        write_grid_csv(job.csv_path, grid)
+        return grid_result_jsonable(job.spec.kind, grid)
+
+    def _execute_render(self, job: Job) -> Dict[str, object]:
+        from repro.experiments import gridrun
+
+        params = job.spec.normalized()
+        registry = _render_registry(job.spec.kind)
+        fn = registry[params["id"]]
+        scale = _SCALES[params["scale"]] if params["scale"] else None
+        with _RENDER_LOCK:
+            # gridrun options are process-global; renders serialize so
+            # two figure jobs can't interleave configure() calls.
+            saved = vars(gridrun.current_options()).copy()
+            gridrun.configure(
+                jobs=self.grid_jobs,
+                checkpoint=job.checkpoint, resume=True, checkpoint_gc=True,
+                shards=params["shards"] or 0,
+                latency_floor=params["latency_floor"],
+                progress=self._progress_sink(job))
+            try:
+                rendered = fn(scale)
+            finally:
+                gridrun.configure(**saved)
+        write_result_csv(job.csv_path, rendered)
+        return {
+            "kind": job.spec.kind,
+            "id": params["id"],
+            "scale": params["scale"],
+            "render": rendered.render(),
+            "headers": list(rendered.headers),
+            "rows": [list(row) for row in rendered.rows],
+        }
+
+    # ------------------------------------------------------------------
+    # internals (call with the lock held)
+    # ------------------------------------------------------------------
+    def _append_event(self, job: Job, event: Dict[str, object]) -> None:
+        event = dict(event)
+        event["job"] = job.id
+        event["seq"] = len(job.events)
+        job.events.append(event)
+        self.condition.notify_all()
+
+    def _finish(self, job: Job, state: str) -> None:
+        job.state = state
+        job.finished_at = time.time()
+        self._append_event(job, {"type": "state", "state": state,
+                                 "error": job.error})
+
+
+#: Figure/table/ablation renders mutate process-global gridrun options.
+_RENDER_LOCK = threading.Lock()
+
+
+def grid_result_jsonable(kind: str, grid) -> Dict[str, object]:
+    """A GridResult as result JSON: the deterministic content (render
+    text, per-record values) plus a clearly-separated ``timing`` block
+    for the measured parts."""
+    wire: Dict[str, int] = {}
+    for record in grid.records:
+        for name, value in record.wire.items():
+            wire[name] = wire.get(name, 0) + value
+    return {
+        "kind": kind,
+        "render": grid.render(),
+        "metric_names": list(grid.metric_names),
+        "scenarios": [config.name for config in grid.configs],
+        "seeds": list(grid.seeds),
+        "records": [record.to_jsonable() for record in grid.records],
+        "wire": wire,
+        "timing": {"wall_time": grid.wall_time, "jobs": grid.jobs},
+    }

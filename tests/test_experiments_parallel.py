@@ -64,7 +64,7 @@ class TestGridShape:
     def test_progress_called_once_per_cell(self):
         calls = []
         run_grid(tiny_config(), seeds=[1, 2, 3], metrics=METRICS,
-                 progress=lambda done, total, rec: calls.append((done, total)))
+                 progress=lambda event: calls.append((event.done, event.total)))
         assert calls == [(1, 3), (2, 3), (3, 3)]
 
     def test_records_are_picklable(self):
@@ -346,5 +346,145 @@ class TestCheckpoint:
         seen = []
         run_grid(tiny_config(), seeds=[1, 2], metrics=METRICS,
                  checkpoint=path, resume=True,
-                 progress=lambda done, total, rec: seen.append((done, total)))
-        assert seen == [(1, 2), (2, 2)]
+                 progress=lambda event: seen.append((event.done, event.total,
+                                                     event.restored)))
+        assert seen == [(1, 2, True), (2, 2, False)]
+
+    def test_resume_after_torn_tail_repairs_checkpoint_file(self, tmp_path):
+        """The glue regression: resuming appends to the checkpoint, so a
+        torn tail must be truncated *on disk* first — otherwise the first
+        fresh record lands glued onto the partial line, manufacturing a
+        corrupt line in the middle of the file that poisons every later
+        resume."""
+        path = str(tmp_path / "grid.jsonl")
+        full = run_grid(tiny_config(), seeds=[1, 2], metrics=METRICS,
+                        checkpoint=path)
+        text = (tmp_path / "grid.jsonl").read_text()
+        lines = text.splitlines(keepends=True)
+        # Keep the header + record 0, then half of record 1 (killed
+        # mid-write).
+        (tmp_path / "grid.jsonl").write_text("".join(lines[:2])
+                                             + lines[2][:20])
+        with pytest.warns(RuntimeWarning, match="torn trailing line"):
+            resumed = run_grid(tiny_config(), seeds=[1, 2], metrics=METRICS,
+                               checkpoint=path, resume=True)
+        assert resumed.determinism_keys() == full.determinism_keys()
+        # The file now parses cleanly end to end: header + both records,
+        # no corrupt middle line — so it resumes again, warning-free.
+        from repro.metrics.export import read_jsonl
+
+        objects = read_jsonl(path)
+        assert sorted(obj["index"] for obj in objects[1:]) == [0, 1]
+        again = run_grid(tiny_config(), seeds=[1, 2], metrics=METRICS,
+                         checkpoint=path, resume=True)
+        assert again.determinism_keys() == full.determinism_keys()
+
+
+class TestProgressEvent:
+    """Satellite: the structured progress-event API every consumer
+    (CLI line, service SSE stream, tests) shares."""
+
+    def test_event_carries_cell_identity_and_counters(self):
+        from repro.workloads.scenario import scenario_key
+
+        config = tiny_config()
+        events = []
+        run_grid(config, seeds=[5], metrics=METRICS, progress=events.append)
+        (event,) = events
+        assert (event.done, event.total) == (1, 1)
+        assert event.restored is False
+        # The key names the *cell* — the config with the cell's seed.
+        assert event.cell_key == scenario_key(config.with_(seed=5))
+        assert event.record.seed == 5
+        assert event.record.metrics["delivery"] > 0
+        assert event.events_per_sec >= 0.0
+
+    def test_events_per_sec_guards_zero_wall_time(self):
+        record = RunRecord(scenario_index=0, scenario_name="x", seed_index=0,
+                           seed=1, metrics={}, events_executed=100,
+                           sim_end_time=1.0, wall_time=0.0)
+        event = parallel.ProgressEvent(done=1, total=1, record=record,
+                                       cell_key="k")
+        assert event.events_per_sec == 0.0
+
+    def test_to_jsonable_is_flat_and_serializable(self):
+        import json
+
+        events = []
+        run_grid(tiny_config(), seeds=[1], metrics=METRICS,
+                 progress=events.append)
+        payload = events[0].to_jsonable()
+        assert json.loads(json.dumps(payload)) == payload
+        for key in ("done", "total", "restored", "cell_key",
+                    "scenario_name", "seed", "events_executed",
+                    "events_per_sec", "metrics", "wire"):
+            assert key in payload
+
+
+class TestJsonlRepair:
+    """Satellite: crash-safe checkpoint appends — torn tails are
+    tolerated on read and (with ``repair=True``) truncated in place."""
+
+    def test_torn_tail_truncated_in_place(self, tmp_path):
+        from repro.metrics.export import read_jsonl
+
+        path = tmp_path / "x.jsonl"
+        path.write_text('{"a":1}\n{"a":2}\n{"a":3,"b"')
+        with pytest.warns(RuntimeWarning, match="torn trailing line"):
+            objects = read_jsonl(str(path), repair=True)
+        assert objects == [{"a": 1}, {"a": 2}]
+        assert path.read_text() == '{"a":1}\n{"a":2}\n'
+
+    def test_unterminated_valid_tail_gets_its_newline(self, tmp_path):
+        from repro.metrics.export import read_jsonl
+
+        path = tmp_path / "x.jsonl"
+        path.write_text('{"a":1}\n{"a":2}')  # record landed, "\n" did not
+        with pytest.warns(RuntimeWarning, match="missing its newline"):
+            objects = read_jsonl(str(path), repair=True)
+        assert objects == [{"a": 1}, {"a": 2}]  # the record is kept
+        assert path.read_text() == '{"a":1}\n{"a":2}\n'
+
+    def test_without_repair_file_is_left_untouched(self, tmp_path):
+        from repro.metrics.export import read_jsonl
+
+        path = tmp_path / "x.jsonl"
+        torn = '{"a":1}\n{"a":3,"b"'
+        path.write_text(torn)
+        assert read_jsonl(str(path)) == [{"a": 1}]
+        assert path.read_text() == torn
+
+    def test_corrupt_middle_line_still_raises(self, tmp_path):
+        import json as json_module
+
+        from repro.metrics.export import read_jsonl
+
+        path = tmp_path / "x.jsonl"
+        path.write_text('{"a":1}\nGARBAGE\n{"a":2}\n')
+        with pytest.raises(json_module.JSONDecodeError):
+            read_jsonl(str(path), repair=True)
+
+    def test_append_after_repair_keeps_every_line_parseable(self, tmp_path):
+        from repro.metrics.export import append_jsonl, read_jsonl
+
+        path = tmp_path / "x.jsonl"
+        path.write_text('{"a":1}\n{"a":2,"b"')
+        with pytest.warns(RuntimeWarning):
+            read_jsonl(str(path), repair=True)
+        with open(path, "a", encoding="utf-8") as fh:
+            append_jsonl(fh, {"a": 2})
+        assert read_jsonl(str(path)) == [{"a": 1}, {"a": 2}]
+
+    def test_append_jsonl_fsyncs_real_files_and_accepts_stringio(self,
+                                                                 tmp_path):
+        import io
+
+        from repro.metrics.export import append_jsonl, read_jsonl
+
+        path = tmp_path / "x.jsonl"
+        with open(path, "w", encoding="utf-8") as fh:
+            append_jsonl(fh, {"a": 1})  # fsync path: a real descriptor
+        assert read_jsonl(str(path)) == [{"a": 1}]
+        sink = io.StringIO()
+        append_jsonl(sink, {"a": 2})  # no fileno -> flush-only, no raise
+        assert sink.getvalue() == '{"a":2}\n'

@@ -120,7 +120,7 @@ class TestSummaryCoherence:
                    for p in ("heap", "standard")]
         first_spec = spec_lag_delivery(0.99)
         executed = []
-        progress = lambda done, total, record: executed.append(record)  # noqa: E731
+        progress = lambda event: executed.append(event.record)  # noqa: E731
         grid_summaries([(c, (first_spec,)) for c in configs], jobs=2,
                        start_method="fork", progress=progress)
         assert len(executed) == 2
@@ -142,7 +142,7 @@ class TestSummaryCoherence:
         configs = [scenario_at(TINY, protocol=p, distribution=REF_691)
                    for p in ("heap", "standard")]
         executed = []
-        progress = lambda done, total, record: executed.append(record)  # noqa: E731
+        progress = lambda event: executed.append(event.record)  # noqa: E731
         grid_summaries([(c, (spec_lag_delivery(0.99),)) for c in configs],
                        jobs=2, start_method="fork", progress=progress,
                        bundle=False)

@@ -1,0 +1,285 @@
+"""End-to-end tests of the experiment service control plane.
+
+The contract under test: a job submitted over HTTP is the *same
+experiment* as the equivalent CLI invocation — identical result render,
+identical CSV artifact (the measured ``wall_time_s`` column excepted) —
+and the service adds job semantics on top: monotonic SSE progress,
+cooperative cancel, and resume-from-checkpoint when the same spec is
+resubmitted.  Every test binds an ephemeral port (``port=0``) so the
+suite is hermetic.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.service import ExperimentService, JobManager
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.jobs import JobSpec, QueueFullError
+
+#: The smoke grid: 1 protocol x 2 seeds of a tiny scenario.
+SWEEP = {"protocols": ["heap"], "nodes": 10, "seconds": 2.0, "drain": 4.0,
+         "num_seeds": 2}
+SWEEP_ARGV = ["sweep", "--protocols", "heap", "--nodes", "10",
+              "--seconds", "2", "--drain", "4", "--num-seeds", "2",
+              "--quiet"]
+
+#: A 4-cell grid for the cancel/resume scenario.
+RESUME = {"protocols": ["heap", "standard"], "nodes": 10, "seconds": 2.0,
+          "drain": 4.0, "num_seeds": 2}
+RESUME_ARGV = ["sweep", "--protocols", "heap,standard", "--nodes", "10",
+               "--seconds", "2", "--drain", "4", "--num-seeds", "2",
+               "--quiet"]
+
+
+@pytest.fixture()
+def service(tmp_path):
+    manager = JobManager(checkpoint_dir=str(tmp_path / "service"),
+                         executors=1)
+    svc = ExperimentService(manager, port=0)
+    svc.serve_background()
+    try:
+        yield svc
+    finally:
+        svc.close()
+
+
+@pytest.fixture()
+def client(service):
+    return ServiceClient(service.url, timeout=60.0)
+
+
+def strip_wall_time(csv_text: str):
+    """CSV rows without the measured ``wall_time_s`` (last) column."""
+    rows = csv_text.strip().splitlines()
+    assert rows[0].endswith(",wall_time_s")
+    return [row.rsplit(",", 1)[0] for row in rows]
+
+
+class TestSubmitPollResult:
+    def test_http_sweep_matches_cli_byte_for_byte(self, client, tmp_path,
+                                                  capsys):
+        job_id = client.submit("sweep", SWEEP)["job"]["id"]
+        job = client.wait(job_id, timeout=300)
+        assert job["state"] == "done"
+        assert job["cells"] == {"done": 2, "total": 2, "executed": 2,
+                                "restored": 0}
+        result = client.result(job_id)["result"]
+
+        cli_csv = tmp_path / "cli.csv"
+        assert main(SWEEP_ARGV + ["--csv", str(cli_csv)]) == 0
+        cli_render = capsys.readouterr().out
+        assert result["render"] + "\n" == cli_render
+        assert (strip_wall_time(client.csv(job_id))
+                == strip_wall_time(cli_csv.read_text()))
+
+    def test_result_json_structure(self, client):
+        job_id = client.submit("sweep", SWEEP)["job"]["id"]
+        client.wait(job_id, timeout=300)
+        result = client.result(job_id)["result"]
+        assert result["scenarios"] == ["heap"]
+        assert result["seeds"] == [1, 2]
+        assert len(result["records"]) == 2
+        assert "delivery" in result["metric_names"]
+        # Measured values live in their own clearly-flagged block.
+        assert set(result["timing"]) == {"wall_time", "jobs"}
+
+    def test_render_job_matches_cli(self, client, capsys):
+        job_id = client.submit("table", {"id": "table1"})["job"]["id"]
+        job = client.wait(job_id, timeout=300)
+        assert job["state"] == "done"
+        result = client.result(job_id)["result"]
+        assert main(["table", "table1"]) == 0
+        assert result["render"] + "\n" == capsys.readouterr().out
+
+
+class TestSseStream:
+    def test_progress_is_monotonic_and_ends_terminal(self, client):
+        job_id = client.submit("sweep", SWEEP)["job"]["id"]
+        events = list(client.events(job_id))
+        assert events, "stream must replay at least the queued event"
+        dones = [e["done"] for e in events if e["type"] == "progress"]
+        assert dones == sorted(dones) == [1, 2]
+        last = events[-1]
+        assert (last["type"], last["state"]) == ("state", "done")
+        # seq numbers the replayed log: strictly increasing from 0.
+        assert [e["seq"] for e in events] == list(range(len(events)))
+
+    def test_progress_events_carry_throughput_and_cell_identity(self, client):
+        job_id = client.submit("sweep", SWEEP)["job"]["id"]
+        progress = [e for e in client.events(job_id)
+                    if e["type"] == "progress"]
+        for event in progress:
+            assert event["job"] == job_id
+            assert event["cell_key"]
+            assert event["events_executed"] > 0
+            assert event["events_per_sec"] > 0
+            assert event["scenario_name"] == "heap"
+            assert event["restored"] is False
+
+
+class TestCancelResume:
+    def test_cancel_then_resubmit_resumes_from_checkpoint(self, client,
+                                                          tmp_path, capsys):
+        job_id = client.submit("sweep", RESUME)["job"]["id"]
+        # Cancel as soon as the first cell lands; the executor notices at
+        # the next finished cell, so at least one — but not all — cells
+        # are checkpointed.
+        for event in client.events(job_id):
+            if event["type"] == "progress":
+                client.cancel(job_id)
+        first = client.wait(job_id, timeout=300)
+        assert first["state"] == "cancelled"
+        assert 1 <= first["cells"]["executed"] < first["cells"]["total"]
+
+        resubmitted = client.submit("sweep", RESUME)
+        assert resubmitted["created"] is True  # a new job, same fingerprint
+        second_id = resubmitted["job"]["id"]
+        assert second_id != job_id
+        second = client.wait(second_id, timeout=300)
+        assert second["state"] == "done"
+        # The resume accounting: cancelled work was not redone.
+        assert second["cells"]["restored"] >= 1
+        assert second["cells"]["executed"] < second["cells"]["total"]
+        assert (second["cells"]["executed"] + second["cells"]["restored"]
+                == second["cells"]["total"])
+
+        # Identical final summary to an uninterrupted CLI run.
+        result = client.result(second_id)["result"]
+        assert main(RESUME_ARGV) == 0
+        assert result["render"] + "\n" == capsys.readouterr().out
+
+    def test_cancel_queued_job_is_immediate(self, client):
+        # executors=1: the first job occupies the executor, the second
+        # waits in the queue and must cancel without ever running.
+        running = client.submit("sweep", RESUME)["job"]["id"]
+        queued = client.submit("sweep", SWEEP)["job"]["id"]
+        cancelled = client.cancel(queued)
+        assert cancelled["state"] == "cancelled"
+        assert client.job(queued)["started_at"] is None
+        client.cancel(running)
+        client.wait(running, timeout=300)
+
+
+class TestCoalescing:
+    def test_identical_active_spec_joins_existing_job(self, client):
+        first = client.submit("sweep", RESUME)
+        # Same spec while queued/running: no second execution.
+        second = client.submit("sweep", RESUME)
+        assert second["created"] is False
+        assert second["job"]["id"] == first["job"]["id"]
+        # A different spec is its own job.
+        other = client.submit("sweep", SWEEP)
+        assert other["job"]["id"] != first["job"]["id"]
+        client.cancel(first["job"]["id"])
+        client.wait(first["job"]["id"], timeout=300)
+        client.wait(other["job"]["id"], timeout=300)
+
+
+class TestCatalogEndpoint:
+    def test_matches_cli_attacks_json(self, client, capsys):
+        assert main(["attacks", "--list", "--format", "json"]) == 0
+        cli_payload = json.loads(capsys.readouterr().out)
+        assert client.catalog_attacks() == cli_payload
+
+    def test_catalog_schema(self, client):
+        payload = client.catalog_attacks()
+        assert set(payload) == {"attacks", "victim_policies", "roles",
+                                "usage"}
+        names = [entry["name"] for entry in payload["attacks"]]
+        assert names == sorted(names)
+        assert "spam" in names and "withhold" in names
+        for entry in payload["attacks"]:
+            assert set(entry) == {"name", "role", "channel", "detection",
+                                  "default_param", "param_doc",
+                                  "requires_membership", "impl"}
+            assert entry["role"] in payload["roles"]
+        assert "random" in payload["victim_policies"]
+
+
+class TestErrorPaths:
+    def test_unknown_job_is_404(self, client):
+        with pytest.raises(ServiceError) as exc:
+            client.job("j9999")
+        assert exc.value.status == 404
+
+    def test_result_before_done_is_409(self, client):
+        # A cancelled-while-queued job is terminal but not done.
+        running = client.submit("sweep", RESUME)["job"]["id"]
+        queued = client.submit("sweep", SWEEP)["job"]["id"]
+        client.cancel(queued)
+        with pytest.raises(ServiceError) as exc:
+            client.result(queued)
+        assert exc.value.status == 409
+        client.cancel(running)
+        client.wait(running, timeout=300)
+
+    def test_invalid_specs_are_400(self, client):
+        for kind, params in (
+                ("frobnicate", {}),
+                ("sweep", {"protocols": ["no-such-protocol"]}),
+                ("sweep", {"frobnicate": 1}),
+                ("run", {"num_seeds": 3}),  # a run is a single cell
+                ("figure", {"id": "no-such-figure"}),
+                ("table", {"id": "table1", "scale": "no-such-scale"}),
+        ):
+            with pytest.raises(ServiceError) as exc:
+                client.submit(kind, params)
+            assert exc.value.status == 400, (kind, params)
+
+    def test_health_endpoint(self, client):
+        health = client.health()
+        assert health["status"] == "ok"
+        assert set(health["jobs"]) == {"queued", "running", "done",
+                                       "failed", "cancelled"}
+
+
+class TestJobSpec:
+    """Unit coverage of the spec/fingerprint layer (no HTTP)."""
+
+    def test_run_and_equivalent_sweep_share_a_fingerprint(self):
+        run = JobSpec("run", {"protocols": ["heap"], "nodes": 10,
+                              "seconds": 2.0, "drain": 4.0})
+        sweep = JobSpec("sweep", {"protocols": ["heap"], "nodes": 10,
+                                  "seconds": 2.0, "drain": 4.0,
+                                  "num_seeds": 1})
+        assert run.fingerprint() == sweep.fingerprint()
+
+    def test_execution_knobs_do_not_change_the_fingerprint(self):
+        a = JobSpec("sweep", {"protocols": "heap", "nodes": 10,
+                              "seconds": 2.0, "drain": 4.0})
+        b = JobSpec("sweep", {"protocols": ["heap"], "nodes": 10,
+                              "seconds": 2.0, "drain": 4.0})
+        assert a.fingerprint() == b.fingerprint()  # list/CSV normalize
+        c = JobSpec("sweep", {"protocols": ["heap"], "nodes": 20,
+                              "seconds": 2.0, "drain": 4.0})
+        assert c.fingerprint() != a.fingerprint()
+
+    def test_unknown_parameters_raise(self):
+        with pytest.raises(ValueError, match="unknown sweep parameter"):
+            JobSpec("sweep", {"frobnicate": 1}).normalized()
+        with pytest.raises(ValueError, match="unknown job kind"):
+            JobSpec("frobnicate", {}).normalized()
+        with pytest.raises(ValueError, match="unknown figure id"):
+            JobSpec("figure", {"id": "nope"}).normalized()
+
+
+class TestQueueBounds:
+    def test_full_queue_rejects_with_queue_full_error(self, tmp_path):
+        manager = JobManager(checkpoint_dir=str(tmp_path / "svc"),
+                             executors=1, queue_size=1)
+        try:
+            first, _ = manager.submit("sweep", RESUME)
+            # Wait until the executor has dequeued the first job, so the
+            # queue slot is deterministically free for the second.
+            for _ in range(600):
+                if first.state != "queued":
+                    break
+                manager.events_since(first, 1, timeout=0.1)
+            assert first.state == "running"
+            manager.submit("sweep", SWEEP)  # fills the single slot
+            with pytest.raises(QueueFullError):
+                manager.submit("sweep", dict(SWEEP, nodes=12))
+        finally:
+            manager.shutdown(cancel_running=True)
