@@ -117,6 +117,28 @@ def _adversary_from_args(args):
                            victim_policy=args.victim_policy)
 
 
+def _fault_plan_from_args(args):
+    """The parsed :class:`FaultPlan` the ``--faults`` flag describes,
+    or None.  Raises ValueError on bad clause syntax."""
+    if not getattr(args, "faults", None):
+        return None
+    from repro.faults import FaultPlan
+
+    return FaultPlan.parse(args.faults)
+
+
+def _shard_supervision_from_args(args):
+    """Install the ``--barrier-timeout`` / ``--shard-restarts`` flags as
+    the process-wide shard supervision; returns the previous value so
+    callers can restore it (the CLI is normally one-shot, but tests call
+    :func:`main` repeatedly in one process)."""
+    from repro.faults import ShardSupervision, set_default_shard_supervision
+
+    return set_default_shard_supervision(ShardSupervision(
+        restarts=args.shard_restarts,
+        barrier_timeout=args.barrier_timeout))
+
+
 def _cmd_run(args) -> int:
     churn = None
     if args.churn_fraction > 0:
@@ -131,6 +153,7 @@ def _cmd_run(args) -> int:
             loss_rng = "per-pair"
     try:
         adversary = _adversary_from_args(args)
+        faults = _fault_plan_from_args(args)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -153,13 +176,29 @@ def _cmd_run(args) -> int:
         loss_rng=loss_rng if loss_rng is not None else "shared",
         latency_floor=args.latency_floor,
         shards=args.shards,
+        faults=faults,
     )
     try:
         config.validate()
+        if faults is not None and (faults.has_cell_faults
+                                   or faults.torn_checkpoint is not None):
+            raise ValueError(
+                "crash-cell/stall-cell/torn-checkpoint faults target sweep "
+                "grid cells; `run` only takes shard faults "
+                "(shard-exit/shard-stall/drop-wire)")
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    result = run_scenario(config)
+    from repro.faults import ShardFailure, set_default_shard_supervision
+
+    previous = _shard_supervision_from_args(args)
+    try:
+        result = run_scenario(config)
+    except ShardFailure as exc:
+        print(f"error: {exc} (restart budget exhausted)", file=sys.stderr)
+        return 1
+    finally:
+        set_default_shard_supervision(previous)
     print(f"{args.protocol} | {args.nodes} nodes | {args.seconds:g}s stream | "
           f"{args.distribution} | seed {args.seed}")
     print(f"events: {result.sim.events_executed:,}")
@@ -231,6 +270,7 @@ def _sweep_spec_from_args(args):
         "latency_rng": args.latency_rng,
         "loss_rng": args.loss_rng,
         "latency_floor": args.latency_floor,
+        "faults": args.faults,
     })
 
 
@@ -267,14 +307,36 @@ def _cmd_sweep(args) -> int:
                   file=sys.stderr, end="", flush=True)
 
     checkpoint = _checkpoint_path(args, "sweep", args.distribution)
+    from repro.faults import (ShardFailure, SupervisionPolicy,
+                              set_default_shard_supervision)
+
+    supervision = SupervisionPolicy(cell_retries=args.cell_retries)
+    previous = _shard_supervision_from_args(args)
     try:
         grid = run_grid(configs, seeds, spec.metrics(), jobs=jobs,
                         progress=progress,
                         checkpoint=checkpoint, resume=args.resume,
-                        checkpoint_gc=_managed_checkpoint(args))
+                        checkpoint_gc=_managed_checkpoint(args),
+                        faults=spec.fault_plan(), supervision=supervision)
     except CheckpointError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except ValueError as exc:
+        # e.g. a fault plan the execution mode cannot host
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except ShardFailure as exc:
+        print(f"error: {exc} (restart budget exhausted)", file=sys.stderr)
+        return 1
+    finally:
+        set_default_shard_supervision(previous)
+    if grid.cell_retries:
+        # Pinned phrasing: the CI chaos-smoke job greps for it.
+        print(f"supervision: recovered {grid.cell_retries} lost cell "
+              f"attempt(s)", file=sys.stderr)
+    if grid.failures:
+        print(f"supervision: quarantined {len(grid.failures)} cell(s) "
+              f"after exhausting retries", file=sys.stderr)
     if not args.quiet:
         print(file=sys.stderr)
         print(f"grid of {len(configs)} scenario(s) x {len(seeds)} seed(s) "
@@ -427,7 +489,9 @@ def _cmd_serve(args) -> int:
     manager = JobManager(checkpoint_dir=args.checkpoint_dir,
                          executors=args.jobs,
                          queue_size=args.queue_size,
-                         grid_jobs=args.grid_jobs)
+                         grid_jobs=args.grid_jobs,
+                         job_ttl=args.job_ttl,
+                         job_timeout=args.job_timeout)
     service = ExperimentService(manager, host=args.host, port=args.port,
                                 quiet=args.quiet)
     print(f"repro service on {service.url} "
@@ -450,7 +514,7 @@ def _submit_params(args) -> Dict[str, object]:
     names = ("protocols", "nodes", "seconds", "drain", "distribution",
              "loss", "seeds", "base_seed", "num_seeds", "attacks",
              "attack_params", "victim_policy", "shards", "latency_rng",
-             "loss_rng", "latency_floor")
+             "loss_rng", "latency_floor", "faults")
     params: Dict[str, object] = {
         name: getattr(args, name) for name in names
         if getattr(args, name) is not None}
@@ -619,6 +683,34 @@ def _add_shard_args(parser) -> None:
                              "(default 0.002)")
 
 
+def _add_fault_args(parser, cell_retries: bool = False) -> None:
+    """Chaos-testing knobs shared by ``run`` and ``sweep``."""
+    parser.add_argument("--faults", default=None, metavar="CLAUSE,...",
+                        help="deterministic fault injection: comma-"
+                             "separated clauses (crash-cell=K[xN], "
+                             "stall-cell=K:SECS, shard-exit=S@W, "
+                             "shard-stall=S@W:SECS, drop-wire=S@W, "
+                             "torn-checkpoint=N); recovered runs are "
+                             "byte-identical to clean ones")
+    parser.add_argument("--barrier-timeout", type=float, default=None,
+                        metavar="SECS",
+                        help="shard window-barrier deadline: a shard "
+                             "that sends nothing for SECS fails the "
+                             "scenario with a structured ShardFailure "
+                             "instead of deadlocking (default: no "
+                             "deadline, crash detection only)")
+    parser.add_argument("--shard-restarts", type=int, default=1,
+                        help="times a scenario that lost a shard is "
+                             "restarted before the ShardFailure "
+                             "propagates (default 1)")
+    if cell_retries:
+        parser.add_argument("--cell-retries", type=int, default=2,
+                            help="times a grid cell lost to a worker "
+                                 "crash is retried on a fresh worker "
+                                 "before being quarantined as a "
+                                 "CellFailure (default 2)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="HEAP (Heterogeneous Gossip) reproduction")
@@ -646,6 +738,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--churn-time", type=float, default=60.0)
     _add_attack_args(run_parser)
     _add_shard_args(run_parser)
+    _add_fault_args(run_parser)
 
     sweep_parser = sub.add_parser(
         "sweep", help="run a protocol x seed grid (parallel with --jobs)")
@@ -686,6 +779,7 @@ def build_parser() -> argparse.ArgumentParser:
                                    "columns in attack sweeps)")
     _add_attack_args(sweep_parser)
     _add_shard_args(sweep_parser)
+    _add_fault_args(sweep_parser, cell_retries=True)
 
     for command, registry in (("figure", FIGURES), ("table", TABLES),
                               ("ablation", ABLATIONS),
@@ -755,6 +849,20 @@ def build_parser() -> argparse.ArgumentParser:
                               help="managed checkpoints + CSV artifacts; "
                                    "cancelled/crashed jobs resubmitted "
                                    "with the same spec resume from here")
+    serve_parser.add_argument("--job-ttl", type=float, default=None,
+                              metavar="SECS",
+                              help="evict terminal jobs (and their SSE "
+                                   "buffers and CSV artifacts — not "
+                                   "their checkpoints) SECS after they "
+                                   "finish; evicted ids answer 404 with "
+                                   "the eviction reason (default: keep "
+                                   "forever)")
+    serve_parser.add_argument("--job-timeout", type=float, default=None,
+                              metavar="SECS",
+                              help="watchdog: a running job that makes "
+                                   "no progress for SECS is failed and "
+                                   "its executor slot freed (default: "
+                                   "no watchdog)")
     serve_parser.add_argument("--quiet", action="store_true",
                               help="suppress per-request access logs")
 
@@ -800,6 +908,10 @@ def build_parser() -> argparse.ArgumentParser:
     submit_parser.add_argument("--loss-rng",
                                choices=("shared", "per-pair"), default=None)
     submit_parser.add_argument("--latency-floor", type=float, default=None)
+    submit_parser.add_argument("--faults", default=None,
+                               metavar="CLAUSE,...",
+                               help="deterministic fault injection "
+                                    "clauses (see `sweep --faults`)")
 
     status_parser = sub.add_parser(
         "status", help="list service jobs, or show one job's status")

@@ -88,6 +88,13 @@ class GridOptions:
     #: lookahead, so raising it cuts window barriers; None keeps each
     #: scenario's own value.
     latency_floor: Optional[float] = None
+    #: Deterministic fault plan (``repro.faults.FaultPlan``) injected
+    #: into the next grid call (CLI ``--faults``; chaos testing).
+    faults: Optional[object] = None
+    #: Pool supervision policy (``repro.faults.SupervisionPolicy``):
+    #: cell retry budget, backoff, per-attempt timeout.  None uses the
+    #: policy defaults.
+    supervision: Optional[object] = None
 
 
 _OPTIONS = GridOptions()
@@ -237,8 +244,11 @@ def grid_summaries(cells: Sequence[Cell], *,
                         summaries=[specs for _, _, specs in to_run],
                         checkpoint=checkpoint, resume=resume,
                         checkpoint_gc=opts.checkpoint_gc,
-                        run_fn=cached_run)
+                        run_fn=cached_run,
+                        faults=opts.faults, supervision=opts.supervision)
         for (key, _, _), record in zip(to_run, grid.records):
+            if record is None:  # quarantined by fault supervision
+                continue
             for name, value in record.summaries.items():
                 _SUMMARY_CACHE[(key, name)] = value
 

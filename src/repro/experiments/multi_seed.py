@@ -39,11 +39,13 @@ class AggregatedMetric:
 
     @property
     def min(self) -> float:
-        return min(self.values)
+        # nan, not ValueError, when every seed of a scenario was
+        # quarantined by fault supervision (values can then be empty).
+        return min(self.values) if self.values else float("nan")
 
     @property
     def max(self) -> float:
-        return max(self.values)
+        return max(self.values) if self.values else float("nan")
 
     def summary(self) -> str:
         return (f"{self.name}: {self.mean:.3f} +- {self.stdev:.3f} "

@@ -58,6 +58,11 @@ from dataclasses import dataclass, field
 from typing import (Callable, Dict, List, Optional, Sequence, Tuple)
 
 from repro.experiments.runner import ExperimentResult, run_scenario
+from repro.faults.failures import (CellFailure, TornCheckpointInjected,
+                                   render_failures)
+from repro.faults.inject import apply_cell_fault
+from repro.faults.policy import SupervisionPolicy
+from repro.faults.pool import SupervisedPool
 from repro.metrics.export import append_jsonl, read_jsonl
 from repro.metrics.summary import MetricSpec, summarize
 from repro.workloads.scenario import ScenarioConfig, scenario_key
@@ -205,17 +210,28 @@ class GridResult:
 
     def __init__(self, configs: Sequence[ScenarioConfig], seeds: Sequence,
                  metric_names: Sequence[str], records: List[RunRecord],
-                 jobs: int, wall_time: float):
+                 jobs: int, wall_time: float,
+                 failures: Sequence[CellFailure] = (),
+                 cell_retries: int = 0):
         self.configs = list(configs)
         #: ``[None]`` marks an own-seed grid (each config ran under its
         #: embedded ``config.seed``; shape is scenarios × 1).
         self.seeds = list(seeds)
         self.metric_names = list(metric_names)
         #: Scenario-major, seed-minor — independent of completion order.
+        #: A quarantined poison cell leaves ``None`` at its position (see
+        #: ``failures``); every aggregation below tolerates that hole.
         self.records = records
         self.jobs = jobs
         #: Total wall-clock seconds for the whole grid (not deterministic).
         self.wall_time = wall_time
+        #: Structured records of cells whose workers kept dying after the
+        #: retry budget — the degraded-result contract: the sweep
+        #: completed everything else and reports the holes here.
+        self.failures: Tuple[CellFailure, ...] = tuple(failures)
+        #: Worker-crash/stall retry attempts supervision recovered from
+        #: (0 on a clean run; not deterministic — recovery evidence).
+        self.cell_retries = cell_retries
 
     def records_for(self, scenario_index: int) -> List[RunRecord]:
         n = len(self.seeds)
@@ -225,7 +241,7 @@ class GridResult:
     def aggregated_for(self, scenario_index: int):
         """Per-metric aggregation for one scenario: name -> AggregatedMetric."""
         from repro.experiments.multi_seed import AggregatedMetric
-        records = self.records_for(scenario_index)
+        records = [r for r in self.records_for(scenario_index) if r is not None]
         return {name: AggregatedMetric(name, [r.metrics[name] for r in records])
                 for name in self.metric_names}
 
@@ -235,16 +251,23 @@ class GridResult:
                 for i, config in enumerate(self.configs)]
 
     def determinism_keys(self) -> List[tuple]:
-        return [record.determinism_key() for record in self.records]
+        return [record.determinism_key() for record in self.records
+                if record is not None]
 
     def summary_keys(self) -> List[str]:
-        return [record.summary_key() for record in self.records]
+        return [record.summary_key() for record in self.records
+                if record is not None]
 
     def render(self) -> str:
-        """Deterministic text summary (identical for any ``jobs`` value)."""
+        """Deterministic text summary (identical for any ``jobs`` value).
+
+        A faulted-but-recovered run renders byte-identically to a clean
+        one: the failure block only appears when cells were actually
+        quarantined.
+        """
         lines = []
         for i, config in enumerate(self.configs):
-            seeds = ([r.seed for r in self.records_for(i)]
+            seeds = ([r.seed for r in self.records_for(i) if r is not None]
                      if self.seeds == [None] else list(self.seeds))
             label = config.name if len(self.configs) == 1 else f"[{i}] {config.name}"
             lines.append(f"{label}: protocol={config.protocol} "
@@ -252,6 +275,7 @@ class GridResult:
                          f"seeds={seeds}")
             for name, agg in self.aggregated_for(i).items():
                 lines.append("  " + agg.summary())
+        lines.extend(render_failures(self.failures))
         return "\n".join(lines)
 
 
@@ -424,6 +448,8 @@ def run_grid(configs, seeds: Optional[Sequence[int]],
              resume: bool = False,
              checkpoint_gc: bool = False,
              run_fn: Optional[Callable[[ScenarioConfig], ExperimentResult]] = None,
+             faults=None,
+             supervision: Optional[SupervisionPolicy] = None,
              ) -> GridResult:
     """Run every ``config`` under every seed and collect compact records.
 
@@ -454,12 +480,28 @@ def run_grid(configs, seeds: Optional[Sequence[int]],
     ``cached_run`` there to share results process-wide).  Results are
     merged in grid order, so the outcome is bit-identical for any
     ``jobs`` value — only the wall time changes.
+
+    ``faults`` takes a :class:`~repro.faults.plan.FaultPlan` whose cell
+    and checkpoint clauses are injected deterministically (shard clauses
+    travel on the configs instead); ``supervision`` tunes the pool's
+    :class:`~repro.faults.policy.SupervisionPolicy` (retry budget,
+    backoff, per-attempt timeout).  A crashed or wedged worker costs a
+    retry, never the sweep: a cell that out-dies its budget becomes a
+    structured :class:`~repro.faults.failures.CellFailure` on the result
+    while every other cell completes.
     """
     if isinstance(configs, ScenarioConfig):
         configs = [configs]
     configs = list(configs)
     if not configs:
         raise ValueError("need at least one scenario config")
+    if faults is not None:
+        fault_errors = faults.violations()
+        if fault_errors:
+            raise ValueError("; ".join(fault_errors))
+        if faults.torn_checkpoint is not None and checkpoint is None:
+            raise ValueError("torn-checkpoint fault injection needs "
+                             "checkpoint= (there is no file to tear)")
     if seeds is not None:
         seeds = list(seeds)
         if not seeds:
@@ -528,14 +570,23 @@ def run_grid(configs, seeds: Optional[Sequence[int]],
                     restored=True))
 
     pending = [p for p in payloads if records[p[0]] is None]
+    failures: List[CellFailure] = []
+    cell_retries = 0
+    fresh_appends = 0
 
     def finish(index: int, record: RunRecord) -> None:
-        nonlocal done
+        nonlocal done, fresh_appends
         records[index] = record
         done += 1
         if checkpoint_fh is not None:
             append_jsonl(checkpoint_fh,
                          {"index": index, "record": record.to_jsonable()})
+            fresh_appends += 1
+            if (faults is not None
+                    and faults.torn_checkpoint == fresh_appends):
+                checkpoint_fh.flush()
+                _tear_checkpoint_tail(checkpoint)
+                raise TornCheckpointInjected(checkpoint, index)
         if progress is not None:
             progress(ProgressEvent(done=done, total=total, record=record,
                                    cell_key=scenario_key(payloads[index][4])))
@@ -547,8 +598,14 @@ def run_grid(configs, seeds: Optional[Sequence[int]],
     # not — grid- and intra-scenario parallelism don't compose, so the
     # explicit shard request wins and the grid runs serially.
     sharded_cells = any(p[4].shards > 1 for p in pending)
+    crash_faults = faults is not None and faults.has_pool_faults
     serial = (jobs <= 1 or len(pending) <= 1 or sharded_cells
-              or (start_method is None and _available_cpus() <= 1))
+              or (start_method is None and not crash_faults
+                  and _available_cpus() <= 1))
+    if crash_faults and serial:
+        raise ValueError(
+            "worker-crash fault injection needs a worker pool: pass "
+            "jobs > 1 on an unsharded grid with 2+ pending cells")
     try:
         if serial:
             for payload in pending:
@@ -557,6 +614,12 @@ def run_grid(configs, seeds: Optional[Sequence[int]],
                 # churn objects get a fresh copy per run here too.
                 config = pickle.loads(pickle.dumps(payload[4]))
                 payload = payload[:4] + (config,) + payload[5:]
+                if faults is not None:
+                    # Only stall faults reach the serial path (crash
+                    # faults required the pool above): the cell simply
+                    # runs late, which is what per-attempt timeouts and
+                    # the service watchdog are supervised against.
+                    apply_cell_fault(faults.cell_fault(payload[0], 0))
                 index, record = _run_cell(payload, run_fn or run_scenario)
                 finish(index, record)
         else:
@@ -567,10 +630,24 @@ def run_grid(configs, seeds: Optional[Sequence[int]],
                 _check_spawn_importable(metric_items, specs_by_scenario)
             ctx = multiprocessing.get_context(method)
             workers = min(jobs, len(pending))
-            with ctx.Pool(processes=workers) as pool:
-                for index, record in pool.imap_unordered(_execute, pending,
-                                                         chunksize=1):
-                    finish(index, record)
+            policy = supervision if supervision is not None else SupervisionPolicy()
+            payload_by_index = {p[0]: p for p in pending}
+            fault_for = faults.cell_fault if faults is not None else None
+            with SupervisedPool(ctx, workers, _execute, policy=policy) as pool:
+                for outcome in pool.run([(p[0], p) for p in pending],
+                                        fault_for=fault_for):
+                    if outcome[0] == "ok":
+                        index, record = outcome[2]
+                        finish(index, record)
+                    else:
+                        _tag, key, kind, attempts, message = outcome
+                        payload = payload_by_index[key]
+                        failures.append(CellFailure(
+                            index=key, scenario_index=payload[1],
+                            scenario_name=payload[2], seed_index=payload[3],
+                            seed=payload[4].seed, kind=kind,
+                            attempts=attempts, message=message))
+                cell_retries = pool.retries
     finally:
         if checkpoint_fh is not None:
             checkpoint_fh.close()
@@ -584,4 +661,21 @@ def run_grid(configs, seeds: Optional[Sequence[int]],
             pass
     wall = time.perf_counter() - started
     return GridResult(configs, seeds if seeds is not None else [None],
-                      metric_names, records, jobs, wall)
+                      metric_names, records, jobs, wall,
+                      failures=failures, cell_retries=cell_retries)
+
+
+def _tear_checkpoint_tail(path: str) -> None:
+    """Truncate the checkpoint mid-way through its last line.
+
+    This is the torn-checkpoint-write fault: the file ends exactly the
+    way it would if the writing process had been killed inside a
+    ``write`` — a partial JSON line with no trailing newline — which is
+    the damage ``read_jsonl(repair=True)`` must repair on resume.
+    """
+    with open(path, "rb") as fh:
+        data = fh.read()
+    line_start = data.rstrip(b"\n").rfind(b"\n") + 1
+    torn = line_start + max(1, (len(data) - line_start) // 2)
+    with open(path, "r+b") as fh:
+        fh.truncate(torn)

@@ -59,6 +59,12 @@ class SweepSpec:
     latency_rng: Optional[str] = None
     loss_rng: Optional[str] = None
     latency_floor: float = 0.002
+    #: ``FaultPlan.parse`` input (chaos testing).  An *execution
+    #: circumstance*, not an experiment parameter: recovered faulted
+    #: runs are byte-identical to clean ones, so the field is excluded
+    #: from :meth:`fingerprint` — a faulted resubmission finds the same
+    #: managed checkpoint as the clean spec.
+    faults: Optional[str] = None
 
     @classmethod
     def from_params(cls, params: Mapping) -> "SweepSpec":
@@ -95,6 +101,10 @@ class SweepSpec:
         if not self.seed_list():
             raise ValueError("no seeds given (check --num-seeds)")
         distribution_by_name(self.distribution)  # raises on unknown names
+        plan = self.fault_plan()  # raises on bad fault syntax
+        if plan is not None and plan.has_shard_faults and self.shards <= 1:
+            raise ValueError("shard fault injection (shard-exit/shard-stall/"
+                             "drop-wire) needs --shards > 1")
 
     def to_params(self) -> Dict[str, object]:
         """The normalized JSON mapping (tuples as lists), suitable for a
@@ -111,11 +121,16 @@ class SweepSpec:
     def fingerprint(self) -> str:
         """Stable identity of the workload (hex digest).
 
-        Derived from every normalized parameter, so the service can key
-        a managed checkpoint file by it: the same spec resubmitted after
-        a cancel or crash finds — and resumes — its own checkpoint.
+        Derived from every normalized parameter *except* ``faults``
+        (an execution circumstance — recovered faulted runs are
+        byte-identical to clean ones), so the service can key a managed
+        checkpoint file by it: the same spec resubmitted after a cancel
+        or crash — with or without injected faults — finds and resumes
+        its own checkpoint.
         """
-        blob = json.dumps(self.to_params(), sort_keys=True)
+        params = self.to_params()
+        params.pop("faults", None)
+        blob = json.dumps(params, sort_keys=True)
         return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
 
     # ------------------------------------------------------------------
@@ -136,6 +151,14 @@ class SweepSpec:
                                params_text=self.attack_params or "",
                                victim_policy=self.victim_policy)
 
+    def fault_plan(self):
+        """The parsed :class:`~repro.faults.FaultPlan`, or None."""
+        if not self.faults:
+            return None
+        from repro.faults import FaultPlan
+
+        return FaultPlan.parse(self.faults)
+
     def configs(self) -> List[ScenarioConfig]:
         """One validated ScenarioConfig per protocol — the exact configs
         ``repro sweep`` builds from the equivalent flags."""
@@ -147,6 +170,12 @@ class SweepSpec:
             if loss_rng is None:
                 loss_rng = "per-pair"
         adversary = self.adversary()
+        plan = self.fault_plan()
+        # Pool-level faults (crash-cell/stall-cell/torn-checkpoint) are
+        # applied by run_grid itself; only shard-level faults travel on
+        # the config into the sharded scenario driver.
+        config_faults = (plan if plan is not None and plan.has_shard_faults
+                         else None)
         configs = [ScenarioConfig(
             name=protocol,
             protocol=protocol,
@@ -161,6 +190,7 @@ class SweepSpec:
             loss_rng=loss_rng if loss_rng is not None else "shared",
             latency_floor=self.latency_floor,
             shards=self.shards,
+            faults=config_faults,
         ) for protocol in self.protocols]
         for config in configs:
             config.validate()

@@ -1,0 +1,49 @@
+"""Deterministic fault-injection plane and supervision primitives.
+
+This package is the chaos-engineering seam for the reproduction: a
+:class:`~repro.faults.plan.FaultPlan` describes *which* failures to
+inject (worker crashes at a grid cell, shard-worker exits at a window
+barrier, slow-worker stalls, torn checkpoint writes, corrupted shard
+wire buffers), and the supervision layers in ``repro.experiments``,
+``repro.net.shard`` and ``repro.service`` turn every one of those
+failures into a bounded, observable, retried-or-degraded outcome.
+
+Two invariants anchor the design:
+
+* **Faults are deterministic.** A plan names exact injection points
+  (cell index, shard@window); there is no probabilistic coin-flip, so
+  a faulted run is exactly reproducible.
+* **Recovered runs are byte-identical to clean runs.** Scenarios are
+  pure functions of (config, seed), so a supervised retry of a crashed
+  worker or a restarted sharded scenario must produce renders and CSVs
+  byte-for-byte equal to an unfaulted run.  The chaos parity suite in
+  ``tests/test_faults.py`` pins this.
+
+Unlike ``repro.sim``/``repro.net``, this package legitimately deals in
+wall-clock time (backoff, heartbeats, watchdog deadlines).  All of it
+flows through :mod:`repro.faults.clock` so deterministic packages can
+import the seam without tripping the D101 lint rule.
+"""
+
+from repro.faults.failures import CellFailure, ShardFailure, TornCheckpointInjected
+from repro.faults.plan import FaultPlan
+from repro.faults.policy import (
+    ShardSupervision,
+    SupervisionPolicy,
+    default_shard_supervision,
+    set_default_shard_supervision,
+)
+from repro.faults.pool import SupervisedPool, WorkerTaskError
+
+__all__ = [
+    "CellFailure",
+    "FaultPlan",
+    "ShardFailure",
+    "ShardSupervision",
+    "SupervisedPool",
+    "SupervisionPolicy",
+    "TornCheckpointInjected",
+    "WorkerTaskError",
+    "default_shard_supervision",
+    "set_default_shard_supervision",
+]

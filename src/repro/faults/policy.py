@@ -1,0 +1,116 @@
+"""Supervision knobs: retry budgets, deadlines, heartbeat cadence.
+
+Two policy shapes, one per process-supervision layer:
+
+* :class:`SupervisionPolicy` — governs the grid worker pool: how many
+  times a lost cell is retried, how the backoff between attempts grows,
+  and (optionally) how long a single attempt may run before the worker
+  is presumed wedged and killed.
+* :class:`ShardSupervision` — governs the sharded scenario driver: how
+  many times ``run_sharded`` restarts a failed scenario from scratch,
+  how long the coordinator waits at a window barrier before declaring a
+  silent shard dead, and how often workers heartbeat.
+
+``ShardSupervision`` also has a process-wide default (see
+:func:`default_shard_supervision`), because sharded execution is
+reached through many call paths (``run_scenario`` delegates to
+``run_sharded`` transparently) and threading a supervision parameter
+through every scenario entry point would churn the whole API for a
+knob that is almost always global anyway (set once by the CLI).
+"""
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = [
+    "ShardSupervision",
+    "SupervisionPolicy",
+    "default_shard_supervision",
+    "set_default_shard_supervision",
+]
+
+
+@dataclass(frozen=True)
+class SupervisionPolicy:
+    """Retry policy for grid cells lost to worker crashes or stalls."""
+
+    #: Retries allowed per cell after its first failed attempt.  A cell
+    #: is quarantined as a CellFailure after ``1 + cell_retries``
+    #: attempts have died.
+    cell_retries: int = 2
+    #: First retry delay in seconds; doubles per subsequent attempt.
+    backoff_base: float = 0.05
+    #: Upper bound on any single backoff delay.
+    backoff_cap: float = 2.0
+    #: Optional per-attempt wall-clock budget.  A worker that holds a
+    #: cell longer is killed and the cell retried (kind="timeout").
+    cell_timeout: Optional[float] = None
+
+    def violations(self) -> tuple:
+        errors = []
+        if self.cell_retries < 0:
+            errors.append("cell_retries must be >= 0")
+        if self.backoff_base < 0:
+            errors.append("backoff_base must be >= 0")
+        if self.backoff_cap < self.backoff_base:
+            errors.append("backoff_cap must be >= backoff_base")
+        if self.cell_timeout is not None and self.cell_timeout <= 0:
+            errors.append("cell_timeout must be positive")
+        return tuple(errors)
+
+    def backoff(self, failed_attempts: int) -> float:
+        """Delay before retrying after ``failed_attempts`` failures."""
+
+        if failed_attempts <= 0:
+            return 0.0
+        return min(self.backoff_cap, self.backoff_base * (2 ** (failed_attempts - 1)))
+
+
+@dataclass(frozen=True)
+class ShardSupervision:
+    """Restart budget and barrier deadline for sharded scenarios."""
+
+    #: Whole-scenario restarts allowed after a ShardFailure.  Restarts
+    #: strip injected faults (the failure already happened); results
+    #: stay byte-identical because scenarios are deterministic.
+    restarts: int = 1
+    #: Seconds the coordinator waits at a window barrier with no
+    #: message, heartbeat, or death from a shard before raising
+    #: ShardFailure("barrier timeout").  ``None`` disables the deadline:
+    #: process sentinels still catch dead shards instantly, so only a
+    #: *wedged-but-alive* shard needs the timeout.
+    barrier_timeout: Optional[float] = None
+    #: Seconds between worker heartbeat frames (liveness evidence for
+    #: barrier-timeout diagnostics).
+    heartbeat_interval: float = 0.5
+
+    def violations(self) -> tuple:
+        errors = []
+        if self.restarts < 0:
+            errors.append("restarts must be >= 0")
+        if self.barrier_timeout is not None and self.barrier_timeout <= 0:
+            errors.append("barrier_timeout must be positive")
+        if self.heartbeat_interval <= 0:
+            errors.append("heartbeat_interval must be positive")
+        return tuple(errors)
+
+
+_DEFAULT_SHARD_SUPERVISION = ShardSupervision()
+
+
+def default_shard_supervision() -> ShardSupervision:
+    """The process-wide supervision used when none is passed explicitly."""
+
+    return _DEFAULT_SHARD_SUPERVISION
+
+
+def set_default_shard_supervision(supervision: ShardSupervision) -> ShardSupervision:
+    """Replace the process-wide default; returns the previous value."""
+
+    global _DEFAULT_SHARD_SUPERVISION
+    errors = supervision.violations()
+    if errors:
+        raise ValueError("; ".join(errors))
+    previous = _DEFAULT_SHARD_SUPERVISION
+    _DEFAULT_SHARD_SUPERVISION = supervision
+    return previous

@@ -132,6 +132,8 @@ def write_grid_csv(path: str, grid) -> int:
         writer = csv.writer(fh)
         writer.writerow(headers)
         for record in grid.records:
+            if record is None:  # cell quarantined by fault supervision
+                continue
             config = grid.configs[record.scenario_index]
             writer.writerow(
                 [record.scenario_index, record.scenario_name,

@@ -91,11 +91,18 @@ mystery.
 
 from __future__ import annotations
 
+import os
 import pickle
 import struct
+import sys
+import threading
 import traceback
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
+from repro.faults import clock
+from repro.faults.failures import ShardFailure
+from repro.faults.inject import SHARD_EXIT_CODE
+from repro.faults.policy import ShardSupervision, default_shard_supervision
 from repro.net.message import Envelope, kind_name, registered_kinds
 from repro.net.router import InprocRouter, POOL_CAP
 from repro.net.stats import NetworkStats
@@ -541,26 +548,99 @@ def _run_serial_shards(config: ScenarioConfig, end: float,
 # ----------------------------------------------------------------------
 # process driver: one worker process per shard, coordinator as message hub
 # ----------------------------------------------------------------------
+class _WorkerLink:
+    """A shard worker's pipe end, safe to send on from two threads.
+
+    ``Connection.send`` is not thread-safe, and the worker writes from
+    both its main loop (windows, done, error) and its heartbeat thread —
+    a lock serializes the frames so they can never interleave.
+    """
+
+    __slots__ = ("conn", "lock")
+
+    def __init__(self, conn) -> None:
+        self.conn = conn
+        self.lock = threading.Lock()
+
+    def send(self, message) -> None:
+        with self.lock:
+            self.conn.send(message)
+
+
+def _heartbeat_loop(link: _WorkerLink, interval: float,
+                    stop: threading.Event) -> None:
+    """Emit ``("hb",)`` frames until stopped or the pipe goes away.
+
+    Heartbeats are liveness evidence only — the coordinator consumes
+    them without advancing the barrier protocol — so a shard that is
+    alive but slow (building a large scenario, running a long window)
+    is distinguishable from one that is dead or wedged.
+    """
+    while not stop.wait(interval):
+        try:
+            link.send(("hb",))
+        except (OSError, ValueError):  # pipe closed: worker is exiting
+            return
+
+
+def _apply_shard_fault(faults, shard_index: int, window_index: int,
+                       outboxes: List[list], shards: int) -> None:
+    """Apply any injected shard fault due at this (shard, window).
+
+    Runs inside the worker, just before the window message is sent —
+    the exact point where a real failure is most damaging, because the
+    peers are already committed to waiting at the barrier.
+    """
+    if faults.shard_exit is not None \
+            and faults.shard_exit == (shard_index, window_index):
+        os._exit(SHARD_EXIT_CODE)
+    if faults.shard_stall is not None \
+            and faults.shard_stall[:2] == (shard_index, window_index):
+        clock.sleep(faults.shard_stall[2])
+    if faults.drop_wire is not None \
+            and faults.drop_wire == (shard_index, window_index):
+        # Corrupt the outbox to one peer: a packed buffer whose header
+        # is torn off.  The receiving shard's codec detects it (row
+        # count vs header bytes) and errors — transport faults surface
+        # as structured failures, never as silently lost messages.
+        peer = (shard_index + 1) % shards
+        outboxes[peer] = [(WIRE_BATCH_TAG, 1, b"",
+                           pickle.dumps([], protocol=_PICKLE))]
+
+
 def _shard_worker(conn, config: ScenarioConfig, shard_index: int,
-                  end: float, batch_wire: bool = True) -> None:
+                  end: float, batch_wire: bool = True,
+                  heartbeat_interval: float = 0.5) -> None:
     """Worker entry point (module-level: importable under spawn)."""
+    link = _WorkerLink(conn)
+    stop = threading.Event()
+    beat = threading.Thread(
+        target=_heartbeat_loop, args=(link, heartbeat_interval, stop),
+        name=f"repro-shard-{shard_index}-hb", daemon=True)
+    faults = config.faults
     try:
         run = _ShardRun(config, shard_index, batch_wire)
-        conn.send(("hello", registered_kinds()))
+        link.send(("hello", registered_kinds()))
+        beat.start()
         lookahead = _lookahead(config)
-        for t in _windows(end, lookahead):
-            conn.send(("window", t, run.run_window(t)))
+        for window_index, t in enumerate(_windows(end, lookahead)):
+            outboxes = run.run_window(t)
+            if faults is not None:
+                _apply_shard_fault(faults, shard_index, window_index,
+                                   outboxes, config.shards)
+            link.send(("window", t, outboxes))
             tag, inbound = conn.recv()
             if tag != "deliver":  # pragma: no cover - protocol error
                 raise RuntimeError(f"unexpected coordinator message {tag!r}")
             run.router.inject(inbound)
-        conn.send(("done", run.harvest()))
+        link.send(("done", run.harvest()))
     except Exception:
         try:
-            conn.send(("error", traceback.format_exc()))
+            link.send(("error", traceback.format_exc()))
         except (OSError, ValueError):  # pragma: no cover - pipe gone
             pass
     finally:
+        stop.set()
         conn.close()
 
 
@@ -584,10 +664,26 @@ def _check_kind_registries(hellos: Sequence[Tuple[str, ...]]) -> None:
 
 def _run_process_shards(config: ScenarioConfig, end: float,
                         start_method: Optional[str],
-                        batch_wire: bool = True) -> List[dict]:
-    """Spawn one worker per shard and relay their window exchanges."""
-    import multiprocessing
+                        batch_wire: bool = True,
+                        supervision: Optional[ShardSupervision] = None,
+                        ) -> List[dict]:
+    """Spawn one worker per shard and relay their window exchanges.
 
+    The gather at each barrier is *supervised*: the coordinator waits on
+    every silent shard's pipe **and** its process sentinel, so a worker
+    that dies mid-window surfaces immediately as a structured
+    :class:`~repro.faults.failures.ShardFailure` (which shard, which
+    window, last barrier reached) instead of deadlocking the barrier
+    forever.  Workers heartbeat between frames; with
+    ``supervision.barrier_timeout`` set, a shard that is alive but
+    wedged trips the deadline and fails with its heartbeat age in the
+    diagnostic.
+    """
+    import multiprocessing
+    from multiprocessing import connection as mpconn
+
+    if supervision is None:
+        supervision = default_shard_supervision()
     if start_method is None:
         start_method = ("fork" if "fork"
                         in multiprocessing.get_all_start_methods()
@@ -597,34 +693,92 @@ def _run_process_shards(config: ScenarioConfig, end: float,
     conns = []
     workers = []
     harvests: List[Optional[dict]] = [None] * shards
+    last_heartbeat = [clock.monotonic()] * shards
+    last_barrier = [-1] * shards
 
     def _fail(message: str) -> None:
         for worker in workers:
             worker.terminate()
         raise RuntimeError(message)
 
+    def _die(failure: ShardFailure) -> None:
+        # Reap the survivors before raising: a stalled worker would
+        # otherwise hold the join in the finally block for its full
+        # sleep, and an injected-crash run would leak live processes.
+        for worker in workers:
+            if worker.is_alive():
+                worker.terminate()
+        raise failure
+
+    def _recv(i: int, window_index: int):
+        """One frame from shard ``i``; heartbeats return None."""
+        try:
+            msg = conns[i].recv()
+        except (EOFError, OSError):
+            workers[i].join(timeout=1.0)
+            _die(ShardFailure(
+                i, window_index, last_barrier[i], "exited",
+                f"worker exit code {workers[i].exitcode}"))
+        last_heartbeat[i] = clock.monotonic()
+        if msg[0] == "hb":
+            return None
+        if msg[0] == "error":
+            _die(ShardFailure(i, window_index, last_barrier[i], "failed",
+                              msg[1]))
+        return msg
+
+    def _gather(window_index: int) -> List[tuple]:
+        """One protocol message per shard, supervised (see above)."""
+        msgs: List[Optional[tuple]] = [None] * shards
+        deadline = (clock.monotonic() + supervision.barrier_timeout
+                    if supervision.barrier_timeout is not None else None)
+        while True:
+            for i in range(shards):
+                while msgs[i] is None and conns[i].poll(0):
+                    msgs[i] = _recv(i, window_index)
+            waiting = [i for i in range(shards) if msgs[i] is None]
+            if not waiting:
+                return msgs  # type: ignore[return-value]
+            waitables = [conns[i] for i in waiting]
+            waitables.extend(workers[i].sentinel for i in waiting)
+            timeout = None
+            if deadline is not None:
+                timeout = max(0.0, deadline - clock.monotonic())
+            if mpconn.wait(waitables, timeout):
+                continue
+            silent = waiting[0]
+            age = clock.monotonic() - last_heartbeat[silent]
+            _die(ShardFailure(
+                silent, window_index, last_barrier[silent],
+                "missed the barrier deadline",
+                f"no message within {supervision.barrier_timeout:g}s "
+                f"(last heartbeat {age:.1f}s ago)"))
+
     try:
         for i in range(shards):
             parent, child = ctx.Pipe()
-            worker = ctx.Process(target=_shard_worker,
-                                 args=(child, config, i, end, batch_wire),
-                                 name=f"repro-shard-{i}")
+            worker = ctx.Process(
+                target=_shard_worker,
+                args=(child, config, i, end, batch_wire,
+                      supervision.heartbeat_interval),
+                name=f"repro-shard-{i}")
             worker.start()
             child.close()
             conns.append(parent)
             workers.append(worker)
 
-        def recv(i):
-            msg = conns[i].recv()
-            if msg[0] == "error":
-                _fail(f"shard {i} failed:\n{msg[1]}")
-            return msg
-
-        _check_kind_registries([recv(i)[1] for i in range(shards)])
+        hellos = _gather(-1)
+        if {msg[0] for msg in hellos} != {"hello"}:  # pragma: no cover
+            _fail(f"shards desynchronized before the first window: "
+                  f"{[msg[0] for msg in hellos]}")
+        _check_kind_registries([msg[1] for msg in hellos])
+        window_index = 0
         while any(h is None for h in harvests):
-            msgs = [recv(i) for i in range(shards)]
+            msgs = _gather(window_index)
             tags = {msg[0] for msg in msgs}
             if tags == {"window"}:
+                for i in range(shards):
+                    last_barrier[i] = window_index
                 # Deterministic relay: every target receives the union
                 # of outboxes in shard order, each preserving its
                 # sender's event order — the same order the serial
@@ -634,7 +788,16 @@ def _run_process_shards(config: ScenarioConfig, end: float,
                     for target in range(shards):
                         inbound[target].extend(outboxes[target])
                 for target in range(shards):
-                    conns[target].send(("deliver", inbound[target]))
+                    try:
+                        conns[target].send(("deliver", inbound[target]))
+                    except (OSError, ValueError):
+                        workers[target].join(timeout=1.0)
+                        _die(ShardFailure(
+                            target, window_index, last_barrier[target],
+                            "exited",
+                            f"pipe closed during delivery (worker exit "
+                            f"code {workers[target].exitcode})"))
+                window_index += 1
             elif tags == {"done"}:
                 for i, msg in enumerate(msgs):
                     harvests[i] = msg[1]
@@ -762,7 +925,8 @@ def merge_harvests(config: ScenarioConfig, harvests: List[dict]):
 def run_sharded(config: ScenarioConfig, until: Optional[float] = None,
                 start_method: Optional[str] = None,
                 processes: Optional[bool] = None,
-                batch_wire: bool = True):
+                batch_wire: bool = True,
+                supervision: Optional[ShardSupervision] = None):
     """Run one scenario partitioned across ``config.shards`` shards.
 
     Returns a merged ``ExperimentResult`` whose metric summaries are
@@ -776,10 +940,23 @@ def run_sharded(config: ScenarioConfig, until: Optional[float] = None,
     workers' builds are import-clean).  ``batch_wire=False`` selects the
     per-envelope wire escape hatch (parity tests and the byte-reduction
     benchmark only; summaries are byte-identical either way).
+
+    ``supervision`` (default: the process-wide
+    :func:`~repro.faults.policy.default_shard_supervision`) bounds how
+    failure is handled: a dead or wedged shard raises a structured
+    :class:`~repro.faults.failures.ShardFailure` instead of hanging the
+    barrier, and the scenario is restarted from scratch up to
+    ``supervision.restarts`` times — restarts strip injected faults
+    (``config.faults``), and because scenarios are deterministic the
+    restarted result is byte-identical to a never-faulted run.
     """
     config.validate()
     if config.shards <= 1:
         raise ValueError("run_sharded needs config.shards > 1")
+    if supervision is None:
+        supervision = default_shard_supervision()
+    faults = config.faults
+    shard_faults = faults is not None and faults.has_shard_faults
     end = until if until is not None else config.end_time
     if processes is None:
         import multiprocessing
@@ -788,9 +965,31 @@ def run_sharded(config: ScenarioConfig, until: Optional[float] = None,
 
         daemon = multiprocessing.current_process().daemon
         processes = not daemon and (_available_cpus() > 1
-                                    or start_method is not None)
-    if processes:
-        harvests = _run_process_shards(config, end, start_method, batch_wire)
-    else:
+                                    or start_method is not None
+                                    or shard_faults)
+    if not processes:
+        if shard_faults:
+            raise ValueError(
+                "shard fault injection needs the worker-process driver; "
+                "the in-process serial driver has no workers to kill")
         harvests = _run_serial_shards(config, end, batch_wire)
-    return merge_harvests(config, harvests)
+        return merge_harvests(config, harvests)
+    attempt = 0
+    run_config = config
+    while True:
+        try:
+            harvests = _run_process_shards(run_config, end, start_method,
+                                           batch_wire,
+                                           supervision=supervision)
+            break
+        except ShardFailure as failure:
+            if attempt >= supervision.restarts:
+                raise
+            attempt += 1
+            # The restart strips injected faults (their failure already
+            # happened); determinism makes the re-run byte-identical.
+            run_config = run_config.with_(faults=None)
+            print(f"shard supervision: {failure}; restarting scenario "
+                  f"(attempt {attempt}/{supervision.restarts})",
+                  file=sys.stderr)
+    return merge_harvests(run_config, harvests)

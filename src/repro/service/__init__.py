@@ -26,7 +26,7 @@ Layering (engine and serving kept separate, FReD-style):
 from repro.service.client import ServiceClient, ServiceError
 from repro.service.http import ExperimentService
 from repro.service.jobs import (Job, JobManager, JobSpec, QueueFullError,
-                                JOB_KINDS, JOB_STATES)
+                                SpecQuarantined, JOB_KINDS, JOB_STATES)
 
 __all__ = [
     "ExperimentService",
@@ -38,4 +38,5 @@ __all__ = [
     "QueueFullError",
     "ServiceClient",
     "ServiceError",
+    "SpecQuarantined",
 ]

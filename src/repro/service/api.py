@@ -16,18 +16,25 @@ Routes (all JSON unless noted)::
     POST /v1/jobs/{id}/cancel      request cancellation
     GET  /v1/jobs/{id}/events      live progress (SSE)
     GET  /v1/jobs/{id}/result      result summary JSON (409 until done)
+    GET  /v1/jobs/{id}/artifacts   artifact index (names, sizes, types)
     GET  /v1/jobs/{id}/artifacts/csv   CSV artifact (text/csv)
     GET  /v1/catalog/attacks       the attack catalog (= CLI --format json)
-    GET  /v1/health                liveness + job state counts
+    GET  /v1/health                liveness + job state counts + supervision
+
+A quarantined spec (same fingerprint crash-looping) answers 429 with a
+``Retry-After`` header; an id evicted by ``--job-ttl`` answers 404 with
+the eviction reason in the error body.
 """
 
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Tuple
 
-from repro.service.jobs import Job, JobManager, QueueFullError
+from repro.service.jobs import (Job, JobManager, QueueFullError,
+                                SpecQuarantined)
 
 
 class ApiError(Exception):
@@ -46,6 +53,8 @@ class ApiResponse:
     status: int
     body: bytes
     content_type: str = "application/json"
+    #: Extra response headers, e.g. ``(("Retry-After", "30"),)``.
+    headers: Tuple[Tuple[str, str], ...] = ()
 
 
 @dataclass(frozen=True)
@@ -55,9 +64,10 @@ class SseStream:
     job: Job
 
 
-def json_response(obj: object, status: int = 200) -> ApiResponse:
+def json_response(obj: object, status: int = 200,
+                  headers: Tuple[Tuple[str, str], ...] = ()) -> ApiResponse:
     body = (json.dumps(obj, indent=2, sort_keys=False) + "\n").encode("utf-8")
-    return ApiResponse(status=status, body=body)
+    return ApiResponse(status=status, body=body, headers=headers)
 
 
 def error_response(status: int, message: str) -> ApiResponse:
@@ -82,7 +92,14 @@ def _dispatch(manager: JobManager, method: str, path: str,
     parts = tuple(p for p in path.split("?", 1)[0].split("/") if p)
     if parts == ("v1", "health"):
         _require(method, "GET")
-        return json_response({"status": "ok", "jobs": manager.counts()})
+        return json_response({
+            "status": "ok",
+            "jobs": manager.counts(),
+            "sse_disconnects": manager.sse_disconnects,
+            "watchdog_timeouts": manager.watchdog_timeouts,
+            "evicted": manager.evicted_count(),
+            "quarantined": manager.quarantined_count(),
+        })
     if parts == ("v1", "catalog", "attacks"):
         _require(method, "GET")
         from repro.adversary import catalog_jsonable
@@ -109,6 +126,9 @@ def _dispatch(manager: JobManager, method: str, path: str,
         if tail == ("result",):
             _require(method, "GET")
             return _result(job)
+        if tail == ("artifacts",):
+            _require(method, "GET")
+            return _artifact_index(job)
         if tail == ("artifacts", "csv"):
             _require(method, "GET")
             return _csv_artifact(job)
@@ -124,6 +144,10 @@ def _job(manager: JobManager, job_id: str) -> Job:
     try:
         return manager.get(job_id)
     except KeyError:
+        reason = manager.eviction_reason(job_id)
+        if reason is not None:
+            raise ApiError(404, f"job {job_id!r} was evicted: "
+                                f"{reason}") from None
         raise ApiError(404, f"unknown job {job_id!r}") from None
 
 
@@ -141,6 +165,12 @@ def _submit(manager: JobManager, body: Optional[bytes]) -> ApiResponse:
         raise ApiError(400, '"params" must be an object')
     try:
         job, created = manager.submit(str(payload["kind"]), params)
+    except SpecQuarantined as exc:
+        # Crash-looping spec: tell the client when to come back.
+        retry_after = max(1, int(exc.retry_after + 0.999))
+        return json_response(
+            {"error": str(exc), "retry_after": retry_after},
+            status=429, headers=(("Retry-After", str(retry_after)),))
     except QueueFullError as exc:
         raise ApiError(503, str(exc)) from None
     except (ValueError, KeyError) as exc:
@@ -154,6 +184,26 @@ def _result(job: Job) -> ApiResponse:
         raise ApiError(409, f"job {job.id} is {job.state}, not done"
                             + (f": {job.error}" if job.error else ""))
     return json_response({"job": job.to_jsonable(), "result": job.result})
+
+
+def _artifact_index(job: Job) -> ApiResponse:
+    """What this job has produced so far: name, fetch path, size, type.
+    Valid in any state — the list is simply empty until artifacts
+    exist."""
+    artifacts = []
+    try:
+        size = os.path.getsize(job.csv_path)
+    except OSError:
+        size = None
+    if size is not None:
+        artifacts.append({
+            "name": "csv",
+            "path": f"/v1/jobs/{job.id}/artifacts/csv",
+            "bytes": size,
+            "content_type": "text/csv",
+        })
+    return json_response({"job": job.id, "state": job.state,
+                          "artifacts": artifacts})
 
 
 def _csv_artifact(job: Job) -> ApiResponse:

@@ -56,6 +56,11 @@ class ServiceClient:
         """Result summary JSON; raises ServiceError(409) until done."""
         return self._json("GET", f"/v1/jobs/{job_id}/result")
 
+    def artifacts(self, job_id: str) -> Dict[str, object]:
+        """GET /v1/jobs/{id}/artifacts — the artifact index (names,
+        sizes, content types); empty until artifacts exist."""
+        return self._json("GET", f"/v1/jobs/{job_id}/artifacts")
+
     def csv(self, job_id: str) -> str:
         """The job's CSV artifact, as text."""
         status, body = self._request("GET", f"/v1/jobs/{job_id}/artifacts/csv")

@@ -18,6 +18,7 @@ blocks submissions.
 from __future__ import annotations
 
 import json
+import sys
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional
@@ -56,12 +57,19 @@ class ServiceHandler(BaseHTTPRequestHandler):
             else:
                 self._send(outcome)
         except (BrokenPipeError, ConnectionResetError):
-            pass  # client went away; nothing to clean up
+            # Client went away mid-response.  For an SSE stream that is
+            # the *normal* way a subscription ends (the consumer simply
+            # closes), so count it for /v1/health and move on — never
+            # let it surface as a thread-killing traceback.
+            if isinstance(outcome, SseStream):
+                self.server.manager.note_sse_disconnect()
 
     def _send(self, response: ApiResponse) -> None:
         self.send_response(response.status)
         self.send_header("Content-Type", response.content_type)
         self.send_header("Content-Length", str(len(response.body)))
+        for name, value in response.headers:
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(response.body)
 
@@ -117,6 +125,21 @@ class ExperimentService(ThreadingHTTPServer):
         self.quiet = quiet
         self._thread: Optional[threading.Thread] = None
         super().__init__((host, port), ServiceHandler)
+
+    def handle_error(self, request, client_address) -> None:
+        """Silence client-disconnect noise from the handler machinery.
+
+        ``BaseHTTPRequestHandler.finish()`` flushes the socket *after*
+        the handler returns, so a client that disconnected during an SSE
+        stream can still raise ``BrokenPipeError`` outside the
+        handler's own try/except — which ``socketserver`` would print
+        as a full traceback per disconnect.  Those are expected (and
+        already counted by the handler); drop them.  Everything else
+        keeps the default report."""
+        exc = sys.exc_info()[1]
+        if isinstance(exc, (BrokenPipeError, ConnectionResetError)):
+            return
+        super().handle_error(request, client_address)
 
     @property
     def port(self) -> int:

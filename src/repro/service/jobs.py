@@ -55,6 +55,22 @@ class JobCancelled(Exception):
     """Raised inside the executor to unwind a cancelled grid run."""
 
 
+class SpecQuarantined(RuntimeError):
+    """A crash-looping spec is quarantined (HTTP 429 + Retry-After).
+
+    Raised by :meth:`JobManager.submit` when the same fingerprint has
+    failed ``quarantine_after`` times in a row and its backoff window
+    has not yet elapsed."""
+
+    def __init__(self, fingerprint: str, retry_after: float, failures: int):
+        super().__init__(
+            f"spec {fingerprint} is quarantined after {failures} "
+            f"consecutive failure(s); retry in {retry_after:.0f}s")
+        self.fingerprint = fingerprint
+        self.retry_after = retry_after
+        self.failures = failures
+
+
 @dataclass(frozen=True)
 class JobSpec:
     """What to run: a kind plus its JSON parameter mapping.
@@ -121,9 +137,16 @@ class JobSpec:
 
     def fingerprint(self) -> str:
         """Stable workload identity: keys the managed checkpoint, so a
-        resubmitted spec resumes where its predecessor stopped."""
+        resubmitted spec resumes where its predecessor stopped.
+
+        ``faults`` is excluded (like :meth:`SweepSpec.fingerprint`):
+        injection is an execution circumstance, so a faulted job and its
+        clean twin share one checkpoint — and the quarantine ledger sees
+        a crash-looping spec as one spec however its faults vary."""
+        params = self.normalized()
+        params.pop("faults", None)
         blob = json.dumps({"kind": "sweep" if self.kind == "run" else self.kind,
-                           "params": self.normalized()}, sort_keys=True)
+                           "params": params}, sort_keys=True)
         return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
 
     def to_jsonable(self) -> Dict[str, object]:
@@ -161,6 +184,12 @@ class Job:
         #: CSV artifact path, written on completion.
         self.csv_path = csv_path
         self.cancel_event = threading.Event()
+        #: Monotonic timestamp of the last observable progress (event
+        #: append); the watchdog fails running jobs that stop moving.
+        self.last_activity = time.monotonic()
+        #: The executor thread currently running this job (watchdog
+        #: bookkeeping: a wedged job's thread is abandoned + replaced).
+        self.executor_thread: Optional[threading.Thread] = None
         #: Monotonic structured event log: progress ticks + state changes
         #: (what the SSE endpoint replays and follows).
         self.events: List[Dict[str, object]] = []
@@ -202,10 +231,33 @@ class JobManager:
 
     def __init__(self, checkpoint_dir: str = ".repro-service",
                  executors: int = 1, queue_size: int = 16,
-                 grid_jobs: int = 1, cache_results: bool = True):
+                 grid_jobs: int = 1, cache_results: bool = True,
+                 job_ttl: Optional[float] = None,
+                 job_timeout: Optional[float] = None,
+                 watchdog_interval: float = 0.25,
+                 quarantine_after: int = 3,
+                 quarantine_base: float = 30.0):
         self.checkpoint_dir = checkpoint_dir
         self.artifact_dir = os.path.join(checkpoint_dir, "artifacts")
         os.makedirs(self.artifact_dir, exist_ok=True)
+        #: Evict terminal jobs (and their event buffers + CSV artifacts,
+        #: never their checkpoints) this many seconds after they finish.
+        self.job_ttl = job_ttl
+        #: Fail-and-free a running job with no progress for this long.
+        self.job_timeout = job_timeout
+        self.quarantine_after = max(1, quarantine_after)
+        self.quarantine_base = quarantine_base
+        #: SSE client disconnects observed by the transport (health).
+        self.sse_disconnects = 0
+        #: Jobs the watchdog failed for lack of progress (health).
+        self.watchdog_timeouts = 0
+        #: job id -> human-readable reason (404 body for evicted ids).
+        self._evicted: Dict[str, str] = {}
+        #: fingerprint -> [consecutive failures, monotonic last failure].
+        self._failure_ledger: Dict[str, List[float]] = {}
+        #: Executor threads the watchdog wrote off as wedged; they exit
+        #: at their next loop turn instead of taking new jobs.
+        self._abandoned: set = set()
         #: Grid worker processes per job (1 = in-thread serial, which is
         #: what keeps the scenario-result cache warm).
         self.grid_jobs = max(1, grid_jobs)
@@ -229,6 +281,13 @@ class JobManager:
         ]
         for thread in self._threads:
             thread.start()
+        self._watchdog_thread: Optional[threading.Thread] = None
+        if job_ttl is not None or job_timeout is not None:
+            self._watchdog_thread = threading.Thread(
+                target=self._watchdog, daemon=True,
+                name="repro-job-watchdog",
+                args=(max(0.05, watchdog_interval),))
+            self._watchdog_thread.start()
 
     # ------------------------------------------------------------------
     # public API (called from HTTP threads)
@@ -249,6 +308,7 @@ class JobManager:
         with self._lock:
             if self._stopping:
                 raise QueueFullError("manager is shutting down")
+            self._check_quarantine(fingerprint)
             for job_id in reversed(self._order):
                 existing = self._jobs[job_id]
                 if (existing.fingerprint == fingerprint
@@ -306,6 +366,26 @@ class JobManager:
                 job.cancel_event.set()
             return job
 
+    def eviction_reason(self, job_id: str) -> Optional[str]:
+        """Why a (now unknown) job id answers 404, if it was evicted."""
+        with self._lock:
+            return self._evicted.get(job_id)
+
+    def note_sse_disconnect(self) -> None:
+        """Transport callback: an SSE client went away mid-stream."""
+        with self._lock:
+            self.sse_disconnects += 1
+
+    def evicted_count(self) -> int:
+        with self._lock:
+            return len(self._evicted)
+
+    def quarantined_count(self) -> int:
+        """Fingerprints currently at or past the quarantine threshold."""
+        with self._lock:
+            return sum(1 for entry in self._failure_ledger.values()
+                       if entry[0] >= self.quarantine_after)
+
     def events_since(self, job: Job, index: int,
                      timeout: float = 0.5) -> List[Dict[str, object]]:
         """Events after ``index``; blocks up to ``timeout`` if none yet
@@ -327,15 +407,33 @@ class JobManager:
                 self._queue.put_nowait(None)
             except queue.Full:  # executors will still see _stopping
                 break
+        with self._lock:
+            abandoned = set(self._abandoned)
         for thread in self._threads:
+            if thread in abandoned:
+                continue  # wedged; daemon thread, dies with the process
             thread.join(timeout=10.0)
 
     # ------------------------------------------------------------------
     # executor side
     # ------------------------------------------------------------------
     def _worker(self) -> None:
+        me = threading.current_thread()
         while True:
             job = self._queue.get()
+            with self._lock:
+                if me in self._abandoned:
+                    # The watchdog wrote this thread off as wedged and
+                    # spawned a replacement; hand any claimed job back
+                    # and bow out.
+                    self._abandoned.discard(me)
+                    if job is not None and job.state == "queued":
+                        try:
+                            self._queue.put_nowait(job)
+                        except queue.Full:
+                            job.error = "executor lost during hand-off"
+                            self._finish(job, "failed")
+                    return
             if job is None:
                 return
             with self._lock:
@@ -346,20 +444,32 @@ class JobManager:
                     continue
                 job.state = "running"
                 job.started_at = time.time()
+                job.last_activity = time.monotonic()
+                job.executor_thread = me
                 self._append_event(job, {"type": "state", "state": "running"})
             try:
                 result = self._execute(job)
             except JobCancelled:
                 with self._lock:
-                    self._finish(job, "cancelled")
+                    if job.state not in TERMINAL_STATES:
+                        self._finish(job, "cancelled")
             except Exception as exc:  # noqa: BLE001 - job isolation barrier
                 with self._lock:
-                    job.error = f"{type(exc).__name__}: {exc}"
-                    self._finish(job, "failed")
+                    if job.state not in TERMINAL_STATES:
+                        job.error = f"{type(exc).__name__}: {exc}"
+                        self._finish(job, "failed")
             else:
                 with self._lock:
-                    job.result = result
-                    self._finish(job, "done")
+                    # The watchdog may have already failed a wedged job;
+                    # a late result must not resurrect it.
+                    if job.state not in TERMINAL_STATES:
+                        job.result = result
+                        self._finish(job, "done")
+            with self._lock:
+                job.executor_thread = None
+                if me in self._abandoned:
+                    self._abandoned.discard(me)
+                    return
 
     def _execute(self, job: Job) -> Dict[str, object]:
         if job.spec.kind in ("run", "sweep"):
@@ -399,6 +509,7 @@ class JobManager:
             progress=self._progress_sink(job),
             checkpoint=job.checkpoint, resume=True, checkpoint_gc=True,
             run_fn=cached_run if self.cache_results else None,
+            faults=spec.fault_plan(),
         )
         write_grid_csv(job.csv_path, grid)
         return grid_result_jsonable(job.spec.kind, grid)
@@ -435,6 +546,81 @@ class JobManager:
         }
 
     # ------------------------------------------------------------------
+    # supervision: watchdog, TTL eviction, spec quarantine
+    # ------------------------------------------------------------------
+    def _watchdog(self, interval: float) -> None:
+        """Background sweep: fail wedged jobs, evict expired ones."""
+        while True:
+            time.sleep(interval)
+            with self._lock:
+                if self._stopping:
+                    return
+                if self.job_timeout is not None:
+                    self._sweep_wedged()
+                if self.job_ttl is not None:
+                    self._sweep_expired()
+
+    def _sweep_wedged(self) -> None:
+        """Fail running jobs with no progress for ``job_timeout`` and
+        free their executor slots (lock held)."""
+        now = time.monotonic()
+        for job in list(self._jobs.values()):
+            if job.state != "running":
+                continue
+            if now - job.last_activity <= self.job_timeout:
+                continue
+            self.watchdog_timeouts += 1
+            job.error = (f"watchdog: no progress for "
+                         f"{self.job_timeout:g}s")
+            job.cancel_event.set()
+            self._finish(job, "failed")
+            thread = job.executor_thread
+            if thread is not None and thread.is_alive():
+                # The thread is wedged inside the job; write it off and
+                # staff a replacement so throughput recovers even if it
+                # never comes back.
+                self._abandoned.add(thread)
+                replacement = threading.Thread(
+                    target=self._worker, daemon=True,
+                    name=f"{thread.name}-replacement")
+                self._threads.append(replacement)
+                replacement.start()
+
+    def _sweep_expired(self) -> None:
+        """Evict terminal jobs past their TTL (lock held).  Event
+        buffers and CSV artifacts go; managed checkpoints stay — they
+        are the durable record a resubmitted spec resumes from."""
+        now = time.time()
+        for job_id in list(self._order):
+            job = self._jobs[job_id]
+            if job.state not in TERMINAL_STATES or job.finished_at is None:
+                continue
+            if now - job.finished_at <= self.job_ttl:
+                continue
+            del self._jobs[job_id]
+            self._order.remove(job_id)
+            self._evicted[job_id] = (
+                f"finished ({job.state}) more than "
+                f"{self.job_ttl:g}s ago (--job-ttl)")
+            try:
+                os.remove(job.csv_path)
+            except OSError:
+                pass  # never written, or already gone
+
+    def _check_quarantine(self, fingerprint: str) -> None:
+        """Reject a crash-looping spec inside its backoff window (lock
+        held).  Raises :class:`SpecQuarantined` with the remaining wait."""
+        entry = self._failure_ledger.get(fingerprint)
+        if entry is None or entry[0] < self.quarantine_after:
+            return
+        failures, last_failure = int(entry[0]), entry[1]
+        backoff = self.quarantine_base * (
+            2.0 ** (failures - self.quarantine_after))
+        remaining = backoff - (time.monotonic() - last_failure)
+        if remaining > 0:
+            raise SpecQuarantined(fingerprint, remaining, failures)
+
+    # ------------------------------------------------------------------
     # internals (call with the lock held)
     # ------------------------------------------------------------------
     def _append_event(self, job: Job, event: Dict[str, object]) -> None:
@@ -442,11 +628,19 @@ class JobManager:
         event["job"] = job.id
         event["seq"] = len(job.events)
         job.events.append(event)
+        job.last_activity = time.monotonic()
         self.condition.notify_all()
 
     def _finish(self, job: Job, state: str) -> None:
         job.state = state
         job.finished_at = time.time()
+        if state == "failed":
+            entry = self._failure_ledger.setdefault(job.fingerprint,
+                                                    [0, 0.0])
+            entry[0] += 1
+            entry[1] = time.monotonic()
+        elif state == "done":
+            self._failure_ledger.pop(job.fingerprint, None)
         self._append_event(job, {"type": "state", "state": state,
                                  "error": job.error})
 
@@ -461,6 +655,8 @@ def grid_result_jsonable(kind: str, grid) -> Dict[str, object]:
     for the measured parts."""
     wire: Dict[str, int] = {}
     for record in grid.records:
+        if record is None:  # cell quarantined by fault supervision
+            continue
         for name, value in record.wire.items():
             wire[name] = wire.get(name, 0) + value
     return {
@@ -469,7 +665,10 @@ def grid_result_jsonable(kind: str, grid) -> Dict[str, object]:
         "metric_names": list(grid.metric_names),
         "scenarios": [config.name for config in grid.configs],
         "seeds": list(grid.seeds),
-        "records": [record.to_jsonable() for record in grid.records],
+        "records": [record.to_jsonable() if record is not None else None
+                    for record in grid.records],
+        "failures": [failure.to_jsonable() for failure in grid.failures],
+        "cell_retries": grid.cell_retries,
         "wire": wire,
         "timing": {"wall_time": grid.wall_time, "jobs": grid.jobs},
     }

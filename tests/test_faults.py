@@ -1,0 +1,426 @@
+"""Chaos parity suite for the fault-injection plane and supervision.
+
+The contract under test is the strongest one supervision makes: every
+*recovered* injected fault is invisible in the results.  A grid whose
+worker was killed mid-cell, a sharded scenario whose shard exited at a
+window barrier, a checkpoint torn mid-write and resumed — all must
+produce byte-identical records, summaries and renders to the clean run
+of the same spec, because results are pure functions of (config, seed)
+and supervision only ever replays deterministic work.
+
+Non-recoverable paths are pinned too: a poison cell quarantines into a
+structured ``CellFailure`` while the rest of the sweep completes, a
+shard that out-crashes its restart budget raises a structured
+``ShardFailure`` (never a deadlock), and fault clauses that target an
+execution engine that is not running (no pool, no shard workers, no
+checkpoint) are rejected loudly instead of silently not firing.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments.multi_seed import metric_offline_delivery
+from repro.experiments.parallel import run_grid
+from repro.experiments.runner import run_scenario
+from repro.experiments.specs import SweepSpec
+from repro.faults import (
+    FaultPlan,
+    ShardFailure,
+    ShardSupervision,
+    SupervisionPolicy,
+    TornCheckpointInjected,
+    clock,
+)
+from repro.metrics.export import read_jsonl
+from repro.metrics.lag import spec_lag_delivery
+from repro.metrics.summary import standard_bundle, summarize
+from repro.net.shard import run_sharded
+from repro.service.jobs import JobSpec
+from repro.workloads.distributions import REF_691
+from repro.workloads.scenario import ScenarioConfig, scenario_key
+
+
+def tiny_config(**overrides) -> ScenarioConfig:
+    base = dict(n_nodes=10, duration=2.0, drain=4.0, distribution=REF_691)
+    base.update(overrides)
+    return ScenarioConfig(**base)
+
+
+def metric_events(result) -> float:
+    """Module-level (picklable) metric: total receiver deliveries."""
+    return float(sum(len(result.log_of(node_id))
+                     for node_id in result.receiver_ids()))
+
+
+METRICS = {"delivery": metric_offline_delivery, "deliveries": metric_events}
+SPECS = (spec_lag_delivery(0.99),)
+
+#: The 4-cell chaos grid: 2 protocols x 2 seeds of a tiny scenario.
+GRID_CONFIGS = (tiny_config(name="heap"),
+                tiny_config(name="standard", protocol="standard"))
+GRID_SEEDS = [1, 2]
+
+#: Fast backoff so retry tests don't sleep for real.
+FAST = SupervisionPolicy(backoff_base=0.01, backoff_cap=0.05)
+
+
+def summary_blob(result) -> str:
+    """Canonical JSON of the standard spec bundle: the byte-parity key."""
+    return json.dumps(summarize(result, standard_bundle()), sort_keys=True)
+
+
+def sharded_config(**overrides) -> ScenarioConfig:
+    base = dict(protocol="heap", n_nodes=80, duration=3.0, drain=6.0,
+                seed=5, distribution=REF_691,
+                latency_rng="per-pair", latency_floor=0.02)
+    base.update(overrides)
+    return ScenarioConfig(**base)
+
+
+# ----------------------------------------------------------------------
+# FaultPlan: parsing, round-trips, validation
+# ----------------------------------------------------------------------
+class TestFaultPlan:
+    def test_parse_full_syntax(self):
+        plan = FaultPlan.parse("crash-cell=1,crash-cell=3x2,"
+                               "stall-cell=0:0.5,shard-exit=1@3,"
+                               "shard-stall=0@2:1.5,drop-wire=1@4,"
+                               "torn-checkpoint=2")
+        assert plan.crash_cells == ((1, 1), (3, 2))
+        assert plan.stall_cells == ((0, 0.5),)
+        assert plan.shard_exit == (1, 3)
+        assert plan.shard_stall == (0, 2, 1.5)
+        assert plan.drop_wire == (1, 4)
+        assert plan.torn_checkpoint == 2
+        assert plan.has_pool_faults and plan.has_cell_faults
+        assert plan.has_shard_faults
+
+    def test_round_trips_through_text(self):
+        text = "crash-cell=3x2,stall-cell=0:0.5,shard-exit=1@3"
+        plan = FaultPlan.parse(text)
+        assert plan.to_text() == text
+        assert FaultPlan.parse(plan.to_text()) == plan
+
+    def test_synthesized_text_parses_back(self):
+        plan = FaultPlan(crash_cells=((1, 2),), drop_wire=(0, 4),
+                         torn_checkpoint=1)
+        assert FaultPlan.parse(plan.to_text()) == plan
+
+    def test_blank_is_none(self):
+        assert FaultPlan.parse(None) is None
+        assert FaultPlan.parse("") is None
+        assert FaultPlan.parse("   ") is None
+
+    def test_equality_ignores_clause_order_and_text(self):
+        a = FaultPlan.parse("crash-cell=1, stall-cell=0:0.5")
+        b = FaultPlan.parse("stall-cell=0:0.5,crash-cell=1")
+        assert a == b
+        assert a.text != b.text
+
+    @pytest.mark.parametrize("bad", [
+        "explode=1",              # unknown clause
+        "crash-cell",             # missing '='
+        "crash-cell=x",           # not an integer
+        "crash-cell=1x0",         # kill budget < 1
+        "stall-cell=0",           # missing duration
+        "stall-cell=0:-1",        # non-positive duration
+        "shard-exit=1",           # missing @WINDOW
+        "shard-stall=1@2",        # missing :SECONDS
+    ])
+    def test_bad_clause_rejected(self, bad):
+        with pytest.raises(ValueError):
+            FaultPlan.parse(bad)
+
+    def test_cell_fault_attempt_semantics(self):
+        plan = FaultPlan.parse("crash-cell=1x2,stall-cell=2:0.5")
+        # Crashes fire while the kill budget lasts, then stop.
+        assert plan.cell_fault(1, 0) == ("crash",)
+        assert plan.cell_fault(1, 1) == ("crash",)
+        assert plan.cell_fault(1, 2) is None
+        # Stalls fire on the first attempt only.
+        assert plan.cell_fault(2, 0) == ("stall", 0.5)
+        assert plan.cell_fault(2, 1) is None
+        assert plan.cell_fault(0, 0) is None
+
+    def test_without_shard_faults(self):
+        plan = FaultPlan.parse("crash-cell=1,shard-exit=0@2")
+        stripped = plan.without_shard_faults()
+        assert stripped.crash_cells == ((1, 1),)
+        assert not stripped.has_shard_faults
+        assert FaultPlan.parse("shard-exit=0@2").without_shard_faults() is None
+
+
+# ----------------------------------------------------------------------
+# Identity: faults are an execution circumstance, not a parameter
+# ----------------------------------------------------------------------
+class TestFaultIdentity:
+    def test_scenario_key_ignores_faults(self):
+        config = tiny_config(seed=7)
+        faulted = config.with_(faults=FaultPlan.parse("shard-exit=0@1"))
+        assert scenario_key(faulted) == scenario_key(config)
+
+    def test_sweep_fingerprint_ignores_faults(self):
+        clean = SweepSpec(protocols=("heap",), nodes=10, seconds=2.0,
+                          drain=4.0, num_seeds=2)
+        faulted = SweepSpec(protocols=("heap",), nodes=10, seconds=2.0,
+                            drain=4.0, num_seeds=2, faults="crash-cell=1")
+        assert faulted.fingerprint() == clean.fingerprint()
+
+    def test_job_fingerprint_ignores_faults(self):
+        params = {"protocols": ["heap"], "nodes": 10, "seconds": 2.0,
+                  "drain": 4.0, "num_seeds": 2}
+        clean = JobSpec(kind="sweep", params=params)
+        faulted = JobSpec(kind="sweep",
+                          params=dict(params, faults="crash-cell=1"))
+        assert faulted.fingerprint() == clean.fingerprint()
+
+    def test_shard_faults_need_shards(self):
+        with pytest.raises(ValueError, match="--shards > 1"):
+            SweepSpec(protocols=("heap",), nodes=10, seconds=2.0, drain=4.0,
+                      num_seeds=2, faults="shard-exit=0@1").check()
+
+
+# ----------------------------------------------------------------------
+# Grid cells: worker crashes, stalls, quarantine
+# ----------------------------------------------------------------------
+class TestCellCrashSupervision:
+    @pytest.fixture(scope="class")
+    def clean(self):
+        return run_grid(GRID_CONFIGS, seeds=GRID_SEEDS, metrics=METRICS,
+                        summaries=SPECS)
+
+    def _faulted(self, faults, start_method, supervision=FAST):
+        return run_grid(GRID_CONFIGS, seeds=GRID_SEEDS, metrics=METRICS,
+                        summaries=SPECS, jobs=2, start_method=start_method,
+                        faults=FaultPlan.parse(faults),
+                        supervision=supervision)
+
+    def test_crash_recovery_parity_fork(self, clean):
+        faulted = self._faulted("crash-cell=1", "fork")
+        assert faulted.determinism_keys() == clean.determinism_keys()
+        assert faulted.summary_keys() == clean.summary_keys()
+        assert faulted.render() == clean.render()
+        assert faulted.cell_retries >= 1
+        assert faulted.failures == ()
+
+    def test_crash_recovery_parity_spawn(self, clean):
+        faulted = self._faulted("crash-cell=0", "spawn")
+        assert faulted.determinism_keys() == clean.determinism_keys()
+        assert faulted.summary_keys() == clean.summary_keys()
+        assert faulted.cell_retries >= 1
+        assert faulted.failures == ()
+
+    def test_double_crash_still_within_default_budget(self, clean):
+        # Two kills, default budget of 1 + 2 retries: third attempt lands.
+        faulted = self._faulted("crash-cell=2x2", "fork")
+        assert faulted.determinism_keys() == clean.determinism_keys()
+        assert faulted.cell_retries >= 2
+        assert faulted.failures == ()
+
+    def test_poison_cell_quarantined_sweep_completes(self, clean):
+        faulted = self._faulted(
+            "crash-cell=1x9", "fork",
+            supervision=SupervisionPolicy(cell_retries=1, backoff_base=0.01))
+        (failure,) = faulted.failures
+        assert failure.kind == "crash"
+        assert failure.index == 1
+        assert failure.attempts == 2  # 1 first try + 1 retry, all killed
+        assert faulted.records[1] is None
+        assert sum(r is not None for r in faulted.records) == 3
+        # Degraded-result contract: every other cell matches the clean run.
+        expected = [key for i, key in enumerate(clean.determinism_keys())
+                    if i != 1]
+        assert faulted.determinism_keys() == expected
+        assert "failed cells (1):" in faulted.render()
+        assert failure.render() in faulted.render()
+
+    def test_stall_trips_cell_timeout_then_recovers(self, clean):
+        faulted = self._faulted(
+            "stall-cell=0:30", "fork",
+            supervision=SupervisionPolicy(cell_timeout=0.5,
+                                          backoff_base=0.01))
+        assert faulted.determinism_keys() == clean.determinism_keys()
+        assert faulted.cell_retries >= 1
+        assert faulted.failures == ()
+
+    def test_crash_fault_requires_a_pool(self):
+        with pytest.raises(ValueError, match="worker pool"):
+            run_grid(GRID_CONFIGS, seeds=GRID_SEEDS, metrics=METRICS,
+                     faults=FaultPlan.parse("crash-cell=1"))
+
+
+# ----------------------------------------------------------------------
+# Checkpoints: torn writes, repair, concurrent resumers
+# ----------------------------------------------------------------------
+class TestTornCheckpoint:
+    @pytest.fixture(scope="class")
+    def clean(self):
+        return run_grid(GRID_CONFIGS, seeds=GRID_SEEDS, metrics=METRICS)
+
+    def _tear(self, path: str) -> None:
+        """Run the grid into a torn-checkpoint fault at record 1."""
+        with pytest.raises(TornCheckpointInjected):
+            run_grid(GRID_CONFIGS, seeds=GRID_SEEDS, metrics=METRICS,
+                     checkpoint=path,
+                     faults=FaultPlan.parse("torn-checkpoint=1"))
+
+    def test_fault_tears_the_file_mid_line(self, tmp_path):
+        path = str(tmp_path / "grid.jsonl")
+        self._tear(path)
+        text = (tmp_path / "grid.jsonl").read_text()
+        assert not text.endswith("\n")  # genuinely torn, not just short
+        # Header survives; the torn tail is dropped by the repair reader.
+        with pytest.warns(RuntimeWarning, match="torn trailing line"):
+            objects = read_jsonl(path, repair=True)
+        assert objects[0]["format"].startswith("repro")
+
+    def test_resume_repairs_and_matches_clean_run(self, tmp_path, clean):
+        path = str(tmp_path / "grid.jsonl")
+        self._tear(path)
+        with pytest.warns(RuntimeWarning, match="torn trailing line"):
+            resumed = run_grid(GRID_CONFIGS, seeds=GRID_SEEDS,
+                               metrics=METRICS, checkpoint=path, resume=True)
+        assert resumed.determinism_keys() == clean.determinism_keys()
+        # The repaired file parses cleanly end to end and resumes again
+        # warning-free.
+        objects = read_jsonl(path)
+        assert sorted(obj["index"] for obj in objects[1:]) == [0, 1, 2, 3]
+
+    def test_resume_repairs_under_spawn_pool(self, tmp_path, clean):
+        path = str(tmp_path / "grid.jsonl")
+        self._tear(path)
+        with pytest.warns(RuntimeWarning, match="torn trailing line"):
+            resumed = run_grid(GRID_CONFIGS, seeds=GRID_SEEDS,
+                               metrics=METRICS, checkpoint=path, resume=True,
+                               jobs=2, start_method="spawn")
+        assert resumed.determinism_keys() == clean.determinism_keys()
+
+    def test_concurrent_resumers_stay_line_aligned(self, tmp_path, clean):
+        """Two resumers of the same fingerprint race: one repairs the
+        torn tail (truncating the file), while the other still holds an
+        O_APPEND handle opened *before* the repair.  Appends through the
+        stale handle land at the new EOF — never at the stale offset —
+        so the file stays line-aligned and keeps resuming cleanly."""
+        path = str(tmp_path / "grid.jsonl")
+        self._tear(path)
+        stale = open(path, "a", encoding="utf-8")
+        try:
+            with pytest.warns(RuntimeWarning, match="torn trailing line"):
+                run_grid(GRID_CONFIGS, seeds=GRID_SEEDS, metrics=METRICS,
+                         checkpoint=path, resume=True)
+            # The second resumer finishes a cell and appends its record
+            # through the pre-repair handle: a duplicate of record 0.
+            objects = read_jsonl(path)
+            record_0 = next(obj for obj in objects[1:] if obj["index"] == 0)
+            stale.write(json.dumps(record_0) + "\n")
+            stale.flush()
+        finally:
+            stale.close()
+        # Every line still parses; the duplicate index is tolerated.
+        objects = read_jsonl(path)
+        assert [0, 1, 2, 3, 0] == [obj["index"] for obj in objects[1:]]
+        again = run_grid(GRID_CONFIGS, seeds=GRID_SEEDS, metrics=METRICS,
+                         checkpoint=path, resume=True)
+        assert again.determinism_keys() == clean.determinism_keys()
+
+    def test_torn_checkpoint_requires_checkpoint(self):
+        with pytest.raises(ValueError, match="checkpoint"):
+            run_grid(GRID_CONFIGS, seeds=GRID_SEEDS, metrics=METRICS,
+                     faults=FaultPlan.parse("torn-checkpoint=1"))
+
+
+# ----------------------------------------------------------------------
+# Sharded scenarios: exits, stalls, corrupt wire buffers
+# ----------------------------------------------------------------------
+class TestShardSupervision:
+    @pytest.fixture(scope="class")
+    def serial_blob(self):
+        return summary_blob(run_scenario(sharded_config()))
+
+    def test_shard_exit_restart_parity_two_shards(self, serial_blob, capfd):
+        config = sharded_config(shards=2,
+                                faults=FaultPlan.parse("shard-exit=1@3"))
+        merged = run_sharded(config, supervision=ShardSupervision(restarts=1))
+        assert summary_blob(merged) == serial_blob
+        err = capfd.readouterr().err
+        assert "shard supervision:" in err
+        assert "restarting scenario (attempt 1/1)" in err
+
+    def test_shard_exit_restart_parity_four_shards(self, serial_blob):
+        config = sharded_config(shards=4,
+                                faults=FaultPlan.parse("shard-exit=3@5"))
+        merged = run_sharded(config, supervision=ShardSupervision(restarts=1))
+        assert summary_blob(merged) == serial_blob
+
+    def test_shard_exit_restart_parity_spawn(self, serial_blob):
+        config = sharded_config(shards=2,
+                                faults=FaultPlan.parse("shard-exit=0@2"))
+        merged = run_sharded(config, start_method="spawn",
+                             supervision=ShardSupervision(restarts=1))
+        assert summary_blob(merged) == serial_blob
+
+    def test_exhausted_restart_budget_raises_structured_failure(self):
+        config = sharded_config(shards=2,
+                                faults=FaultPlan.parse("shard-exit=1@3"))
+        with pytest.raises(ShardFailure, match="shard 1 exited") as exc_info:
+            run_sharded(config, supervision=ShardSupervision(restarts=0))
+        failure = exc_info.value
+        assert failure.shard == 1
+        assert failure.reason == "exited"
+        assert failure.window_index == 3
+        assert failure.last_barrier == 2
+
+    def test_barrier_deadline_converts_wedge_to_failure(self):
+        """A wedged-but-alive shard must fail the deadline, not hang the
+        barrier forever — the deadlock this plane exists to kill."""
+        config = sharded_config(shards=2,
+                                faults=FaultPlan.parse("shard-stall=1@2:60"))
+        started = clock.monotonic()
+        with pytest.raises(ShardFailure,
+                           match="missed the barrier deadline") as exc_info:
+            run_sharded(config,
+                        supervision=ShardSupervision(restarts=0,
+                                                     barrier_timeout=1.0))
+        assert clock.monotonic() - started < 30.0
+        assert exc_info.value.shard == 1
+        assert exc_info.value.window_index == 2
+
+    def test_drop_wire_restart_parity(self, serial_blob, capfd):
+        config = sharded_config(shards=2,
+                                faults=FaultPlan.parse("drop-wire=0@2"))
+        merged = run_sharded(config, supervision=ShardSupervision(restarts=1))
+        assert summary_blob(merged) == serial_blob
+        assert "restarting scenario" in capfd.readouterr().err
+
+    def test_shard_faults_need_process_driver(self):
+        config = sharded_config(shards=2,
+                                faults=FaultPlan.parse("shard-exit=1@3"))
+        with pytest.raises(ValueError, match="worker-process driver"):
+            run_sharded(config, processes=False)
+
+
+# ----------------------------------------------------------------------
+# CLI: chaos sweeps print identical results plus recovery evidence
+# ----------------------------------------------------------------------
+class TestCliChaos:
+    ARGS = ["sweep", "--protocols", "heap,standard", "--nodes", "10",
+            "--seconds", "2", "--drain", "4", "--num-seeds", "2", "--quiet"]
+
+    def test_faulted_sweep_stdout_matches_clean(self, capsys):
+        from repro.cli import main
+
+        assert main(self.ARGS) == 0
+        clean = capsys.readouterr().out
+        assert main(self.ARGS + ["--jobs", "2", "--faults",
+                                 "crash-cell=1"]) == 0
+        captured = capsys.readouterr()
+        assert captured.out == clean
+        assert "supervision: recovered" in captured.err
+
+    def test_run_rejects_cell_faults(self, capsys):
+        from repro.cli import main
+
+        assert main(["run", "--nodes", "10", "--seconds", "2", "--drain", "4",
+                     "--faults", "crash-cell=1"]) == 2
+        assert "only takes shard faults" in capsys.readouterr().err

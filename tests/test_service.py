@@ -10,13 +10,17 @@ suite is hermetic.
 """
 
 import json
+import os
+import time
+import urllib.error
+import urllib.request
 
 import pytest
 
 from repro.cli import main
 from repro.service import ExperimentService, JobManager
 from repro.service.client import ServiceClient, ServiceError
-from repro.service.jobs import JobSpec, QueueFullError
+from repro.service.jobs import JobSpec, QueueFullError, SpecQuarantined
 
 #: The smoke grid: 1 protocol x 2 seeds of a tiny scenario.
 SWEEP = {"protocols": ["heap"], "nodes": 10, "seconds": 2.0, "drain": 4.0,
@@ -283,3 +287,161 @@ class TestQueueBounds:
                 manager.submit("sweep", dict(SWEEP, nodes=12))
         finally:
             manager.shutdown(cancel_running=True)
+
+
+class TestArtifactIndex:
+    def test_index_lists_csv_after_completion(self, client):
+        job_id = client.submit("sweep", SWEEP)["job"]["id"]
+        assert client.wait(job_id, timeout=300)["state"] == "done"
+        index = client.artifacts(job_id)
+        assert index["job"] == job_id and index["state"] == "done"
+        (entry,) = index["artifacts"]
+        assert entry["name"] == "csv"
+        assert entry["content_type"] == "text/csv"
+        assert entry["bytes"] > 0
+        # The advertised path fetches the artifact, and the size is honest.
+        csv_text = client.csv(job_id)
+        assert entry["path"] == f"/v1/jobs/{job_id}/artifacts/csv"
+        assert len(csv_text.encode("utf-8")) == entry["bytes"]
+
+    def test_index_empty_before_artifacts_exist(self, client):
+        running = client.submit("sweep", RESUME)["job"]["id"]
+        queued = client.submit("sweep", SWEEP)["job"]["id"]
+        try:
+            index = client.artifacts(queued)
+            assert index["artifacts"] == []
+        finally:
+            client.cancel(queued)
+            client.cancel(running)
+            client.wait(running, timeout=300)
+
+
+class TestSupervision:
+    """Self-healing job plane: watchdog, TTL eviction, quarantine."""
+
+    def _wait_state(self, job, states, timeout=30.0):
+        deadline = time.monotonic() + timeout
+        while job.state not in states:
+            assert time.monotonic() < deadline, (job.state, states)
+            time.sleep(0.05)
+
+    def test_watchdog_fails_wedged_job_and_staffs_replacement(self, tmp_path):
+        manager = JobManager(checkpoint_dir=str(tmp_path / "svc"),
+                             executors=1, job_timeout=0.6,
+                             watchdog_interval=0.1)
+        try:
+            wedged, _ = manager.submit(
+                "sweep", dict(SWEEP, faults="stall-cell=0:30"))
+            self._wait_state(wedged, ("failed",))
+            assert "watchdog" in wedged.error
+            assert manager.watchdog_timeouts == 1
+            # The wedged executor was written off; a replacement keeps
+            # the manager serving new jobs.
+            healthy, created = manager.submit("sweep", SWEEP)
+            assert created
+            self._wait_state(healthy, ("done",), timeout=60.0)
+        finally:
+            manager.shutdown(cancel_running=True)
+
+    def test_ttl_evicts_terminal_jobs(self, tmp_path):
+        manager = JobManager(checkpoint_dir=str(tmp_path / "svc"),
+                             executors=1, job_ttl=0.3,
+                             watchdog_interval=0.05)
+        svc = ExperimentService(manager, port=0)
+        svc.serve_background()
+        client = ServiceClient(svc.url, timeout=60.0)
+        try:
+            job_id = client.submit("sweep", SWEEP)["job"]["id"]
+            client.wait(job_id, timeout=300)
+            csv_path = manager.get(job_id).csv_path
+            deadline = time.monotonic() + 30.0
+            while True:
+                try:
+                    client.job(job_id)
+                except ServiceError as exc:
+                    assert exc.status == 404
+                    assert "was evicted" in exc.message
+                    assert "--job-ttl" in exc.message
+                    break
+                assert time.monotonic() < deadline
+                time.sleep(0.05)
+            assert not os.path.exists(csv_path)  # artifact went with it
+            assert client.health()["evicted"] == 1
+        finally:
+            svc.close()
+
+    def test_crash_looping_spec_quarantined_with_retry_after(self, tmp_path):
+        manager = JobManager(checkpoint_dir=str(tmp_path / "svc"),
+                             executors=1, quarantine_after=1,
+                             quarantine_base=60.0)
+        svc = ExperimentService(manager, port=0)
+        svc.serve_background()
+        client = ServiceClient(svc.url, timeout=60.0)
+        # crash-cell faults need a worker pool; the service grid is
+        # serial, so the job fails deterministically at submit-to-run.
+        poison = dict(SWEEP, faults="crash-cell=0")
+        try:
+            job_id = client.submit("sweep", poison)["job"]["id"]
+            assert client.wait(job_id, timeout=300)["state"] == "failed"
+            assert client.health()["quarantined"] == 1
+            # Manager level: structured exception.
+            with pytest.raises(SpecQuarantined) as exc:
+                manager.submit("sweep", poison)
+            assert exc.value.retry_after > 0
+            assert exc.value.failures == 1
+            # HTTP level: 429 plus a Retry-After header.
+            request = urllib.request.Request(
+                svc.url + "/v1/jobs",
+                data=json.dumps({"kind": "sweep",
+                                 "params": poison}).encode("utf-8"),
+                headers={"Content-Type": "application/json"}, method="POST")
+            with pytest.raises(urllib.error.HTTPError) as http_exc:
+                with urllib.request.urlopen(request, timeout=30.0):
+                    pass
+            assert http_exc.value.code == 429
+            assert int(http_exc.value.headers["Retry-After"]) >= 1
+            body = json.loads(http_exc.value.read().decode("utf-8"))
+            assert "quarantined" in body["error"]
+            assert body["retry_after"] >= 1
+        finally:
+            svc.close()
+
+    def test_quarantine_is_per_fingerprint_and_clears_on_success(
+            self, tmp_path):
+        manager = JobManager(checkpoint_dir=str(tmp_path / "svc"),
+                             executors=1, quarantine_after=1,
+                             quarantine_base=60.0)
+        try:
+            # The faulted and clean specs share a fingerprint (faults are
+            # an execution circumstance), so the quarantine would block
+            # the clean resubmission too — until a success clears it.
+            poison, _ = manager.submit(
+                "sweep", dict(SWEEP, faults="crash-cell=0"))
+            self._wait_state(poison, ("failed",))
+            with pytest.raises(SpecQuarantined):
+                manager.submit("sweep", SWEEP)
+            # A *different* spec is unaffected.
+            other, _ = manager.submit("sweep", dict(SWEEP, nodes=12))
+            self._wait_state(other, ("done",), timeout=60.0)
+        finally:
+            manager.shutdown(cancel_running=True)
+
+
+class TestSseDisconnects:
+    def test_client_disconnect_is_counted_not_crashed(self, service, client):
+        job_id = client.submit("sweep", RESUME)["job"]["id"]
+        try:
+            # Open the SSE stream raw, read one chunk, hang up mid-job.
+            stream = urllib.request.urlopen(
+                f"{service.url}/v1/jobs/{job_id}/events", timeout=30.0)
+            stream.readline()
+            stream.close()
+            deadline = time.monotonic() + 30.0
+            while client.health()["sse_disconnects"] < 1:
+                assert time.monotonic() < deadline
+                time.sleep(0.1)
+        finally:
+            client.cancel(job_id)
+            client.wait(job_id, timeout=300)
+        # The stream thread died quietly; the service still answers.
+        assert client.health()["status"] == "ok"
